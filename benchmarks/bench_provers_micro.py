@@ -1,0 +1,100 @@
+"""E7 — Section 6 micro-benchmarks of the individual reasoning engines.
+
+Synthetic scaling families exercise each decision procedure in isolation:
+
+* WS1S (MONA role): subset-chain transitivity with a growing number of set
+  variables — automaton product and projection cost;
+* BAPA: cardinality of a union of n pairwise-disjoint singletons — the
+  2**n Venn-region reduction;
+* congruence closure (EUF): equality chains of growing length;
+* Fourier–Motzkin (LIA): chains of difference constraints;
+* resolution (FOL role): transitivity chains over an uninterpreted relation;
+* the SAT core: pigeonhole-like unsatisfiable instances.
+
+These run in milliseconds-to-seconds and use the normal pytest-benchmark
+statistics (several rounds), unlike the one-shot verification benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bapa.prover import BapaProver
+from repro.fol.prover import FirstOrderProver
+from repro.fol.terms import FApp, FVar
+from repro.form.parser import parse_formula as parse
+from repro.mona import ws1s
+from repro.smt.congruence import check_euf
+from repro.smt.lia import check_lia
+from repro.smt.sat import SatSolver
+from repro.vcgen.sequent import sequent
+
+
+@pytest.mark.parametrize("size", [2, 3, 4])
+def test_ws1s_subset_chain(benchmark, size):
+    names = [f"X{i}" for i in range(size + 1)]
+    chain = ws1s.AndW(tuple(ws1s.SubsetW(names[i], names[i + 1]) for i in range(size)))
+    formula = ws1s.ImpliesW(chain, ws1s.SubsetW(names[0], names[-1]))
+    result = benchmark(lambda: ws1s.is_valid(formula))
+    assert result is True
+
+
+@pytest.mark.parametrize("size", [2, 3, 4])
+def test_bapa_disjoint_union_cardinality(benchmark, size):
+    assumptions = [parse(f"x{i} ~: rest{i}") for i in range(size)]
+    assumptions += [parse(f"rest{i} = rest{i+1} Un {{x{i+1}}}") for i in range(size - 1)]
+    goal = parse(f"card (rest0 Un {{x0}}) >= 1")
+    seq = sequent(assumptions, goal)
+    prover = BapaProver()
+    answer = benchmark(lambda: prover.prove(seq))
+    assert answer.proved
+
+
+@pytest.mark.parametrize("length", [10, 40, 80])
+def test_congruence_closure_chain(benchmark, length):
+    constants = [FApp(f"c{i}") for i in range(length + 1)]
+    equalities = [(constants[i], constants[i + 1]) for i in range(length)]
+    disequalities = [(constants[0], constants[-1])]
+    result = benchmark(lambda: check_euf(equalities, disequalities))
+    assert result is False  # the chain forces c0 = cN, contradicting the disequality
+
+
+@pytest.mark.parametrize("length", [5, 15, 30])
+def test_fourier_motzkin_chain(benchmark, length):
+    literals = [(parse(f"v{i} < v{i+1}"), True) for i in range(length)]
+    literals.append((parse(f"v{length} < v0"), True))
+    result = benchmark(lambda: check_lia(literals))
+    assert result is False  # a strict cycle is infeasible
+
+
+@pytest.mark.parametrize("length", [3, 5])
+def test_resolution_transitivity_chain(benchmark, length):
+    assumptions = [parse("ALL x y z. r x y & r y z --> r x z")]
+    assumptions += [parse(f"r a{i} a{i+1}") for i in range(length)]
+    goal = parse(f"r a0 a{length}")
+    seq = sequent(assumptions, goal)
+    prover = FirstOrderProver(timeout=10.0)
+    answer = benchmark(lambda: prover.prove(seq))
+    assert answer.proved
+
+
+@pytest.mark.parametrize("holes", [4, 6])
+def test_sat_pigeonhole(benchmark, holes):
+    pigeons = holes + 1
+
+    def build_and_solve():
+        solver = SatSolver(pigeons * holes)
+
+        def var(p, h):
+            return p * holes + h + 1
+
+        for p in range(pigeons):
+            solver.add_clause([var(p, h) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    solver.add_clause([-var(p1, h), -var(p2, h)])
+        return solver.solve()
+
+    result = benchmark(build_and_solve)
+    assert result.satisfiable is False

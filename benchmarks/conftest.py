@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark runs the measured function exactly once (``pedantic`` with
+one round): the workloads are whole verification runs, not microseconds-long
+kernels, and the interesting output is the per-prover statistics recorded in
+``extra_info`` (the numbers that populate Figures 7 and 15), not timing
+jitter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Prover options used throughout the harness: short timeouts keep the full
+#: table regeneration tractable on a laptop while preserving the *shape* of
+#: the paper's results (which prover discharges which sequents).
+FAST_PROVER_OPTIONS = {
+    "smt": {"timeout": 2.0},
+    "fol": {"timeout": 0.75},
+    "mona": {"timeout": 2.0},
+    "bapa": {"timeout": 2.0},
+}
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

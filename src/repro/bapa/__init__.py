@@ -1,0 +1,6 @@
+"""BAPA: Boolean Algebra with Presburger Arithmetic decision procedure."""
+
+from .prover import BapaProver  # noqa: F401
+from .venn import BapaError, BapaProblem, VennSpace, conjunction_satisfiable  # noqa: F401
+
+__all__ = ["BapaProver", "BapaError", "BapaProblem", "VennSpace", "conjunction_satisfiable"]

@@ -1,0 +1,6 @@
+"""The Jahob driver: verifier entry points and reports."""
+
+from .report import ClassReport, MethodReport, format_table  # noqa: F401
+from .verifier import verify, verify_class  # noqa: F401
+
+__all__ = ["verify", "verify_class", "MethodReport", "ClassReport", "format_table"]

@@ -1,0 +1,137 @@
+"""Verification reports in the style of the paper's Figures 7 and 15.
+
+Figure 7 shows the per-method command-line report: how many sequents each
+prover proved and how long it spent, how many sequents the built-in checker
+discharged during splitting, and whether the verification succeeded.
+Figure 15 aggregates the same numbers per data structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..provers.base import ProverStats
+
+
+@dataclass
+class MethodReport:
+    """Statistics of verifying a single method."""
+
+    class_name: str
+    method_name: str
+    total_sequents: int = 0
+    proved_sequents: int = 0
+    proved_during_splitting: int = 0
+    prover_stats: Dict[str, ProverStats] = field(default_factory=dict)
+    prover_order: List[str] = field(default_factory=list)
+    unproved_origins: List[str] = field(default_factory=list)
+    total_time: float = 0.0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.proved_sequents == self.total_sequents
+
+    def proved_by(self, prover: str) -> int:
+        stats = self.prover_stats.get(prover)
+        return stats.proved if stats else 0
+
+    def time_of(self, prover: str) -> float:
+        stats = self.prover_stats.get(prover)
+        return stats.time if stats else 0.0
+
+    def format(self) -> str:
+        """A command-line report shaped like Figure 7."""
+        lines = [
+            "=" * 56,
+            f"Built-in checker proved {self.proved_during_splitting} sequents during splitting.",
+        ]
+        for prover in self.prover_order:
+            stats = self.prover_stats.get(prover)
+            if stats is None or stats.attempted == 0:
+                continue
+            lines.append(
+                f"{prover.upper()} proved {stats.proved} out of {stats.attempted} sequents. "
+                f"Total time : {stats.time:.1f} s"
+            )
+        lines.append("=" * 56)
+        lines.append(
+            f"A total of {self.proved_sequents} sequents out of {self.total_sequents} proved."
+        )
+        lines.append(f":{self.class_name}.{self.method_name}]")
+        if self.succeeded:
+            lines.append("0=== Verification SUCCEEDED.")
+        else:
+            lines.append(f"0=== Verification FAILED ({len(self.unproved_origins)} sequents unproved).")
+            for origin in self.unproved_origins[:10]:
+                lines.append(f"    unproved: {origin}")
+        return "\n".join(lines)
+
+    # Figure 7 in the paper prints this after running `jahob List.java -method ...`.
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.format()
+
+
+@dataclass
+class ClassReport:
+    """Statistics of verifying every method of a data structure (a Figure 15 row)."""
+
+    class_name: str
+    methods: List[MethodReport] = field(default_factory=list)
+    prover_order: List[str] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        return all(method.succeeded for method in self.methods)
+
+    @property
+    def total_time(self) -> float:
+        return sum(method.total_time for method in self.methods)
+
+    @property
+    def total_sequents(self) -> int:
+        return sum(method.total_sequents for method in self.methods)
+
+    @property
+    def proved_sequents(self) -> int:
+        return sum(method.proved_sequents for method in self.methods)
+
+    @property
+    def proved_during_splitting(self) -> int:
+        return sum(method.proved_during_splitting for method in self.methods)
+
+    def proved_by(self, prover: str) -> int:
+        return sum(method.proved_by(prover) for method in self.methods)
+
+    def time_of(self, prover: str) -> float:
+        return sum(method.time_of(prover) for method in self.methods)
+
+    def row(self, provers: Optional[Sequence[str]] = None) -> Dict[str, str]:
+        """One row of the Figure 15 table."""
+        provers = list(provers or self.prover_order)
+        row: Dict[str, str] = {"Data Structure": self.class_name}
+        row["Syntactic"] = str(self.proved_by("syntactic") + self.proved_during_splitting)
+        for prover in provers:
+            if prover == "syntactic":
+                continue
+            proved = self.proved_by(prover)
+            seconds = self.time_of(prover)
+            row[prover] = f"{proved} ({seconds:.1f}s)" if proved else ("" if seconds < 0.05 else f"0 ({seconds:.1f}s)")
+        row["Total Time"] = f"{self.total_time:.1f}s"
+        row["Verified"] = "yes" if self.succeeded else f"no ({self.total_sequents - self.proved_sequents} open)"
+        return row
+
+
+def format_table(reports: Sequence[ClassReport], provers: Sequence[str]) -> str:
+    """Format several class reports as the Figure 15 table."""
+    columns = ["Data Structure", "Syntactic"] + [p for p in provers if p != "syntactic"] + ["Total Time", "Verified"]
+    rows = [report.row(provers) for report in reports]
+    widths = {column: len(column) for column in columns}
+    for row in rows:
+        for column in columns:
+            widths[column] = max(widths[column], len(row.get(column, "")))
+    lines = ["  ".join(column.ljust(widths[column]) for column in columns)]
+    lines.append("  ".join("-" * widths[column] for column in columns))
+    for row in rows:
+        lines.append("  ".join(row.get(column, "").ljust(widths[column]) for column in columns))
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""First-order resolution prover (the SPASS / E role in the Jahob portfolio)."""
+
+from .clausify import ClausificationError, Clausifier  # noqa: F401
+from .hol2fol import translate_sequent  # noqa: F401
+from .prover import FirstOrderProver  # noqa: F401
+from .resolution import ResolutionProver, SaturationResult  # noqa: F401
+from .terms import Clause, FApp, FTerm, FVar, Literal, unify  # noqa: F401
+
+__all__ = [
+    "Clausifier",
+    "ClausificationError",
+    "translate_sequent",
+    "FirstOrderProver",
+    "ResolutionProver",
+    "SaturationResult",
+    "Clause",
+    "Literal",
+    "FTerm",
+    "FVar",
+    "FApp",
+    "unify",
+]

@@ -1,0 +1,239 @@
+"""Translation of HOL sequents into first-order clause sets.
+
+Implements the translation described in the paper (Section 6.2 and reference
+[14]): after the standard approximation rewrites, set expressions are
+represented through the binary membership predicate, reachability through
+fresh ``rtc_f`` predicates equipped with sound (but incomplete) axioms, the
+``tree [f]`` assumption is replaced by its first-order consequences, and
+linear arithmetic receives a small incomplete axiomatisation of the ordering.
+Atoms outside the fragment (cardinality, residual higher-order constructs)
+are removed by the polarity-directed approximation of Figure 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..form import ast as F
+from ..form.parser import parse_formula
+from ..form.rewrite import map_subterms, simplify
+from ..provers.approximation import (
+    drop_unsupported_assumptions,
+    is_first_order_atom,
+    relevant_assumptions,
+    rewrite_sequent,
+)
+from ..vcgen.sequent import Labeled, Sequent
+from .clausify import ClausificationError, Clausifier
+from .terms import Clause
+
+
+@dataclass
+class Translation:
+    """The result of translating a sequent: clauses for refutation."""
+
+    clauses: List[Clause]
+    used_reachability: bool = False
+    used_arithmetic: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Reachability handling
+# ---------------------------------------------------------------------------
+
+
+def _backbone_field(relation: F.Term) -> Optional[str]:
+    """Recognise ``{(x, y). y = x..f}`` (or the symmetric equation); return ``f``."""
+    if isinstance(relation, F.SetCompr) and len(relation.params) == 2:
+        x_name, y_name = relation.params[0][0], relation.params[1][0]
+        body = relation.body
+        if isinstance(body, F.Eq):
+            lhs, rhs = body.lhs, body.rhs
+            for a, b in ((lhs, rhs), (rhs, lhs)):
+                if (
+                    isinstance(a, F.Var)
+                    and a.name == y_name
+                    and isinstance(b, F.App)
+                    and isinstance(b.func, F.Var)
+                    and len(b.args) == 1
+                    and isinstance(b.args[0], F.Var)
+                    and b.args[0].name == x_name
+                ):
+                    return b.func.name
+    return None
+
+
+def _pred_field(predicate: F.Term) -> Optional[str]:
+    """Recognise ``% x y. y = x..f`` for rtrancl_pt; return ``f``."""
+    if isinstance(predicate, F.Lambda) and len(predicate.params) == 2:
+        compr = F.SetCompr(predicate.params, predicate.body)
+        return _backbone_field(compr)
+    return None
+
+
+def rewrite_reachability(term: F.Term, used_fields: Set[str]) -> F.Term:
+    """Replace reachability constructs by applications of ``rtc_<field>``.
+
+    ``(u, v) : {(x, y). y = x..f}^*``  becomes  ``rtc_f u v``
+    ``rtrancl_pt (% x y. y = x..f) u v`` becomes ``rtc_f u v``
+
+    Reachability through unrecognised relations is reified with an
+    uninterpreted predicate (sound: no axioms are added for it).
+    """
+
+    def rewrite(node: F.Term) -> F.Term:
+        if (
+            F.is_app_of(node, "elem")
+            and len(node.args) == 2
+            and isinstance(node.args[0], F.TupleTerm)
+            and len(node.args[0].items) == 2
+        ):
+            pair, target = node.args
+            inner = None
+            if F.is_app_of(target, "rtrancl") or F.is_app_of(target, "trancl"):
+                inner = target.args[0]
+            if inner is not None:
+                fld = _backbone_field(inner)
+                strict = F.is_app_of(target, "trancl")
+                if fld is not None:
+                    used_fields.add(fld)
+                    pred = ("tc_" if strict else "rtc_") + fld
+                    return F.app(pred, pair.items[0], pair.items[1])
+                return F.app("reach_unknown", pair.items[0], pair.items[1])
+        if F.is_app_of(node, "rtrancl_pt") and len(node.args) == 3:
+            fld = _pred_field(node.args[0])
+            if fld is not None:
+                used_fields.add(fld)
+                return F.app("rtc_" + fld, node.args[1], node.args[2])
+            return F.app("reach_unknown", node.args[1], node.args[2])
+        return node
+
+    return map_subterms(term, rewrite)
+
+
+def reachability_axioms(field_name: str, has_tree: bool) -> List[F.Term]:
+    """Sound first-order facts about ``rtc_f`` (and ``tc_f``).
+
+    Every formula returned here is true in the intended semantics where
+    ``rtc_f`` denotes reflexive transitive closure of the function ``f``, so
+    adding them as assumptions is sound.  They are of course incomplete
+    (induction is not first-order expressible).
+    """
+    rtc = f"rtc_{field_name}"
+    tc = f"tc_{field_name}"
+    f = field_name
+    axioms = [
+        f"ALL x. {rtc} x x",
+        f"ALL x. {rtc} x (x..{f})",
+        f"ALL x y z. {rtc} x y & {rtc} y z --> {rtc} x z",
+        f"ALL x y. {rtc} x y --> x = y | {rtc} (x..{f}) y",
+        f"ALL x y. {rtc} x y & x ~= y --> {tc} x y",
+        f"ALL x y. {tc} x y --> {rtc} x y",
+        f"ALL x y. {tc} x y --> {rtc} (x..{f}) y",
+        f"ALL x y. {rtc} x y & x ~= null --> x = y | {tc} x y",
+        f"ALL y. {rtc} null y --> y = null",
+    ]
+    if has_tree:
+        # Consequences of the backbone being a forest (no sharing, no cycles).
+        axioms += [
+            f"ALL x y. {rtc} x y & {rtc} y x --> x = y",
+            f"ALL x y. x..{f} = y..{f} & x..{f} ~= null --> x = y",
+            f"ALL x. x ~= null --> ~ {tc} x x",
+        ]
+    return [parse_formula(a) for a in axioms]
+
+
+_ARITH_AXIOMS = [
+    # A (deliberately) partial axiomatisation of the integer ordering and of
+    # successor facts, mirroring the paper's incomplete arithmetic support.
+    "ALL x y z. x <= y & y <= z --> x <= z",
+    "ALL x y. x <= y & y <= x --> x = y",
+    "ALL x. x <= x",
+    "ALL x y. x < y --> x <= y",
+    "ALL x y. x < y --> x ~= y",
+    "ALL x y. x <= y & x ~= y --> x < y",
+    "ALL x y. x < y --> ~ (y < x)",
+    "ALL x y. x <= y | y <= x",
+]
+
+
+def _contains_arith(term: F.Term) -> bool:
+    for sub in F.subterms(term):
+        if isinstance(sub, F.Var) and sub.name in ("lt", "lte", "gt", "gte", "plus", "minus"):
+            return True
+    return False
+
+
+def _normalise_comparisons(term: F.Term) -> F.Term:
+    """Rewrite > and >= in terms of < and <= so the axioms above apply."""
+
+    def rewrite(node: F.Term) -> F.Term:
+        if F.is_app_of(node, "gt") and len(node.args) == 2:
+            return F.app("lt", node.args[1], node.args[0])
+        if F.is_app_of(node, "gte") and len(node.args) == 2:
+            return F.app("lte", node.args[1], node.args[0])
+        return node
+
+    return map_subterms(term, rewrite)
+
+
+# ---------------------------------------------------------------------------
+# Sequent translation
+# ---------------------------------------------------------------------------
+
+
+def translate_sequent(sequent: Sequent, max_clauses: int = 4000) -> Translation:
+    """Translate a sequent into a clause set whose unsatisfiability proves it."""
+    sequent = relevant_assumptions(sequent.restricted())
+    sequent = rewrite_sequent(sequent)
+
+    has_tree = any(
+        F.is_app_of(sub, "tree") or F.is_app_of(sub, "tree2")
+        for labeled in sequent.assumptions
+        for sub in F.subterms(labeled.formula)
+    )
+
+    used_fields: Set[str] = set()
+    assumptions = [
+        Labeled(rewrite_reachability(a.formula, used_fields), a.labels)
+        for a in sequent.assumptions
+    ]
+    goal = Labeled(rewrite_reachability(sequent.goal.formula, used_fields), sequent.goal.labels)
+    sequent = Sequent(tuple(assumptions), goal, (), sequent.origin, sequent.env)
+
+    # Drop atoms outside the first-order fragment (cardinality, tree [...],
+    # residual lambdas) -- sound by the approximation scheme.
+    sequent = drop_unsupported_assumptions(sequent, is_first_order_atom)
+
+    formulas: List[F.Term] = []
+    used_arith = False
+    for labeled in sequent.assumptions:
+        formula = _normalise_comparisons(labeled.formula)
+        used_arith = used_arith or _contains_arith(formula)
+        formulas.append(formula)
+    goal_formula = _normalise_comparisons(sequent.goal.formula)
+    used_arith = used_arith or _contains_arith(goal_formula)
+
+    axioms: List[F.Term] = []
+    for field_name in sorted(used_fields):
+        axioms.extend(reachability_axioms(field_name, has_tree))
+    if used_arith:
+        axioms.extend(parse_formula(a) for a in _ARITH_AXIOMS)
+
+    clausifier = Clausifier(max_clauses=max_clauses)
+    clauses: List[Clause] = []
+    for formula in axioms + formulas:
+        try:
+            clauses.extend(clausifier.clausify(formula))
+        except ClausificationError:
+            # An assumption that cannot be clausified is simply dropped (sound).
+            continue
+    # The goal is negated for refutation; failure to clausify it is fatal for
+    # this prover (but only means "unknown", never unsoundness).
+    clauses.extend(clausifier.clausify(F.Not(goal_formula)))
+    return Translation(
+        clauses=clauses,
+        used_reachability=bool(used_fields),
+        used_arithmetic=used_arith,
+    )

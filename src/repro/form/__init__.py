@@ -1,0 +1,59 @@
+"""Higher-order logic formulas (Isabelle/HOL-style) used throughout Jahob.
+
+Public entry points:
+
+* :func:`repro.form.parse` — parse the ASCII/mathematical concrete syntax;
+* :func:`repro.form.to_str` — pretty-print a term back to that syntax;
+* :mod:`repro.form.ast` — the term constructors;
+* :func:`repro.form.check_formula` — type checking / inference;
+* :mod:`repro.form.rewrite` — the approximation rewrites of Section 5.3.
+"""
+
+from . import ast
+from .ast import (  # noqa: F401
+    And,
+    App,
+    BoolLit,
+    Eq,
+    FALSE,
+    Iff,
+    Implies,
+    IntLit,
+    Ite,
+    Lambda,
+    Not,
+    Old,
+    Or,
+    Quant,
+    SetCompr,
+    TRUE,
+    Term,
+    TupleTerm,
+    Var,
+)
+from .parser import ParseError, parse_formula as parse  # noqa: F401
+from .printer import to_str  # noqa: F401
+from .subst import alpha_equal, beta_reduce, free_vars, substitute  # noqa: F401
+from .typecheck import TypeEnv, check_formula, infer_type, standard_env  # noqa: F401
+from .types import BOOL, INT, OBJ, Type, parse_type  # noqa: F401
+
+__all__ = [
+    "ast",
+    "parse",
+    "to_str",
+    "ParseError",
+    "Term",
+    "free_vars",
+    "substitute",
+    "beta_reduce",
+    "alpha_equal",
+    "check_formula",
+    "infer_type",
+    "TypeEnv",
+    "standard_env",
+    "BOOL",
+    "INT",
+    "OBJ",
+    "Type",
+    "parse_type",
+]

@@ -1,0 +1,176 @@
+"""Pretty-printer for Jahob formulas (inverse of :mod:`repro.form.parser`)."""
+
+from __future__ import annotations
+
+from .ast import (
+    And,
+    App,
+    BoolLit,
+    Eq,
+    Iff,
+    Implies,
+    IntLit,
+    Ite,
+    Lambda,
+    Not,
+    Old,
+    Or,
+    Quant,
+    SetCompr,
+    Term,
+    TupleTerm,
+    Var,
+    is_app_of,
+)
+
+# Precedence levels; larger binds tighter.
+_PREC_IFF = 1
+_PREC_IMPLIES = 2
+_PREC_OR = 3
+_PREC_AND = 4
+_PREC_NOT = 5
+_PREC_CMP = 6
+_PREC_SET = 7
+_PREC_ADD = 8
+_PREC_MUL = 9
+_PREC_APP = 11
+_PREC_POSTFIX = 12
+_PREC_ATOM = 13
+
+_INFIX = {
+    "union": (" Un ", _PREC_SET),
+    "inter": (" Int ", _PREC_SET),
+    "plus": (" + ", _PREC_ADD),
+    "minus": (" - ", _PREC_ADD),
+    "setdiff": (" - ", _PREC_ADD),
+    "times": (" * ", _PREC_MUL),
+    "div": (" div ", _PREC_MUL),
+    "mod": (" mod ", _PREC_MUL),
+    "lt": (" < ", _PREC_CMP),
+    "lte": (" <= ", _PREC_CMP),
+    "gt": (" > ", _PREC_CMP),
+    "gte": (" >= ", _PREC_CMP),
+    "elem": (" : ", _PREC_CMP),
+    "subseteq": (" subseteq ", _PREC_CMP),
+}
+
+
+def to_str(term: Term) -> str:
+    """Render ``term`` in the ASCII concrete syntax accepted by the parser."""
+    return _pp(term, 0)
+
+
+def _paren(text: str, inner: int, outer: int) -> str:
+    if inner < outer:
+        return "(" + text + ")"
+    return text
+
+
+def _params_str(params) -> str:
+    parts = []
+    for name, typ in params:
+        if typ is None:
+            parts.append(name)
+        else:
+            parts.append(f"({name}::{typ})")
+    return " ".join(parts)
+
+
+def _collect_insert_chain(term: Term):
+    """If term is insert a (insert b (... emptyset)), return the items."""
+    items = []
+    while is_app_of(term, "insert") and len(term.args) == 2:
+        items.append(term.args[0])
+        term = term.args[1]
+    if isinstance(term, Var) and term.name == "emptyset":
+        return items
+    return None
+
+
+def _pp(term: Term, outer: int) -> str:
+    if isinstance(term, Var):
+        if term.name == "emptyset":
+            return "{}"
+        return term.name
+    if isinstance(term, IntLit):
+        return str(term.value) if term.value >= 0 else f"(-{-term.value})"
+    if isinstance(term, BoolLit):
+        return "True" if term.value else "False"
+    if isinstance(term, Not):
+        if isinstance(term.arg, Eq):
+            text = f"{_pp(term.arg.lhs, _PREC_CMP + 1)} ~= {_pp(term.arg.rhs, _PREC_CMP + 1)}"
+            return _paren(text, _PREC_CMP, outer)
+        if is_app_of(term.arg, "elem"):
+            x, s = term.arg.args
+            text = f"{_pp(x, _PREC_CMP + 1)} ~: {_pp(s, _PREC_CMP + 1)}"
+            return _paren(text, _PREC_CMP, outer)
+        return _paren("~" + _pp(term.arg, _PREC_NOT), _PREC_NOT, outer)
+    if isinstance(term, And):
+        text = " & ".join(_pp(a, _PREC_AND + 1) for a in term.args)
+        return _paren(text, _PREC_AND, outer)
+    if isinstance(term, Or):
+        text = " | ".join(_pp(a, _PREC_OR + 1) for a in term.args)
+        return _paren(text, _PREC_OR, outer)
+    if isinstance(term, Implies):
+        text = f"{_pp(term.lhs, _PREC_IMPLIES + 1)} --> {_pp(term.rhs, _PREC_IMPLIES)}"
+        return _paren(text, _PREC_IMPLIES, outer)
+    if isinstance(term, Iff):
+        text = f"{_pp(term.lhs, _PREC_IFF + 1)} <-> {_pp(term.rhs, _PREC_IFF + 1)}"
+        return _paren(text, _PREC_IFF, outer)
+    if isinstance(term, Eq):
+        text = f"{_pp(term.lhs, _PREC_CMP + 1)} = {_pp(term.rhs, _PREC_CMP + 1)}"
+        return _paren(text, _PREC_CMP, outer)
+    if isinstance(term, Ite):
+        text = (
+            f"ite ({_pp(term.cond, 0)}) ({_pp(term.then, 0)}) ({_pp(term.els, 0)})"
+        )
+        return _paren(text, _PREC_APP, outer)
+    if isinstance(term, Old):
+        return _paren("old " + _pp(term.term, _PREC_ATOM), _PREC_APP, outer)
+    if isinstance(term, Quant):
+        kind = "ALL" if term.kind == "ALL" else "EX"
+        text = f"{kind} {_params_str(term.params)}. {_pp(term.body, 0)}"
+        return "(" + text + ")" if outer > 0 else text
+    if isinstance(term, Lambda):
+        text = f"% {_params_str(term.params)}. {_pp(term.body, 0)}"
+        return "(" + text + ")" if outer > 0 else text
+    if isinstance(term, SetCompr):
+        if len(term.params) == 1:
+            binder = term.params[0][0]
+        else:
+            binder = "(" + ", ".join(name for name, _ in term.params) + ")"
+        return "{" + binder + ". " + _pp(term.body, 0) + "}"
+    if isinstance(term, TupleTerm):
+        return "(" + ", ".join(_pp(i, 0) for i in term.items) + ")"
+    if isinstance(term, App):
+        return _pp_app(term, outer)
+    raise TypeError(f"unknown term node: {term!r}")
+
+
+def _pp_app(term: App, outer: int) -> str:
+    func = term.func
+    args = term.args
+    if isinstance(func, Var):
+        name = func.name
+        chain = _collect_insert_chain(term)
+        if chain is not None:
+            return "{" + ", ".join(_pp(i, 0) for i in chain) + "}"
+        if name in _INFIX and len(args) == 2:
+            symbol, prec = _INFIX[name]
+            text = f"{_pp(args[0], prec + 1)}{symbol}{_pp(args[1], prec + 1)}"
+            return _paren(text, prec, outer)
+        if name == "rtrancl" and len(args) == 1:
+            return _pp(args[0], _PREC_ATOM) + "^*"
+        if name == "trancl" and len(args) == 1:
+            return _pp(args[0], _PREC_ATOM) + "^+"
+        if name == "uminus" and len(args) == 1:
+            return _paren("-" + _pp(args[0], _PREC_MUL), _PREC_MUL, outer)
+        if name == "tree" and len(args) == 1:
+            return "tree [" + _pp(args[0], 0) + "]"
+        if name == "tree2" and len(args) == 2:
+            return "tree [" + _pp(args[0], 0) + ", " + _pp(args[1], 0) + "]"
+        # Field dereference sugar: (f x) with a single object argument prints
+        # as an application; x..f is only used on parse, both are accepted.
+    head = _pp(func, _PREC_ATOM)
+    parts = [head] + [_pp(a, _PREC_ATOM) for a in args]
+    return _paren(" ".join(parts), _PREC_APP, outer)

@@ -1,0 +1,438 @@
+"""Rewriting passes shared by the formula-approximation layer and provers.
+
+The paper (Section 5.3) describes the rewrites Jahob applies before handing a
+sequent to a specialised prover: substituting definitions of values,
+performing beta reduction, flattening expressions, expressing set operations
+using first-order quantification, and rewriting equalities over complex
+types.  This module implements those passes over the HOL AST.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from . import ast as F
+from .ast import Term
+from .subst import beta_reduce, fresh_name, free_vars, substitute
+
+
+# ---------------------------------------------------------------------------
+# Generic bottom-up rewriting
+# ---------------------------------------------------------------------------
+
+
+def map_subterms(term: Term, fn) -> Term:
+    """Rebuild ``term`` by applying ``fn`` bottom-up to every node."""
+    if isinstance(term, (F.Var, F.IntLit, F.BoolLit)):
+        return fn(term)
+    if isinstance(term, F.App):
+        new = F.App(map_subterms(term.func, fn), tuple(map_subterms(a, fn) for a in term.args))
+        return fn(new)
+    if isinstance(term, F.Lambda):
+        return fn(F.Lambda(term.params, map_subterms(term.body, fn)))
+    if isinstance(term, F.Quant):
+        return fn(F.Quant(term.kind, term.params, map_subterms(term.body, fn)))
+    if isinstance(term, F.SetCompr):
+        return fn(F.SetCompr(term.params, map_subterms(term.body, fn)))
+    if isinstance(term, F.TupleTerm):
+        return fn(F.TupleTerm(tuple(map_subterms(i, fn) for i in term.items)))
+    if isinstance(term, F.Old):
+        return fn(F.Old(map_subterms(term.term, fn)))
+    if isinstance(term, F.Not):
+        return fn(F.Not(map_subterms(term.arg, fn)))
+    if isinstance(term, F.And):
+        return fn(F.And(tuple(map_subterms(a, fn) for a in term.args)))
+    if isinstance(term, F.Or):
+        return fn(F.Or(tuple(map_subterms(a, fn) for a in term.args)))
+    if isinstance(term, F.Implies):
+        return fn(F.Implies(map_subterms(term.lhs, fn), map_subterms(term.rhs, fn)))
+    if isinstance(term, F.Iff):
+        return fn(F.Iff(map_subterms(term.lhs, fn), map_subterms(term.rhs, fn)))
+    if isinstance(term, F.Eq):
+        return fn(F.Eq(map_subterms(term.lhs, fn), map_subterms(term.rhs, fn)))
+    if isinstance(term, F.Ite):
+        return fn(
+            F.Ite(
+                map_subterms(term.cond, fn),
+                map_subterms(term.then, fn),
+                map_subterms(term.els, fn),
+            )
+        )
+    raise TypeError(f"unknown term node {term!r}")
+
+
+# ---------------------------------------------------------------------------
+# Boolean simplification
+# ---------------------------------------------------------------------------
+
+
+def simplify(term: Term) -> Term:
+    """Inexpensive validity-preserving simplification.
+
+    Performs constant folding of the connectives, flattening of nested
+    conjunctions/disjunctions, elimination of double negation and of trivial
+    (dis)equalities, and evaluation of ground integer comparisons.
+    """
+    return map_subterms(term, _simplify_node)
+
+
+_ARITH_EVAL = {
+    "plus": lambda a, b: a + b,
+    "minus": lambda a, b: a - b,
+    "times": lambda a, b: a * b,
+}
+_CMP_EVAL = {
+    "lt": lambda a, b: a < b,
+    "lte": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "gte": lambda a, b: a >= b,
+}
+
+
+def _simplify_node(term: Term) -> Term:
+    if isinstance(term, F.Quant) and isinstance(term.body, F.BoolLit):
+        return term.body
+    if isinstance(term, F.Not):
+        return F.mk_not(term.arg)
+    if isinstance(term, F.And):
+        return F.mk_and(term.args)
+    if isinstance(term, F.Or):
+        return F.mk_or(term.args)
+    if isinstance(term, F.Implies):
+        if isinstance(term.rhs, F.BoolLit) and not term.rhs.value:
+            return F.mk_not(term.lhs)
+        return F.mk_implies(term.lhs, term.rhs)
+    if isinstance(term, F.Iff):
+        return F.mk_iff(term.lhs, term.rhs)
+    if isinstance(term, F.Eq):
+        if isinstance(term.lhs, F.IntLit) and isinstance(term.rhs, F.IntLit):
+            return F.BoolLit(term.lhs.value == term.rhs.value)
+        # Equality at the boolean sort is an equivalence; unwrap constants.
+        formula_like = (F.And, F.Or, F.Not, F.Implies, F.Iff, F.Eq, F.Quant, F.BoolLit)
+        if isinstance(term.lhs, F.BoolLit):
+            return term.rhs if term.lhs.value else F.mk_not(term.rhs)
+        if isinstance(term.rhs, F.BoolLit):
+            return term.lhs if term.rhs.value else F.mk_not(term.lhs)
+        if isinstance(term.lhs, formula_like) or isinstance(term.rhs, formula_like):
+            return F.mk_iff(term.lhs, term.rhs)
+        return F.mk_eq(term.lhs, term.rhs)
+    if isinstance(term, F.Ite):
+        if isinstance(term.cond, F.BoolLit):
+            return term.then if term.cond.value else term.els
+        if term.then == term.els:
+            return term.then
+        return term
+    if isinstance(term, F.App) and isinstance(term.func, F.Var):
+        name = term.func.name
+        args = term.args
+        if name in _ARITH_EVAL and len(args) == 2:
+            if isinstance(args[0], F.IntLit) and isinstance(args[1], F.IntLit):
+                return F.IntLit(_ARITH_EVAL[name](args[0].value, args[1].value))
+            if name == "plus" and isinstance(args[1], F.IntLit) and args[1].value == 0:
+                return args[0]
+            if name == "minus" and isinstance(args[1], F.IntLit) and args[1].value == 0:
+                return args[0]
+        if name in _CMP_EVAL and len(args) == 2:
+            if isinstance(args[0], F.IntLit) and isinstance(args[1], F.IntLit):
+                return F.BoolLit(_CMP_EVAL[name](args[0].value, args[1].value))
+        if name == "union" and len(args) == 2:
+            if isinstance(args[0], F.Var) and args[0].name == "emptyset":
+                return args[1]
+            if isinstance(args[1], F.Var) and args[1].name == "emptyset":
+                return args[0]
+        if name == "inter" and len(args) == 2:
+            if args[0] == args[1]:
+                return args[0]
+        if name == "elem" and len(args) == 2:
+            if isinstance(args[1], F.Var) and args[1].name == "emptyset":
+                return F.FALSE
+    return term
+
+
+# ---------------------------------------------------------------------------
+# Negation normal form
+# ---------------------------------------------------------------------------
+
+
+def nnf(term: Term, positive: bool = True) -> Term:
+    """Negation normal form; also eliminates ``Implies`` and ``Iff``."""
+    if isinstance(term, F.Not):
+        return nnf(term.arg, not positive)
+    if isinstance(term, F.And):
+        parts = tuple(nnf(a, positive) for a in term.args)
+        return F.mk_and(parts) if positive else F.mk_or(parts)
+    if isinstance(term, F.Or):
+        parts = tuple(nnf(a, positive) for a in term.args)
+        return F.mk_or(parts) if positive else F.mk_and(parts)
+    if isinstance(term, F.Implies):
+        if positive:
+            return F.mk_or((nnf(term.lhs, False), nnf(term.rhs, True)))
+        return F.mk_and((nnf(term.lhs, True), nnf(term.rhs, False)))
+    if isinstance(term, F.Iff):
+        a_pos, b_pos = nnf(term.lhs, True), nnf(term.rhs, True)
+        a_neg, b_neg = nnf(term.lhs, False), nnf(term.rhs, False)
+        if positive:
+            return F.mk_and((F.mk_or((a_neg, b_pos)), F.mk_or((b_neg, a_pos))))
+        return F.mk_or((F.mk_and((a_pos, b_neg)), F.mk_and((b_pos, a_neg))))
+    if isinstance(term, F.Quant):
+        body = nnf(term.body, positive)
+        if positive:
+            return F.Quant(term.kind, term.params, body)
+        flipped = "EX" if term.kind == "ALL" else "ALL"
+        return F.Quant(flipped, term.params, body)
+    if isinstance(term, F.BoolLit):
+        return term if positive else F.BoolLit(not term.value)
+    if positive:
+        return term
+    return F.Not(term)
+
+
+# ---------------------------------------------------------------------------
+# Structure-exposing rewrites
+# ---------------------------------------------------------------------------
+
+
+def eliminate_ite(term: Term) -> Term:
+    """Lift ``Ite`` nodes out of formulas by case splitting.
+
+    A boolean ``Ite`` in formula position becomes
+    ``(c & t) | (~c & e)``; an ``Ite`` in *term* position inside an atom A
+    lifts to ``(c & A[then]) | (~c & A[else])``.  Both are equivalences, so
+    the rewrite is sound in either polarity.  The rewrite is iterated until
+    no ``Ite`` remains (each step removes one).
+    """
+    for _ in range(200):
+        rewritten, changed = _lift_one_ite(term)
+        if not changed:
+            return rewritten
+        term = rewritten
+    return term
+
+
+def _find_ite(term: Term) -> Optional[F.Ite]:
+    for sub in F.subterms(term):
+        if isinstance(sub, F.Ite):
+            return sub
+    return None
+
+
+def _replace_node(term: Term, target: Term, replacement: Term) -> Term:
+    def rewrite(node: Term) -> Term:
+        return replacement if node == target else node
+
+    return map_subterms(term, rewrite)
+
+
+def _lift_one_ite(formula: Term, ) -> Tuple[Term, bool]:
+    """Lift a single Ite occurrence, walking the logical structure."""
+    if isinstance(formula, F.Ite):
+        return (
+            F.mk_or(
+                (
+                    F.mk_and((formula.cond, formula.then)),
+                    F.mk_and((F.mk_not(formula.cond), formula.els)),
+                )
+            ),
+            True,
+        )
+    if isinstance(formula, F.Not):
+        inner, changed = _lift_one_ite(formula.arg)
+        return (F.Not(inner), changed) if changed else (formula, False)
+    if isinstance(formula, (F.And, F.Or)):
+        new_args = []
+        changed = False
+        for arg in formula.args:
+            if changed:
+                new_args.append(arg)
+                continue
+            new_arg, ch = _lift_one_ite(arg)
+            new_args.append(new_arg)
+            changed = changed or ch
+        if not changed:
+            return formula, False
+        cls = type(formula)
+        return cls(tuple(new_args)), True
+    if isinstance(formula, (F.Implies, F.Iff)):
+        lhs, ch1 = _lift_one_ite(formula.lhs)
+        if ch1:
+            return type(formula)(lhs, formula.rhs), True
+        rhs, ch2 = _lift_one_ite(formula.rhs)
+        if ch2:
+            return type(formula)(formula.lhs, rhs), True
+        if isinstance(formula, F.Iff):
+            return formula, False
+        return formula, False
+    if isinstance(formula, (F.Quant,)):
+        body, changed = _lift_one_ite(formula.body)
+        return (F.Quant(formula.kind, formula.params, body), changed) if changed else (formula, False)
+    # Atom: look for an Ite buried in term position.
+    ite = _find_ite(formula)
+    if ite is None:
+        return formula, False
+    then_version = _replace_node(formula, ite, ite.then)
+    else_version = _replace_node(formula, ite, ite.els)
+    return (
+        F.mk_or(
+            (
+                F.mk_and((ite.cond, then_version)),
+                F.mk_and((F.mk_not(ite.cond), else_version)),
+            )
+        ),
+        True,
+    )
+
+
+def expand_field_writes(term: Term) -> Term:
+    """Rewrite reads of functional updates: ``(fieldWrite f x v) y``.
+
+    The read becomes ``v`` when ``y`` is syntactically ``x`` and an ``Ite``
+    otherwise.  This is the key flattening rewrite that lets ground provers
+    reason about heap updates without the theory of arrays.
+    """
+
+    def rewrite(node: Term) -> Term:
+        if isinstance(node, F.App) and F.is_app_of(node.func, "fieldWrite"):
+            f, x, v = node.func.args
+            if len(node.args) == 1:
+                y = node.args[0]
+                if y == x:
+                    return v
+                return F.Ite(F.Eq(y, x), v, F.App(f, (y,)))
+        if isinstance(node, F.App) and F.is_app_of(node.func, "arrayWrite"):
+            arr, a, i, v = node.func.args
+            if len(node.args) == 2:
+                b, j = node.args
+                cond = F.mk_and((F.Eq(b, a), F.Eq(j, i)))
+                return F.Ite(cond, v, F.App(arr, (b, j)))
+        return node
+
+    previous = None
+    current = term
+    # Iterate to a fixed point: expanding one write can expose another.
+    for _ in range(50):
+        if current == previous:
+            break
+        previous = current
+        current = map_subterms(current, rewrite)
+    return current
+
+
+def expand_set_literals(term: Term) -> Term:
+    """Rewrite membership and equality over finite set literals and unions.
+
+    ``x : A Un B``          becomes ``x : A | x : B``
+    ``x : A Int B``         becomes ``x : A & x : B``
+    ``x : A - B``           becomes ``x : A & ~(x : B)``
+    ``x : insert a S``      becomes ``x = a | x : S``
+    ``x : {y. P}``          becomes ``P[y := x]``
+    ``x : emptyset``        becomes ``False``
+    ``A subseteq B``        becomes ``ALL x. x : A --> x : B``
+    """
+
+    def rewrite(node: Term) -> Term:
+        if F.is_app_of(node, "elem") and len(node.args) == 2:
+            x, s = node.args
+            return _expand_membership(x, s)
+        if F.is_app_of(node, "subseteq") and len(node.args) == 2:
+            a, b = node.args
+            var_name = fresh_name("x", free_vars(a) | free_vars(b))
+            v = F.Var(var_name)
+            body = F.mk_implies(_expand_membership(v, a), _expand_membership(v, b))
+            return F.Quant("ALL", ((var_name, None),), body)
+        return node
+
+    previous = None
+    current = term
+    for _ in range(50):
+        if current == previous:
+            break
+        previous = current
+        current = map_subterms(current, rewrite)
+    return current
+
+
+def _expand_membership(x: Term, s: Term) -> Term:
+    if isinstance(s, F.Var) and s.name == "emptyset":
+        return F.FALSE
+    if isinstance(s, F.Var) and s.name == "univ":
+        return F.TRUE
+    if F.is_app_of(s, "insert") and len(s.args) == 2:
+        return F.mk_or((F.mk_eq(x, s.args[0]), _expand_membership(x, s.args[1])))
+    if F.is_app_of(s, "union") and len(s.args) == 2:
+        return F.mk_or((_expand_membership(x, s.args[0]), _expand_membership(x, s.args[1])))
+    if F.is_app_of(s, "inter") and len(s.args) == 2:
+        return F.mk_and((_expand_membership(x, s.args[0]), _expand_membership(x, s.args[1])))
+    if (F.is_app_of(s, "setdiff") or F.is_app_of(s, "minus")) and len(s.args) == 2:
+        # A membership test forces the overloaded '-' to mean set difference.
+        return F.mk_and(
+            (_expand_membership(x, s.args[0]), F.mk_not(_expand_membership(x, s.args[1])))
+        )
+    if isinstance(s, F.SetCompr):
+        if len(s.params) == 1:
+            return substitute(s.body, {s.params[0][0]: x})
+        if isinstance(x, F.TupleTerm) and len(x.items) == len(s.params):
+            mapping = {p[0]: item for p, item in zip(s.params, x.items)}
+            return substitute(s.body, mapping)
+    return F.app("elem", x, s)
+
+
+def expand_set_equalities(term: Term, set_vars: Optional[Set[str]] = None) -> Term:
+    """Rewrite equalities between set-valued terms into universal formulas.
+
+    ``A = B`` becomes ``ALL x. (x : A) <-> (x : B)`` when either side is a
+    syntactically recognisable set expression (a set operation, a
+    comprehension, the empty set, or one of the names in ``set_vars``).
+    This is the paper's "rewriting equalities over complex types".
+    """
+    set_vars = set_vars or set()
+
+    def is_set_expr(t: Term) -> bool:
+        if isinstance(t, F.SetCompr):
+            return True
+        if isinstance(t, F.Var) and (t.name in set_vars or t.name == "emptyset"):
+            return True
+        if isinstance(t, F.Old):
+            return is_set_expr(t.term)
+        if isinstance(t, F.App) and isinstance(t.func, F.Var):
+            if t.func.name in ("union", "inter", "setdiff", "insert"):
+                return True
+            if t.func.name in set_vars:
+                return True
+        return False
+
+    def rewrite(node: Term) -> Term:
+        if isinstance(node, F.Eq) and (is_set_expr(node.lhs) or is_set_expr(node.rhs)):
+            used = free_vars(node.lhs) | free_vars(node.rhs)
+            var_name = fresh_name("e", used)
+            v = F.Var(var_name)
+            body = F.Iff(
+                _expand_membership(v, node.lhs), _expand_membership(v, node.rhs)
+            )
+            return F.Quant("ALL", ((var_name, None),), body)
+        return node
+
+    return map_subterms(term, rewrite)
+
+
+def unfold_definitions(term: Term, definitions: Dict[str, Term]) -> Term:
+    """Substitute defined specification variables by their definitions.
+
+    ``definitions`` maps variable names to their defining terms; definitions
+    must be acyclic (Section 3.2).  The substitution is iterated until no
+    defined variable remains, then beta-reduced.
+    """
+    current = term
+    for _ in range(len(definitions) + 1):
+        names = free_vars(current) & set(definitions)
+        if not names:
+            break
+        current = substitute(current, {n: definitions[n] for n in names})
+    return beta_reduce(current)
+
+
+def flatten(term: Term) -> Term:
+    """The standard pre-prover pipeline: beta reduce, expand writes, simplify."""
+    term = beta_reduce(term)
+    term = expand_field_writes(term)
+    term = simplify(term)
+    return term

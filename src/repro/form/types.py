@@ -1,0 +1,276 @@
+"""Simple types for the Jahob higher-order logic.
+
+The paper (Section 3.1) uses Isabelle/HOL's simple type system with ground
+types ``bool``, ``int`` and ``obj``, and type constructors ``=>`` (total
+functions), ``*`` (tuples) and ``set``.  This module provides exactly that
+type language, plus type variables so that built-in operators (equality,
+membership, set union, ...) can be given polymorphic signatures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+
+class Type:
+    """Base class of all HOL types."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return str(self)
+
+
+@dataclass(frozen=True)
+class TBase(Type):
+    """A ground type: ``bool``, ``int`` or ``obj``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class TVar(Type):
+    """A type variable, used for polymorphic built-in operators."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return "'" + self.name
+
+
+@dataclass(frozen=True)
+class TFun(Type):
+    """The total function type ``arg => res``."""
+
+    arg: Type
+    res: Type
+
+    def __str__(self) -> str:
+        return f"({self.arg} => {self.res})"
+
+
+@dataclass(frozen=True)
+class TTuple(Type):
+    """The product type ``t1 * t2 * ... * tn`` (n >= 2)."""
+
+    items: Tuple[Type, ...]
+
+    def __str__(self) -> str:
+        return "(" + " * ".join(str(t) for t in self.items) + ")"
+
+
+@dataclass(frozen=True)
+class TSet(Type):
+    """The type of sets of elements of type ``elem``."""
+
+    elem: Type
+
+    def __str__(self) -> str:
+        return f"({self.elem} set)"
+
+
+#: The three ground types of the logic.
+BOOL = TBase("bool")
+INT = TBase("int")
+OBJ = TBase("obj")
+
+#: Commonly used composite types.
+OBJ_SET = TSet(OBJ)
+OBJ_PAIR_SET = TSet(TTuple((OBJ, OBJ)))
+OBJ_FIELD = TFun(OBJ, OBJ)
+INT_FIELD = TFun(OBJ, INT)
+OBJ_RELATION = TFun(OBJ, TFun(OBJ, BOOL))
+ARRAY_STATE = TFun(OBJ, TFun(INT, OBJ))
+
+
+def fun_type(args, res: Type) -> Type:
+    """Build the curried function type ``a1 => a2 => ... => res``."""
+    result = res
+    for arg in reversed(list(args)):
+        result = TFun(arg, result)
+    return result
+
+
+def strip_fun(typ: Type) -> Tuple[Tuple[Type, ...], Type]:
+    """Decompose a curried function type into (argument types, result type)."""
+    args = []
+    while isinstance(typ, TFun):
+        args.append(typ.arg)
+        typ = typ.res
+    return tuple(args), typ
+
+
+def type_vars(typ: Type) -> Iterator[str]:
+    """Yield the names of type variables occurring in ``typ``."""
+    if isinstance(typ, TVar):
+        yield typ.name
+    elif isinstance(typ, TFun):
+        yield from type_vars(typ.arg)
+        yield from type_vars(typ.res)
+    elif isinstance(typ, TTuple):
+        for item in typ.items:
+            yield from type_vars(item)
+    elif isinstance(typ, TSet):
+        yield from type_vars(typ.elem)
+
+
+def subst_type(typ: Type, mapping: Dict[str, Type]) -> Type:
+    """Apply a type-variable substitution to ``typ``."""
+    if isinstance(typ, TVar):
+        return mapping.get(typ.name, typ)
+    if isinstance(typ, TFun):
+        return TFun(subst_type(typ.arg, mapping), subst_type(typ.res, mapping))
+    if isinstance(typ, TTuple):
+        return TTuple(tuple(subst_type(t, mapping) for t in typ.items))
+    if isinstance(typ, TSet):
+        return TSet(subst_type(typ.elem, mapping))
+    return typ
+
+
+class UnificationError(Exception):
+    """Raised when two types cannot be unified."""
+
+
+def _occurs(name: str, typ: Type) -> bool:
+    return name in set(type_vars(typ))
+
+
+def unify(t1: Type, t2: Type, mapping: Optional[Dict[str, Type]] = None) -> Dict[str, Type]:
+    """Unify two types, extending and returning the substitution ``mapping``.
+
+    The substitution maps type-variable names to types.  Raises
+    :class:`UnificationError` when the types are incompatible.
+    """
+    if mapping is None:
+        mapping = {}
+    t1 = subst_type(t1, mapping)
+    t2 = subst_type(t2, mapping)
+    if t1 == t2:
+        return mapping
+    if isinstance(t1, TVar):
+        if _occurs(t1.name, t2):
+            raise UnificationError(f"occurs check failed: {t1} in {t2}")
+        mapping[t1.name] = t2
+        # Normalise the rest of the substitution.
+        for key in list(mapping):
+            mapping[key] = subst_type(mapping[key], {t1.name: t2})
+        return mapping
+    if isinstance(t2, TVar):
+        return unify(t2, t1, mapping)
+    if isinstance(t1, TFun) and isinstance(t2, TFun):
+        mapping = unify(t1.arg, t2.arg, mapping)
+        return unify(t1.res, t2.res, mapping)
+    if isinstance(t1, TSet) and isinstance(t2, TSet):
+        return unify(t1.elem, t2.elem, mapping)
+    if isinstance(t1, TTuple) and isinstance(t2, TTuple) and len(t1.items) == len(t2.items):
+        for a, b in zip(t1.items, t2.items):
+            mapping = unify(a, b, mapping)
+        return mapping
+    raise UnificationError(f"cannot unify {t1} with {t2}")
+
+
+class TypeNameSupply:
+    """A supply of fresh type-variable names."""
+
+    def __init__(self, prefix: str = "t") -> None:
+        self._prefix = prefix
+        self._counter = 0
+
+    def fresh(self) -> TVar:
+        self._counter += 1
+        return TVar(f"{self._prefix}{self._counter}")
+
+
+def parse_type(text: str) -> Type:
+    """Parse a type written in ASCII Isabelle-like notation.
+
+    Supported syntax::
+
+        bool | int | obj | objset
+        T set | T1 => T2 | T1 * T2 | (T)
+
+    ``=>`` is right-associative and binds weaker than ``*``, which binds
+    weaker than the postfix ``set`` constructor.
+    """
+    tokens = _tokenize_type(text)
+    typ, pos = _parse_fun(tokens, 0)
+    if pos != len(tokens):
+        raise ValueError(f"trailing tokens in type {text!r}: {tokens[pos:]}")
+    return typ
+
+
+def _tokenize_type(text: str):
+    tokens = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("=>", i):
+            tokens.append("=>")
+            i += 2
+            continue
+        if ch in "()*":
+            tokens.append(ch)
+            i += 1
+            continue
+        if ch.isalpha() or ch == "_" or ch == "'":
+            j = i
+            while j < len(text) and (text[j].isalnum() or text[j] in "_'"):
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+            continue
+        raise ValueError(f"unexpected character {ch!r} in type {text!r}")
+    return tokens
+
+
+def _parse_fun(tokens, pos):
+    left, pos = _parse_tuple(tokens, pos)
+    if pos < len(tokens) and tokens[pos] == "=>":
+        right, pos = _parse_fun(tokens, pos + 1)
+        return TFun(left, right), pos
+    return left, pos
+
+
+def _parse_tuple(tokens, pos):
+    first, pos = _parse_postfix(tokens, pos)
+    items = [first]
+    while pos < len(tokens) and tokens[pos] == "*":
+        nxt, pos = _parse_postfix(tokens, pos + 1)
+        items.append(nxt)
+    if len(items) == 1:
+        return first, pos
+    return TTuple(tuple(items)), pos
+
+
+def _parse_postfix(tokens, pos):
+    base, pos = _parse_atom(tokens, pos)
+    while pos < len(tokens) and tokens[pos] == "set":
+        base = TSet(base)
+        pos += 1
+    return base, pos
+
+
+_ATOMS = {"bool": BOOL, "int": INT, "obj": OBJ, "objset": OBJ_SET, "nat": INT}
+
+
+def _parse_atom(tokens, pos):
+    if pos >= len(tokens):
+        raise ValueError("unexpected end of type")
+    tok = tokens[pos]
+    if tok == "(":
+        typ, pos = _parse_fun(tokens, pos + 1)
+        if pos >= len(tokens) or tokens[pos] != ")":
+            raise ValueError("missing ')' in type")
+        return typ, pos + 1
+    if tok in _ATOMS:
+        return _ATOMS[tok], pos + 1
+    if tok.startswith("'"):
+        return TVar(tok[1:]), pos + 1
+    # Unknown base types are treated as opaque ground types, which lets the
+    # specification writer introduce abstract sorts if desired.
+    return TBase(tok), pos + 1

@@ -1,0 +1,44 @@
+"""Guarded commands: AST, Java translation, desugaring and wlp."""
+
+from .commands import (  # noqa: F401
+    SKIP,
+    Assert,
+    Assign,
+    Assume,
+    Choice,
+    Command,
+    Desugarer,
+    Havoc,
+    If,
+    Loop,
+    Note,
+    Seq,
+    assigned_variables,
+    desugar,
+    seq,
+)
+from .translate import MethodTranslator, TranslationError, TranslationResult  # noqa: F401
+from .wlp import verification_condition, wlp  # noqa: F401
+
+__all__ = [
+    "Command",
+    "Assume",
+    "Assert",
+    "Assign",
+    "Havoc",
+    "Seq",
+    "Choice",
+    "If",
+    "Loop",
+    "Note",
+    "SKIP",
+    "seq",
+    "desugar",
+    "Desugarer",
+    "assigned_variables",
+    "MethodTranslator",
+    "TranslationError",
+    "TranslationResult",
+    "wlp",
+    "verification_condition",
+]

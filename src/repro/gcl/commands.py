@@ -1,0 +1,209 @@
+"""Extended and simple guarded commands (paper Figures 8, 9, 11 and 12).
+
+The *extended* language contains assignments, conditionals, loops with
+invariants, and the proof constructs (``note``, ``havoc ... suchThat``);
+``desugar`` lowers it to the *simple* language — ``assume``, ``assert``,
+``havoc``, choice and sequencing — following the translation rules of
+Figures 11 and 12.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..form import ast as F
+from ..form.subst import free_vars
+
+
+# -- command nodes (extended; the simple language is the subset marked below) -----
+
+
+class Command:
+    """Base class of guarded commands."""
+
+
+@dataclass
+class Assume(Command):  # simple
+    formula: F.Term
+    label: str = ""
+
+
+@dataclass
+class Assert(Command):  # simple
+    formula: F.Term
+    label: str = ""
+    hints: Tuple[str, ...] = ()
+
+
+@dataclass
+class Havoc(Command):  # simple
+    variables: Tuple[str, ...]
+    such_that: Optional[F.Term] = None  # extended only; None in the simple language
+
+
+@dataclass
+class Assign(Command):  # simple (kept primitive; see Desugarer.desugar)
+    variable: str
+    value: F.Term
+
+
+@dataclass
+class Seq(Command):  # simple
+    commands: Tuple[Command, ...]
+
+    def __post_init__(self) -> None:
+        flattened: List[Command] = []
+        for command in self.commands:
+            if isinstance(command, Seq):
+                flattened.extend(command.commands)
+            else:
+                flattened.append(command)
+        object.__setattr__(self, "commands", tuple(flattened))
+
+
+@dataclass
+class Choice(Command):  # simple
+    left: Command
+    right: Command
+
+
+@dataclass
+class If(Command):  # extended
+    condition: F.Term
+    then_branch: Command
+    else_branch: Command
+
+
+@dataclass
+class Loop(Command):  # extended
+    invariants: Tuple[Tuple[str, F.Term], ...]
+    condition: F.Term
+    body: Command
+
+
+@dataclass
+class Note(Command):  # extended: assert then assume
+    formula: F.Term
+    label: str = ""
+    hints: Tuple[str, ...] = ()
+
+
+SKIP = Seq(())
+
+
+def seq(*commands: Command) -> Command:
+    return Seq(tuple(commands))
+
+
+# -- assigned variables ------------------------------------------------------------
+
+
+def assigned_variables(command: Command) -> Set[str]:
+    """The state variables a command may modify (used for loop havoc, Fig 11)."""
+    if isinstance(command, (Assume, Assert, Note)):
+        return set()
+    if isinstance(command, Havoc):
+        return set(command.variables)
+    if isinstance(command, Assign):
+        return {command.variable}
+    if isinstance(command, Seq):
+        out: Set[str] = set()
+        for sub in command.commands:
+            out |= assigned_variables(sub)
+        return out
+    if isinstance(command, Choice):
+        return assigned_variables(command.left) | assigned_variables(command.right)
+    if isinstance(command, If):
+        return assigned_variables(command.then_branch) | assigned_variables(command.else_branch)
+    if isinstance(command, Loop):
+        return assigned_variables(command.body)
+    raise TypeError(f"unknown command {command!r}")
+
+
+# -- desugaring (Figures 11 and 12) ---------------------------------------------------
+
+
+class Desugarer:
+    """Lowers extended guarded commands to the simple language."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count(1)
+
+    def _fresh(self, base: str) -> str:
+        return f"{base}__{next(self._counter)}"
+
+    def desugar(self, command: Command) -> Command:
+        if isinstance(command, (Assume, Assert)):
+            return command
+        if isinstance(command, Havoc):
+            if command.such_that is None:
+                return command
+            # Fig 12: havoc x suchThat F  =  assert EX x. F ; havoc x ; assume F
+            params = tuple((name, None) for name in command.variables)
+            return seq(
+                Assert(F.mk_exists(params, command.such_that), label="havoc-feasible"),
+                Havoc(command.variables),
+                Assume(command.such_that, label="havoc"),
+            )
+        if isinstance(command, Assign):
+            # Assignments are kept primitive; the VC generator treats
+            # ``x := F`` as ``havoc x ; assume x = F@pre`` with the
+            # right-hand side evaluated in the pre-state (this is the
+            # single-assumption form of the Figure 11 encoding).
+            return command
+        if isinstance(command, Note):
+            # Fig 12: note F  =  assert F ; assume F
+            return seq(
+                Assert(command.formula, label=command.label, hints=command.hints),
+                Assume(command.formula, label=command.label),
+            )
+        if isinstance(command, Seq):
+            return Seq(tuple(self.desugar(sub) for sub in command.commands))
+        if isinstance(command, Choice):
+            return Choice(self.desugar(command.left), self.desugar(command.right))
+        if isinstance(command, If):
+            # Fig 11: if(F) c1 else c2  =  (assume F ; c1) [] (assume ~F ; c2)
+            return Choice(
+                Seq((Assume(command.condition, label="then"), self.desugar(command.then_branch))),
+                Seq((Assume(F.mk_not(command.condition), label="else"), self.desugar(command.else_branch))),
+            )
+        if isinstance(command, Loop):
+            # Fig 11: loop inv(I) while(F) body
+            #   assert I ; havoc (modified vars) ; assume I ;
+            #   ( assume ~F   []   assume F ; body ; assert I ; assume False )
+            body = self.desugar(command.body)
+            modified = tuple(sorted(assigned_variables(command.body)))
+            invariant_asserts = [
+                Assert(formula, label=f"loop-inv-initial:{name}") for name, formula in command.invariants
+            ]
+            invariant_assumes = [
+                Assume(formula, label=f"loop-inv:{name}") for name, formula in command.invariants
+            ]
+            invariant_preserved = [
+                Assert(formula, label=f"loop-inv-preserved:{name}")
+                for name, formula in command.invariants
+            ]
+            exit_branch = Assume(F.mk_not(command.condition), label="loop-exit")
+            iterate_branch = Seq(
+                tuple(
+                    [Assume(command.condition, label="loop-enter"), body]
+                    + invariant_preserved
+                    + [Assume(F.FALSE, label="loop-cut")]
+                )
+            )
+            return Seq(
+                tuple(
+                    invariant_asserts
+                    + ([Havoc(modified)] if modified else [])
+                    + invariant_assumes
+                    + [Choice(exit_branch, iterate_branch)]
+                )
+            )
+        raise TypeError(f"unknown command {command!r}")
+
+
+def desugar(command: Command) -> Command:
+    """Lower an extended guarded command to the simple language."""
+    return Desugarer().desugar(command)

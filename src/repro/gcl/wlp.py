@@ -1,0 +1,53 @@
+"""Weakest liberal preconditions for simple guarded commands (Figure 10).
+
+``wlp`` is the reference semantics: the verification condition of a method
+is ``wlp(command, True)``.  The production pipeline
+(:mod:`repro.vcgen.vcgen`) uses an equivalent path-based construction that
+keeps the assumption labels needed for reports and ``by`` hints, but this
+direct implementation is kept both as documentation and as an oracle for
+differential testing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Tuple
+
+from ..form import ast as F
+from ..form.subst import substitute
+from .commands import Assert, Assign, Assume, Choice, Command, Havoc, Seq
+
+_counter = itertools.count(1)
+
+
+def wlp(command: Command, post: F.Term) -> F.Term:
+    """The weakest liberal precondition of a simple guarded command."""
+    if isinstance(command, Assume):
+        return F.mk_implies(command.formula, post)
+    if isinstance(command, Assert):
+        return F.mk_and((command.formula, post))
+    if isinstance(command, Assign):
+        return substitute(post, {command.variable: command.value})
+    if isinstance(command, Havoc):
+        if command.such_that is not None:
+            raise ValueError("havoc ... suchThat must be desugared before wlp")
+        # ALL x. post — realised by renaming to fresh variables, which is
+        # equivalent for validity and keeps the formula quantifier-free at
+        # the top level (the splitter performs the same step, Figure 13).
+        renaming = {
+            name: F.Var(f"{name}#w{next(_counter)}") for name in command.variables
+        }
+        return substitute(post, renaming)
+    if isinstance(command, Seq):
+        result = post
+        for sub in reversed(command.commands):
+            result = wlp(sub, result)
+        return result
+    if isinstance(command, Choice):
+        return F.mk_and((wlp(command.left, post), wlp(command.right, post)))
+    raise TypeError(f"not a simple guarded command: {command!r}")
+
+
+def verification_condition(command: Command) -> F.Term:
+    """The verification condition of a simple guarded command: wlp(c, True)."""
+    return wlp(command, F.TRUE)

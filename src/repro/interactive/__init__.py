@@ -1,0 +1,7 @@
+"""Interactive proof kernel, lemma store and prover (Isabelle / Coq role)."""
+
+from .kernel import Kernel, ProofError, ProofScript, ProofState  # noqa: F401
+from .lemma_store import LemmaStore  # noqa: F401
+from .prover import InteractiveProver  # noqa: F401
+
+__all__ = ["Kernel", "ProofError", "ProofScript", "ProofState", "LemmaStore", "InteractiveProver"]

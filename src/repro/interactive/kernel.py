@@ -1,0 +1,193 @@
+"""A small proof kernel playing the role of the interactive provers (Isabelle/Coq).
+
+In the original system a handful of sequents per data structure are beyond
+all automated provers and are discharged interactively; the resulting proof
+scripts are stored and replayed on later verification runs (Section 6.6).
+
+This module reproduces that workflow with an LCF-style kernel: a *proof
+state* is a list of open goals (sequents); *tactics* transform the first
+goal into zero or more subgoals; a *script* is a list of tactic invocations.
+A script proves a sequent only if replaying it leaves no open goals, and
+every terminal step must be justified either syntactically or by one of the
+automated provers — scripts are checked, never trusted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..form import ast as F
+from ..form.parser import parse_formula
+from ..form.subst import substitute
+from ..vcgen.sequent import Labeled, Sequent
+
+
+class ProofError(Exception):
+    """Raised when a tactic cannot be applied to the current goal."""
+
+
+@dataclass
+class ProofState:
+    """The open goals of an interactive proof attempt."""
+
+    goals: List[Sequent]
+
+    @property
+    def finished(self) -> bool:
+        return not self.goals
+
+    def first(self) -> Sequent:
+        if not self.goals:
+            raise ProofError("no open goals")
+        return self.goals[0]
+
+    def replace_first(self, new_goals: Sequence[Sequent]) -> "ProofState":
+        return ProofState(list(new_goals) + self.goals[1:])
+
+
+#: A tactic step as written in a script: (tactic name, argument string).
+Step = Tuple[str, str]
+
+
+@dataclass
+class ProofScript:
+    """A named, replayable list of tactic applications."""
+
+    name: str
+    steps: List[Step] = field(default_factory=list)
+
+    def add(self, tactic: str, argument: str = "") -> "ProofScript":
+        self.steps.append((tactic, argument))
+        return self
+
+
+class Kernel:
+    """Applies tactics to proof states; closes goals only via checked steps."""
+
+    def __init__(self, automatic_provers: Optional[Sequence] = None) -> None:
+        # Provers usable by the `auto` tactic (imported lazily to avoid cycles).
+        if automatic_provers is None:
+            from ..provers.syntactic import SyntacticProver
+            from ..smt.prover import SmtProver
+            from ..fol.prover import FirstOrderProver
+
+            automatic_provers = [SyntacticProver(), SmtProver(timeout=3.0), FirstOrderProver(timeout=3.0)]
+        self.automatic_provers = list(automatic_provers)
+
+    # -- tactics ---------------------------------------------------------------
+
+    def apply(self, state: ProofState, tactic: str, argument: str = "") -> ProofState:
+        handler = getattr(self, f"tac_{tactic}", None)
+        if handler is None:
+            raise ProofError(f"unknown tactic {tactic!r}")
+        return handler(state, argument)
+
+    def tac_intro(self, state: ProofState, argument: str) -> ProofState:
+        """Move the antecedent of an implication goal into the assumptions,
+        or fix the variables of a universally quantified goal."""
+        goal_sequent = state.first()
+        goal = goal_sequent.goal.formula
+        if isinstance(goal, F.Implies):
+            new = Sequent(
+                assumptions=goal_sequent.assumptions + (Labeled(goal.lhs, ("intro",)),),
+                goal=Labeled(goal.rhs, goal_sequent.goal.labels),
+                origin=goal_sequent.origin,
+                env=goal_sequent.env,
+            )
+            return state.replace_first([new])
+        if isinstance(goal, F.Quant) and goal.kind == "ALL":
+            # pickAny: the bound variables become fresh free constants.
+            mapping = {name: F.Var(f"{name}_fixed") for name, _ in goal.params}
+            new_goal = substitute(goal.body, mapping)
+            new = Sequent(
+                assumptions=goal_sequent.assumptions,
+                goal=Labeled(new_goal, goal_sequent.goal.labels),
+                origin=goal_sequent.origin,
+                env=goal_sequent.env,
+            )
+            return state.replace_first([new])
+        raise ProofError("intro expects an implication or universal goal")
+
+    def tac_split(self, state: ProofState, argument: str) -> ProofState:
+        """Split a conjunction goal into one subgoal per conjunct."""
+        goal_sequent = state.first()
+        goal = goal_sequent.goal.formula
+        if not isinstance(goal, F.And):
+            raise ProofError("split expects a conjunction goal")
+        subgoals = [
+            Sequent(goal_sequent.assumptions, Labeled(conjunct, goal_sequent.goal.labels),
+                    origin=goal_sequent.origin, env=goal_sequent.env)
+            for conjunct in goal.args
+        ]
+        return state.replace_first(subgoals)
+
+    def tac_cases(self, state: ProofState, argument: str) -> ProofState:
+        """Case split on a formula F: prove the goal under F and under ~F."""
+        condition = parse_formula(argument)
+        goal_sequent = state.first()
+        with_f = goal_sequent.with_extra_assumptions([Labeled(condition, ("cases",))])
+        with_not_f = goal_sequent.with_extra_assumptions([Labeled(F.Not(condition), ("cases",))])
+        return state.replace_first([with_f, with_not_f])
+
+    def tac_have(self, state: ProofState, argument: str) -> ProofState:
+        """Introduce an intermediate lemma: one subgoal to prove it, and the
+        original goal gains it as an assumption (the `note` construct)."""
+        lemma = parse_formula(argument)
+        goal_sequent = state.first()
+        prove_lemma = Sequent(
+            goal_sequent.assumptions, Labeled(lemma, ("have",)),
+            origin=goal_sequent.origin, env=goal_sequent.env,
+        )
+        use_lemma = goal_sequent.with_extra_assumptions([Labeled(lemma, ("have",))])
+        return state.replace_first([prove_lemma, use_lemma])
+
+    def tac_instantiate(self, state: ProofState, argument: str) -> ProofState:
+        """Instantiate a universally quantified assumption: 'label: t1, t2'."""
+        goal_sequent = state.first()
+        label, _, terms_text = argument.partition(":")
+        label = label.strip()
+        terms = [parse_formula(t.strip()) for t in terms_text.split(",") if t.strip()]
+        for assumption in goal_sequent.assumptions:
+            formula = assumption.formula
+            if label in assumption.labels and isinstance(formula, F.Quant) and formula.kind == "ALL":
+                params = formula.params
+                if len(terms) != len(params):
+                    raise ProofError(f"expected {len(params)} instantiation terms")
+                mapping = {name: term for (name, _), term in zip(params, terms)}
+                instance = substitute(formula.body, mapping)
+                new = goal_sequent.with_extra_assumptions([Labeled(instance, (label + "_inst",))])
+                return state.replace_first([new])
+        raise ProofError(f"no universally quantified assumption labelled {label!r}")
+
+    def tac_auto(self, state: ProofState, argument: str) -> ProofState:
+        """Close the first goal with one of the automated provers."""
+        goal_sequent = state.first()
+        for prover in self.automatic_provers:
+            if argument and prover.name != argument:
+                continue
+            answer = prover.prove(goal_sequent)
+            if answer.proved:
+                return state.replace_first([])
+        raise ProofError("auto failed to close the goal")
+
+    def tac_assumption(self, state: ProofState, argument: str) -> ProofState:
+        """Close the goal when it literally matches an assumption."""
+        from ..provers.syntactic import SyntacticProver
+
+        answer = SyntacticProver().prove(state.first())
+        if answer.proved:
+            return state.replace_first([])
+        raise ProofError("goal is not among the assumptions")
+
+    # -- script replay -----------------------------------------------------------
+
+    def replay(self, sequent: Sequent, script: ProofScript) -> bool:
+        """Replay a script on a sequent; True iff it closes every goal."""
+        state = ProofState([sequent])
+        try:
+            for tactic, argument in script.steps:
+                state = self.apply(state, tactic, argument)
+        except ProofError:
+            return False
+        return state.finished

@@ -1,0 +1,64 @@
+"""Persistent store of interactively proven lemmas and their scripts.
+
+Jahob saves interactive proofs to files and "loads this file in future
+verification attempts and treats such proven lemmas as true" (Section 6.6).
+Here the store maps a sequent *fingerprint* (or a goal fingerprint) to a
+proof script; the script is replayed — and therefore re-checked by the
+kernel — every time, so a stale or wrong script can never make the system
+unsound: it simply fails to prove.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..vcgen.sequent import Sequent
+from .kernel import Kernel, ProofScript
+
+
+@dataclass
+class LemmaStore:
+    """An in-memory (optionally file-backed) collection of proof scripts."""
+
+    scripts: Dict[str, ProofScript] = field(default_factory=dict)
+
+    # -- population --------------------------------------------------------------
+
+    def add(self, fingerprint: str, script: ProofScript) -> None:
+        self.scripts[fingerprint] = script
+
+    def add_for(self, sequent: Sequent, script: ProofScript) -> None:
+        self.add(sequent.fingerprint(), script)
+
+    def lookup(self, sequent: Sequent) -> Optional[ProofScript]:
+        script = self.scripts.get(sequent.fingerprint())
+        if script is not None:
+            return script
+        return self.scripts.get(sequent.goal_fingerprint())
+
+    # -- persistence --------------------------------------------------------------
+
+    def save(self, path: Path) -> None:
+        payload = {
+            fingerprint: {"name": script.name, "steps": script.steps}
+            for fingerprint, script in self.scripts.items()
+        }
+        Path(path).write_text(json.dumps(payload, indent=2))
+
+    @classmethod
+    def load(cls, path: Path) -> "LemmaStore":
+        store = cls()
+        data = json.loads(Path(path).read_text())
+        for fingerprint, entry in data.items():
+            script = ProofScript(entry["name"], [tuple(step) for step in entry["steps"]])
+            store.add(fingerprint, script)
+        return store
+
+
+DEFAULT_SCRIPT = ProofScript(
+    "default-interactive",
+    [("intro", ""), ("auto", "")],
+)

@@ -1,0 +1,78 @@
+"""The interactive prover interface (the Isabelle / Coq role in Figure 1).
+
+When a sequent reaches this prover, the dispatcher has exhausted the
+automated portfolio.  Two sources of proofs are tried:
+
+1. a script from the lemma store (a previously "interactively" written
+   proof for exactly this sequent or this goal), replayed through the
+   kernel;
+2. a configurable default script (``intro*; auto``) that mimics invoking the
+   general-purpose automation of an interactive prover on the goal — this is
+   the analogue of Jahob calling Isabelle's ``auto`` tactic automatically.
+
+Both paths go through the kernel, so nothing is ever assumed without a
+checked proof.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..form import ast as F
+from ..provers.base import Prover, ProverAnswer, Verdict
+from ..vcgen.sequent import Sequent
+from .kernel import Kernel, ProofScript, ProofState
+from .lemma_store import LemmaStore
+
+
+class InteractiveProver(Prover):
+    """Replays stored proof scripts and a default semi-automatic script."""
+
+    name = "interactive"
+
+    def __init__(
+        self,
+        store: Optional[LemmaStore] = None,
+        timeout: float = 10.0,
+        use_default_script: bool = True,
+        kernel: Optional[Kernel] = None,
+    ) -> None:
+        super().__init__(timeout=timeout)
+        self.store = store or LemmaStore()
+        self.kernel = kernel or Kernel()
+        self.use_default_script = use_default_script
+
+    def attempt(self, sequent: Sequent) -> ProverAnswer:
+        script = self.store.lookup(sequent)
+        if script is not None and self.kernel.replay(sequent, script):
+            return ProverAnswer(
+                Verdict.PROVED, self.name, detail=f"replayed stored script {script.name!r}"
+            )
+        if self.use_default_script:
+            default = self._default_script(sequent)
+            if self.kernel.replay(sequent, default):
+                return ProverAnswer(
+                    Verdict.PROVED, self.name, detail="default intro/split/auto script"
+                )
+        return ProverAnswer(Verdict.UNKNOWN, self.name, detail="no applicable proof script")
+
+    def _default_script(self, sequent: Sequent) -> ProofScript:
+        """A small heuristic script: peel binders/implications, split, auto."""
+        script = ProofScript("default")
+        goal = sequent.goal.formula
+        for _ in range(4):
+            if isinstance(goal, F.Quant) and goal.kind == "ALL":
+                script.add("intro")
+                goal = goal.body
+            elif isinstance(goal, F.Implies):
+                script.add("intro")
+                goal = goal.rhs
+            else:
+                break
+        if isinstance(goal, F.And):
+            script.add("split")
+            for _ in goal.args:
+                script.add("auto")
+        else:
+            script.add("auto")
+        return script

@@ -1,0 +1,19 @@
+"""Mini-Java frontend: lexer, AST, parser and resolver."""
+
+from . import ast  # noqa: F401
+from .lexer import JavaSyntaxError, tokenize  # noqa: F401
+from .parser import JavaParser, parse_java  # noqa: F401
+from .resolver import FieldInfo, MethodInfo, Program, parse_program, resolve  # noqa: F401
+
+__all__ = [
+    "ast",
+    "tokenize",
+    "JavaSyntaxError",
+    "JavaParser",
+    "parse_java",
+    "resolve",
+    "parse_program",
+    "Program",
+    "FieldInfo",
+    "MethodInfo",
+]

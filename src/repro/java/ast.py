@@ -1,0 +1,195 @@
+"""Abstract syntax of the mini-Java subset (declarations, statements, expressions).
+
+The subset follows the paper's examples: classes with (possibly static)
+fields, methods with bodies made of local variable declarations,
+assignments (including field and array assignments), conditionals, loops
+with invariants, returns, and object/array allocation.  Dynamic dispatch,
+exceptions and class loading are outside the subset, as in the paper
+(Section 1.7).  Specification comments are carried through as raw text and
+interpreted by :mod:`repro.spec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+# -- expressions ----------------------------------------------------------------
+
+
+class Expr:
+    """Base class of expressions."""
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int
+
+
+@dataclass
+class BoolLiteral(Expr):
+    value: bool
+
+
+@dataclass
+class NullLiteral(Expr):
+    pass
+
+
+@dataclass
+class VarRef(Expr):
+    name: str
+
+
+@dataclass
+class FieldAccess(Expr):
+    target: Expr
+    field: str
+
+
+@dataclass
+class ArrayAccess(Expr):
+    array: Expr
+    index: Expr
+
+
+@dataclass
+class Unary(Expr):
+    op: str  # '!' or '-'
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str  # == != < <= > >= + - * / % && ||
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class NewObject(Expr):
+    class_name: str
+
+
+@dataclass
+class NewArray(Expr):
+    element_type: str
+    length: Expr
+
+
+@dataclass
+class Call(Expr):
+    """A (static or instance) method call; the receiver may be None."""
+
+    receiver: Optional[Expr]
+    method: str
+    args: List[Expr]
+
+
+# -- statements -------------------------------------------------------------------
+
+
+class Stmt:
+    """Base class of statements."""
+
+
+@dataclass
+class LocalDecl(Stmt):
+    type_name: str
+    name: str
+    init: Optional[Expr]
+    line: int = 0
+
+
+@dataclass
+class Assign(Stmt):
+    target: Expr  # VarRef, FieldAccess or ArrayAccess
+    value: Expr
+    line: int = 0
+
+
+@dataclass
+class If(Stmt):
+    condition: Expr
+    then_branch: "Block"
+    else_branch: Optional["Block"]
+    line: int = 0
+
+
+@dataclass
+class While(Stmt):
+    condition: Expr
+    body: "Block"
+    invariants: List[str] = field(default_factory=list)  # raw spec text
+    line: int = 0
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr]
+    line: int = 0
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+    line: int = 0
+
+
+@dataclass
+class SpecStmt(Stmt):
+    """A specification statement (raw text of a //: or /*: ... */ comment)."""
+
+    text: str
+    line: int = 0
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+# -- declarations ------------------------------------------------------------------
+
+
+@dataclass
+class FieldDecl:
+    name: str
+    type_name: str
+    is_static: bool
+    visibility: str = "private"
+    line: int = 0
+
+
+@dataclass
+class MethodDecl:
+    name: str
+    return_type: str
+    params: List[Tuple[str, str]]  # (type, name)
+    body: Optional[Block]
+    contract_text: str = ""  # raw spec comment between signature and body
+    is_static: bool = False
+    visibility: str = "public"
+    line: int = 0
+
+
+@dataclass
+class ClassDecl:
+    name: str
+    fields: List[FieldDecl] = field(default_factory=list)
+    methods: List[MethodDecl] = field(default_factory=list)
+    spec_blocks: List[str] = field(default_factory=list)  # class-level spec comments
+    claimed_by: Optional[str] = None
+    line: int = 0
+
+
+@dataclass
+class CompilationUnit:
+    classes: List[ClassDecl] = field(default_factory=list)
+
+    def class_named(self, name: str) -> ClassDecl:
+        for cls in self.classes:
+            if cls.name == name:
+                return cls
+        raise KeyError(f"no class named {name!r}")

@@ -1,0 +1,118 @@
+"""Lexer for the mini-Java subset accepted by the frontend.
+
+Jahob works on Java sources in which specifications appear inside special
+comments ``/*: ... */`` and ``//: ...`` (Section 2.1), so that standard Java
+compilers ignore them.  The lexer therefore produces, besides the ordinary
+Java tokens, ``spec`` tokens whose value is the raw text of a specification
+comment; the specification parser (:mod:`repro.spec.specparse`) interprets
+that text later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+class JavaSyntaxError(Exception):
+    """Raised on malformed input, with line information."""
+
+
+@dataclass
+class JToken:
+    kind: str  # 'ident', 'int', 'string', 'symbol', 'keyword', 'spec'
+    value: str
+    line: int
+
+
+KEYWORDS = {
+    "class", "public", "private", "protected", "static", "final", "void",
+    "int", "boolean", "if", "else", "while", "return", "new", "null", "true",
+    "false", "this", "extends", "implements", "import", "package",
+}
+
+SYMBOLS = [
+    "==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=", "-=",
+    "{", "}", "(", ")", "[", "]", ";", ",", ".", "=", "<", ">", "+", "-",
+    "*", "/", "%", "!", "&", "|",
+]
+
+
+def tokenize(source: str) -> List[JToken]:
+    tokens: List[JToken] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        # Specification comments.
+        if source.startswith("/*:", i):
+            end = source.find("*/", i + 3)
+            if end < 0:
+                raise JavaSyntaxError(f"unterminated specification comment at line {line}")
+            text = source[i + 3: end]
+            tokens.append(JToken("spec", text.strip(), line))
+            line += text.count("\n")
+            i = end + 2
+            continue
+        if source.startswith("//:", i):
+            end = source.find("\n", i)
+            if end < 0:
+                end = n
+            tokens.append(JToken("spec", source[i + 3: end].strip(), line))
+            i = end
+            continue
+        # Ordinary comments.
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise JavaSyntaxError(f"unterminated comment at line {line}")
+            line += source[i:end].count("\n")
+            i = end + 2
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            tokens.append(JToken("int", source[i:j], line))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(JToken(kind, word, line))
+            i = j
+            continue
+        if ch == '"':
+            j = i + 1
+            while j < n and source[j] != '"':
+                j += 1
+            if j >= n:
+                raise JavaSyntaxError(f"unterminated string literal at line {line}")
+            tokens.append(JToken("string", source[i + 1: j], line))
+            i = j + 1
+            continue
+        matched = False
+        for symbol in SYMBOLS:
+            if source.startswith(symbol, i):
+                tokens.append(JToken("symbol", symbol, line))
+                i += len(symbol)
+                matched = True
+                break
+        if not matched:
+            raise JavaSyntaxError(f"unexpected character {ch!r} at line {line}")
+    return tokens

@@ -1,0 +1,171 @@
+"""Name resolution and construction of the heap model (paper Section 4.1).
+
+The resolver turns a parsed compilation unit into a :class:`Program`:
+
+* every class ``C`` becomes a set constant ``C :: obj set``;
+* every *instance* field ``f`` becomes a function variable ``f :: obj => T``;
+* every *static* field becomes a global variable of its type;
+* specification variables get the types written in their declarations;
+* defined specification variables (``vardefs``) are parsed into terms;
+* class invariants and method contracts are parsed into formulas.
+
+Qualified names in formulas (``Node.next``, ``List.next``) are normalised to
+the plain field name, which is unambiguous in this subset (the suite keeps
+field names unique across a compilation unit, as the paper's examples do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..form import ast as F
+from ..form.parser import parse_formula
+from ..form.rewrite import map_subterms
+from ..form.typecheck import TypeEnv, standard_env
+from ..form.types import BOOL, INT, OBJ, OBJ_SET, TFun, TSet, Type, fun_type, parse_type
+from ..spec import ClassSpec, MethodContract, parse_class_spec, parse_contract
+from . import ast as J
+
+
+def java_type_to_hol(type_name: str) -> Type:
+    if type_name == "int":
+        return INT
+    if type_name == "boolean":
+        return BOOL
+    return OBJ
+
+
+@dataclass
+class FieldInfo:
+    name: str
+    owner: str
+    is_static: bool
+    value_type: Type
+
+    @property
+    def hol_type(self) -> Type:
+        if self.is_static:
+            return self.value_type
+        return TFun(OBJ, self.value_type)
+
+
+@dataclass
+class MethodInfo:
+    owner: str
+    decl: J.MethodDecl
+    contract: MethodContract
+
+    @property
+    def name(self) -> str:
+        return self.decl.name
+
+
+@dataclass
+class Program:
+    """The resolved program: declarations plus the logical environment."""
+
+    unit: J.CompilationUnit
+    env: TypeEnv
+    fields: Dict[str, FieldInfo] = field(default_factory=dict)
+    specvar_types: Dict[str, Type] = field(default_factory=dict)
+    specvar_inits: Dict[str, F.Term] = field(default_factory=dict)
+    ghost_vars: Set[str] = field(default_factory=set)
+    definitions: Dict[str, F.Term] = field(default_factory=dict)
+    invariants: List[Tuple[str, F.Term]] = field(default_factory=list)
+    public_specvars: List[str] = field(default_factory=list)
+    methods: Dict[Tuple[str, str], MethodInfo] = field(default_factory=dict)
+    class_names: Set[str] = field(default_factory=set)
+
+    # -- queries -----------------------------------------------------------------
+
+    def state_variables(self) -> Set[str]:
+        """All global state variables a method could modify."""
+        names = set(self.fields) | set(self.specvar_types) | {"alloc", "arrayState"}
+        return names
+
+    def method(self, class_name: str, method_name: str) -> MethodInfo:
+        key = (class_name, method_name)
+        if key not in self.methods:
+            raise KeyError(f"unknown method {class_name}.{method_name}")
+        return self.methods[key]
+
+    def methods_of(self, class_name: str) -> List[MethodInfo]:
+        return [info for (owner, _), info in self.methods.items() if owner == class_name]
+
+    def normalise(self, formula: F.Term) -> F.Term:
+        """Strip class qualifiers from field references in a formula."""
+
+        def rewrite(node: F.Term) -> F.Term:
+            if isinstance(node, F.Var) and "." in node.name:
+                qualifier, _, simple = node.name.partition(".")
+                if qualifier in self.class_names and (
+                    simple in self.fields or simple in self.specvar_types
+                ):
+                    return F.Var(simple)
+            return node
+
+        return map_subterms(formula, rewrite)
+
+    def parse(self, text: str) -> F.Term:
+        """Parse and normalise a specification formula."""
+        return self.normalise(parse_formula(text))
+
+
+def _spec_type(type_text: str) -> Type:
+    type_text = type_text.strip()
+    if type_text == "objset":
+        return OBJ_SET
+    return parse_type(type_text)
+
+
+def resolve(unit: J.CompilationUnit) -> Program:
+    """Resolve a compilation unit into a :class:`Program`."""
+    env = standard_env()
+    program = Program(unit=unit, env=env)
+
+    # Classes as sets of objects.
+    for cls in unit.classes:
+        program.class_names.add(cls.name)
+        env.bind(cls.name, TSet(OBJ))
+
+    # Fields.
+    for cls in unit.classes:
+        for fld in cls.fields:
+            value_type = java_type_to_hol(fld.type_name)
+            info = FieldInfo(fld.name, cls.name, fld.is_static, value_type)
+            program.fields[fld.name] = info
+            env.bind(fld.name, info.hol_type)
+
+    # Class-level specifications.
+    for cls in unit.classes:
+        spec: ClassSpec = parse_class_spec(cls.spec_blocks)
+        for specvar in spec.specvars:
+            hol_type = _spec_type(specvar.type_text)
+            program.specvar_types[specvar.name] = hol_type
+            env.bind(specvar.name, hol_type)
+            if specvar.is_ghost:
+                program.ghost_vars.add(specvar.name)
+            if specvar.is_public:
+                program.public_specvars.append(specvar.name)
+            if specvar.init_text:
+                program.specvar_inits[specvar.name] = program.parse(specvar.init_text)
+        for vardef in spec.vardefs:
+            program.definitions[vardef.name] = program.parse(vardef.definition_text)
+        for invariant in spec.invariants:
+            program.invariants.append((invariant.name, program.parse(invariant.formula_text)))
+
+    # Methods and contracts.
+    for cls in unit.classes:
+        for method in cls.methods:
+            contract = parse_contract(method.contract_text)
+            program.methods[(cls.name, method.name)] = MethodInfo(cls.name, method, contract)
+
+    return program
+
+
+def parse_program(source: str) -> Program:
+    """Parse and resolve mini-Java source text in one step."""
+    from .parser import parse_java
+
+    return resolve(parse_java(source))

@@ -1,0 +1,498 @@
+"""WS1S: weak monadic second-order logic of one successor.
+
+This module provides the formula language and the classic formula-to-
+automaton compilation that underlies MONA.  First-order variables denote
+natural numbers (positions), second-order variables denote *finite* sets of
+naturals; the automaton of a formula accepts exactly the words that encode
+satisfying valuations (one bit track per variable, bit ``i`` of track ``X``
+meaning ``i ∈ X``).
+
+The decision procedure is complete for WS1S: a formula is valid iff the
+automaton of its negation (conjoined with the singleton well-formedness
+constraints of its free first-order variables) accepts no word.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .automata import DFA, constant, from_predicate
+
+
+class WS1SFormula:
+    """Base class of WS1S formulas."""
+
+    def free_vars(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    # Convenience connective builders.
+    def __and__(self, other: "WS1SFormula") -> "WS1SFormula":
+        return AndW((self, other))
+
+    def __or__(self, other: "WS1SFormula") -> "WS1SFormula":
+        return OrW((self, other))
+
+    def __invert__(self) -> "WS1SFormula":
+        return NotW(self)
+
+
+# -- atoms -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TrueW(WS1SFormula):
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class FalseW(WS1SFormula):
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class InW(WS1SFormula):
+    """``element : collection`` — first-order position in second-order set."""
+
+    element: str
+    collection: str
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset({self.element, self.collection})
+
+
+@dataclass(frozen=True)
+class EqPosW(WS1SFormula):
+    """Equality of two first-order variables."""
+
+    left: str
+    right: str
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset({self.left, self.right})
+
+
+@dataclass(frozen=True)
+class SuccW(WS1SFormula):
+    """``right = left + 1``."""
+
+    left: str
+    right: str
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset({self.left, self.right})
+
+
+@dataclass(frozen=True)
+class LessW(WS1SFormula):
+    """``left < right`` on positions."""
+
+    left: str
+    right: str
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset({self.left, self.right})
+
+
+@dataclass(frozen=True)
+class SubsetW(WS1SFormula):
+    left: str
+    right: str
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset({self.left, self.right})
+
+
+@dataclass(frozen=True)
+class SetEqW(WS1SFormula):
+    left: str
+    right: str
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset({self.left, self.right})
+
+
+@dataclass(frozen=True)
+class EmptyW(WS1SFormula):
+    collection: str
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset({self.collection})
+
+
+@dataclass(frozen=True)
+class SingletonW(WS1SFormula):
+    collection: str
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset({self.collection})
+
+
+@dataclass(frozen=True)
+class FirstW(WS1SFormula):
+    """``position = 0``."""
+
+    position: str
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset({self.position})
+
+
+# -- connectives and quantifiers ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class NotW(WS1SFormula):
+    arg: WS1SFormula
+
+    def free_vars(self) -> FrozenSet[str]:
+        return self.arg.free_vars()
+
+
+@dataclass(frozen=True)
+class AndW(WS1SFormula):
+    args: Tuple[WS1SFormula, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(self.args))
+
+    def free_vars(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for arg in self.args:
+            out |= arg.free_vars()
+        return out
+
+
+@dataclass(frozen=True)
+class OrW(WS1SFormula):
+    args: Tuple[WS1SFormula, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(self.args))
+
+    def free_vars(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for arg in self.args:
+            out |= arg.free_vars()
+        return out
+
+
+@dataclass(frozen=True)
+class ImpliesW(WS1SFormula):
+    lhs: WS1SFormula
+    rhs: WS1SFormula
+
+    def free_vars(self) -> FrozenSet[str]:
+        return self.lhs.free_vars() | self.rhs.free_vars()
+
+
+@dataclass(frozen=True)
+class IffW(WS1SFormula):
+    lhs: WS1SFormula
+    rhs: WS1SFormula
+
+    def free_vars(self) -> FrozenSet[str]:
+        return self.lhs.free_vars() | self.rhs.free_vars()
+
+
+@dataclass(frozen=True)
+class Exists1W(WS1SFormula):
+    """First-order existential quantification (over positions)."""
+
+    var: str
+    body: WS1SFormula
+
+    def free_vars(self) -> FrozenSet[str]:
+        return self.body.free_vars() - {self.var}
+
+
+@dataclass(frozen=True)
+class Exists2W(WS1SFormula):
+    """Second-order existential quantification (over finite sets)."""
+
+    var: str
+    body: WS1SFormula
+
+    def free_vars(self) -> FrozenSet[str]:
+        return self.body.free_vars() - {self.var}
+
+
+def forall1(var: str, body: WS1SFormula) -> WS1SFormula:
+    return NotW(Exists1W(var, NotW(body)))
+
+
+def forall2(var: str, body: WS1SFormula) -> WS1SFormula:
+    return NotW(Exists2W(var, NotW(body)))
+
+
+# -- compilation ----------------------------------------------------------------
+
+
+class CompilationLimit(Exception):
+    """Raised when the automaton construction exceeds the configured limits."""
+
+
+class Compiler:
+    """Compiles WS1S formulas into minimal DFAs."""
+
+    def __init__(self, max_states: int = 20000, max_tracks: int = 14) -> None:
+        self.max_states = max_states
+        self.max_tracks = max_tracks
+
+    # .. atoms ..................................................................
+
+    def _atom_in(self, element: str, collection: str) -> DFA:
+        tracks = tuple(sorted({element, collection}))
+        e = tracks.index(element)
+        c = tracks.index(collection)
+
+        def delta(state, letter):
+            if state == 0:
+                if letter[e] == 1 and letter[c] == 1:
+                    return 1
+                if letter[e] == 1:
+                    return 2
+                return 0
+            return state
+
+        return from_predicate(tracks, 3, 0, {1}, delta)
+
+    def _atom_eq(self, left: str, right: str) -> DFA:
+        if left == right:
+            return constant(True, ())
+        tracks = tuple(sorted({left, right}))
+        a = tracks.index(left)
+        b = tracks.index(right)
+
+        def delta(state, letter):
+            if state == 0:
+                if letter[a] == 1 and letter[b] == 1:
+                    return 1
+                if letter[a] == 1 or letter[b] == 1:
+                    return 2
+                return 0
+            return state
+
+        return from_predicate(tracks, 3, 0, {1}, delta)
+
+    def _atom_succ(self, left: str, right: str) -> DFA:
+        tracks = tuple(sorted({left, right}))
+        a = tracks.index(left)
+        b = tracks.index(right)
+
+        def delta(state, letter):
+            if state == 0:
+                if letter[a] == 1 and letter[b] == 1:
+                    return 3
+                if letter[a] == 1:
+                    return 1
+                if letter[b] == 1:
+                    return 3
+                return 0
+            if state == 1:
+                return 2 if letter[b] == 1 else 3
+            return state
+
+        return from_predicate(tracks, 4, 0, {2}, delta)
+
+    def _atom_less(self, left: str, right: str) -> DFA:
+        if left == right:
+            return constant(False, ())
+        tracks = tuple(sorted({left, right}))
+        a = tracks.index(left)
+        b = tracks.index(right)
+
+        def delta(state, letter):
+            if state == 0:
+                if letter[a] == 1 and letter[b] == 1:
+                    return 3
+                if letter[b] == 1:
+                    return 3
+                if letter[a] == 1:
+                    return 1
+                return 0
+            if state == 1:
+                return 2 if letter[b] == 1 else 1
+            return state
+
+        return from_predicate(tracks, 4, 0, {2}, delta)
+
+    def _atom_subset(self, left: str, right: str) -> DFA:
+        if left == right:
+            return constant(True, ())
+        tracks = tuple(sorted({left, right}))
+        a = tracks.index(left)
+        b = tracks.index(right)
+
+        def delta(state, letter):
+            if state == 0 and letter[a] == 1 and letter[b] == 0:
+                return 1
+            return state
+
+        return from_predicate(tracks, 2, 0, {0}, delta)
+
+    def _atom_seteq(self, left: str, right: str) -> DFA:
+        if left == right:
+            return constant(True, ())
+        tracks = tuple(sorted({left, right}))
+        a = tracks.index(left)
+        b = tracks.index(right)
+
+        def delta(state, letter):
+            if state == 0 and letter[a] != letter[b]:
+                return 1
+            return state
+
+        return from_predicate(tracks, 2, 0, {0}, delta)
+
+    def _atom_empty(self, collection: str) -> DFA:
+        tracks = (collection,)
+
+        def delta(state, letter):
+            if state == 0 and letter[0] == 1:
+                return 1
+            return state
+
+        return from_predicate(tracks, 2, 0, {0}, delta)
+
+    def _atom_singleton(self, collection: str) -> DFA:
+        tracks = (collection,)
+
+        def delta(state, letter):
+            if letter[0] == 1:
+                return state + 1 if state < 2 else 2
+            return state
+
+        return from_predicate(tracks, 3, 0, {1}, delta)
+
+    def _atom_first(self, position: str) -> DFA:
+        tracks = (position,)
+
+        def delta(state, letter):
+            if state == 0:
+                return 1 if letter[0] == 1 else 2
+            return state
+
+        return from_predicate(tracks, 3, 0, {1}, delta)
+
+    # .. structure ................................................................
+
+    def compile(self, formula: WS1SFormula) -> DFA:
+        dfa = self._compile(formula)
+        return dfa.minimize()
+
+    def _check(self, dfa: DFA) -> DFA:
+        if dfa.num_states > self.max_states:
+            raise CompilationLimit(f"automaton has {dfa.num_states} states")
+        if len(dfa.tracks) > self.max_tracks:
+            raise CompilationLimit(f"automaton has {len(dfa.tracks)} tracks")
+        return dfa
+
+    def _binary(self, left: DFA, right: DFA, mode: str) -> DFA:
+        tracks = tuple(sorted(set(left.tracks) | set(right.tracks)))
+        if len(tracks) > self.max_tracks:
+            raise CompilationLimit(f"{len(tracks)} tracks in product")
+        left = left.cylindrify(tracks)
+        right = right.cylindrify(tracks)
+        return self._check(left.product(right, mode).minimize())
+
+    def _compile(self, formula: WS1SFormula) -> DFA:
+        if isinstance(formula, TrueW):
+            return constant(True, ())
+        if isinstance(formula, FalseW):
+            return constant(False, ())
+        if isinstance(formula, InW):
+            return self._atom_in(formula.element, formula.collection)
+        if isinstance(formula, EqPosW):
+            return self._atom_eq(formula.left, formula.right)
+        if isinstance(formula, SuccW):
+            return self._atom_succ(formula.left, formula.right)
+        if isinstance(formula, LessW):
+            return self._atom_less(formula.left, formula.right)
+        if isinstance(formula, SubsetW):
+            return self._atom_subset(formula.left, formula.right)
+        if isinstance(formula, SetEqW):
+            return self._atom_seteq(formula.left, formula.right)
+        if isinstance(formula, EmptyW):
+            return self._atom_empty(formula.collection)
+        if isinstance(formula, SingletonW):
+            return self._atom_singleton(formula.collection)
+        if isinstance(formula, FirstW):
+            return self._atom_first(formula.position)
+        if isinstance(formula, NotW):
+            return self._compile(formula.arg).complement()
+        if isinstance(formula, AndW):
+            result = constant(True, ())
+            for arg in formula.args:
+                result = self._binary(result, self._compile(arg), "and")
+            return result
+        if isinstance(formula, OrW):
+            result = constant(False, ())
+            for arg in formula.args:
+                result = self._binary(result, self._compile(arg), "or")
+            return result
+        if isinstance(formula, ImpliesW):
+            return self._binary(self._compile(formula.lhs).complement(), self._compile(formula.rhs), "or")
+        if isinstance(formula, IffW):
+            left = self._compile(formula.lhs)
+            right = self._compile(formula.rhs)
+            both = self._binary(left, right, "and")
+            neither = self._binary(left.complement(), right.complement(), "and")
+            return self._binary(both, neither, "or")
+        if isinstance(formula, Exists1W):
+            body = self._binary(self._compile(formula.body), self._atom_singleton(formula.var), "and")
+            if formula.var not in body.tracks:
+                return body
+            return self._check(body.project(formula.var).minimize())
+        if isinstance(formula, Exists2W):
+            body = self._compile(formula.body)
+            if formula.var not in body.tracks:
+                return body
+            return self._check(body.project(formula.var).minimize())
+        raise TypeError(f"unknown WS1S formula {formula!r}")
+
+
+def is_valid(
+    formula: WS1SFormula,
+    first_order_vars: Iterable[str] = (),
+    compiler: Optional[Compiler] = None,
+) -> bool:
+    """Validity of a WS1S formula (free variables implicitly universal).
+
+    ``first_order_vars`` names the free variables that denote positions; the
+    singleton well-formedness constraint is added for them.  All other free
+    variables are treated as second-order (finite sets), which needs no
+    constraint.
+    """
+    compiler = compiler or Compiler()
+    negated: WS1SFormula = NotW(formula)
+    for var in first_order_vars:
+        if var in formula.free_vars():
+            negated = AndW((negated, SingletonW(var)))
+    automaton = compiler.compile(negated)
+    return automaton.is_empty()
+
+
+def counterexample(
+    formula: WS1SFormula,
+    first_order_vars: Iterable[str] = (),
+    compiler: Optional[Compiler] = None,
+) -> Optional[Dict[str, Set[int]]]:
+    """A falsifying valuation of ``formula`` or None when it is valid."""
+    compiler = compiler or Compiler()
+    negated: WS1SFormula = NotW(formula)
+    for var in first_order_vars:
+        if var in formula.free_vars():
+            negated = AndW((negated, SingletonW(var)))
+    automaton = compiler.compile(negated)
+    word = automaton.find_accepted_word()
+    if word is None:
+        return None
+    valuation: Dict[str, Set[int]] = {track: set() for track in automaton.tracks}
+    for position, letter in enumerate(word):
+        for track, bit in zip(automaton.tracks, letter):
+            if bit:
+                valuation[track].add(position)
+    return valuation

@@ -1,0 +1,6 @@
+"""Prover interface, formula approximation and the dispatcher."""
+
+from .base import Prover, ProverAnswer, ProverStats, Verdict, registry  # noqa: F401
+from .syntactic import SyntacticProver  # noqa: F401
+
+__all__ = ["Prover", "ProverAnswer", "ProverStats", "Verdict", "registry", "SyntacticProver"]

@@ -1,0 +1,200 @@
+"""Formula approximation (paper Section 5.3, Figure 14).
+
+Specialised provers accept only a fragment of higher-order logic.  To use
+them soundly on arbitrary sequents, Jahob replaces each unsupported atom by
+a *stronger* formula: ``False`` when the atom occurs positively and ``True``
+when it occurs negatively.  The resulting formula logically implies the
+original, so proving it proves the original.
+
+Before approximating, the standard rewrites are applied: substituting
+specification-variable definitions, beta reduction, expansion of field
+updates, expansion of set operations into first-order form, and elimination
+of ``if-then-else``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set
+
+from ..form import ast as F
+from ..form.rewrite import (
+    eliminate_ite,
+    expand_field_writes,
+    expand_set_equalities,
+    expand_set_literals,
+    flatten,
+    simplify,
+    unfold_definitions,
+)
+from ..form.subst import beta_reduce
+from ..vcgen.sequent import Labeled, Sequent
+
+#: An atom predicate: returns True when the prover can handle the atom.
+AtomFilter = Callable[[F.Term], bool]
+
+
+def approximate(term: F.Term, supported: AtomFilter, positive: bool = True) -> F.Term:
+    """The polarity-directed approximation alpha of Figure 14.
+
+    Returns a formula at least as strong as ``term`` in which every atom not
+    accepted by ``supported`` has been replaced by ``False`` (positive
+    occurrences) or ``True`` (negative occurrences).
+    """
+    return _approx(term, supported, positive)
+
+
+def _approx(term: F.Term, supported: AtomFilter, pos: bool) -> F.Term:
+    if isinstance(term, F.BoolLit):
+        return term
+    if isinstance(term, F.Not):
+        return F.mk_not(_approx(term.arg, supported, not pos))
+    if isinstance(term, F.And):
+        return F.mk_and(tuple(_approx(a, supported, pos) for a in term.args))
+    if isinstance(term, F.Or):
+        return F.mk_or(tuple(_approx(a, supported, pos) for a in term.args))
+    if isinstance(term, F.Implies):
+        return F.mk_implies(
+            _approx(term.lhs, supported, not pos), _approx(term.rhs, supported, pos)
+        )
+    if isinstance(term, F.Iff):
+        # An equivalence mixes polarities; approximate via the two implications.
+        expanded = F.mk_and(
+            (F.Implies(term.lhs, term.rhs), F.Implies(term.rhs, term.lhs))
+        )
+        approximated = _approx(expanded, supported, pos)
+        if approximated == expanded:
+            return term
+        return approximated
+    if isinstance(term, F.Quant):
+        body = _approx(term.body, supported, pos)
+        return F.Quant(term.kind, term.params, body)
+    # Atom.
+    if supported(term):
+        return term
+    return F.FALSE if pos else F.TRUE
+
+
+def drop_unsupported_assumptions(sequent: Sequent, supported: AtomFilter) -> Sequent:
+    """Approximate every assumption (negative polarity) and the goal (positive).
+
+    Assumptions whose approximation collapses to ``True`` are removed
+    entirely — this is the paper's "eliminating assumptions not meaningful
+    for a given prover" (Section 2.2).
+    """
+    new_assumptions = []
+    for labeled in sequent.assumptions:
+        approximated = simplify(_approx(labeled.formula, supported, False))
+        if isinstance(approximated, F.BoolLit) and approximated.value:
+            continue
+        new_assumptions.append(Labeled(approximated, labeled.labels))
+    new_goal = Labeled(
+        simplify(_approx(sequent.goal.formula, supported, True)), sequent.goal.labels
+    )
+    return Sequent(
+        assumptions=tuple(new_assumptions),
+        goal=new_goal,
+        hints=sequent.hints,
+        origin=sequent.origin,
+        env=sequent.env,
+    )
+
+
+def standard_rewrites(term: F.Term, set_vars: Optional[Set[str]] = None) -> F.Term:
+    """The rewrite pipeline applied before every prover-specific translation."""
+    term = beta_reduce(term)
+    term = expand_field_writes(term)
+    term = eliminate_ite(term)
+    term = expand_set_equalities(term, set_vars or set())
+    term = expand_set_literals(term)
+    term = beta_reduce(term)
+    term = simplify(term)
+    return term
+
+
+def rewrite_sequent(sequent: Sequent, set_vars: Optional[Set[str]] = None) -> Sequent:
+    """Apply :func:`standard_rewrites` to every formula of a sequent."""
+    assumptions = tuple(
+        Labeled(standard_rewrites(a.formula, set_vars), a.labels)
+        for a in sequent.assumptions
+    )
+    goal = Labeled(standard_rewrites(sequent.goal.formula, set_vars), sequent.goal.labels)
+    return Sequent(
+        assumptions=assumptions,
+        goal=goal,
+        hints=sequent.hints,
+        origin=sequent.origin,
+        env=sequent.env,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Atom filters shared by prover interfaces
+# ---------------------------------------------------------------------------
+
+
+def relevant_assumptions(sequent: Sequent, rounds: int = 4, always_keep: int = 0) -> Sequent:
+    """Relevance-based assumption selection (paper Section 4.4).
+
+    Ignoring an assumption is always sound; Jahob drops assumptions that do
+    not constrain any symbol the goal (transitively) depends on.  Starting
+    from the free symbols of the goal, assumptions sharing a symbol are kept
+    and their symbols added, for a bounded number of rounds.
+    """
+    from ..form.subst import free_vars
+
+    goal_symbols = set(free_vars(sequent.goal.formula))
+    kept: List[Labeled] = []
+    remaining = list(sequent.assumptions)
+    for _ in range(rounds):
+        still_remaining = []
+        changed = False
+        for labeled in remaining:
+            symbols = free_vars(labeled.formula)
+            if symbols & goal_symbols or not symbols:
+                kept.append(labeled)
+                goal_symbols |= symbols
+                changed = True
+            else:
+                still_remaining.append(labeled)
+        remaining = still_remaining
+        if not changed:
+            break
+    # Preserve the original assumption order (provers and reports are easier
+    # to read, and the syntactic prover's behaviour stays stable).
+    kept_set = {id(l) for l in kept}
+    ordered = [l for l in sequent.assumptions if id(l) in kept_set]
+    return Sequent(
+        assumptions=tuple(ordered),
+        goal=sequent.goal,
+        hints=sequent.hints,
+        origin=sequent.origin,
+        env=sequent.env,
+    )
+
+
+def contains_op(term: F.Term, names) -> bool:
+    """Does ``term`` contain an application of any built-in in ``names``?"""
+    for sub in F.subterms(term):
+        if isinstance(sub, F.Var) and sub.name in names:
+            return True
+    return False
+
+
+def contains_higher_order(term: F.Term) -> bool:
+    """Does ``term`` contain lambdas or set comprehensions (after rewrites)?"""
+    for sub in F.subterms(term):
+        if isinstance(sub, (F.Lambda, F.SetCompr)):
+            return True
+    return False
+
+
+def is_first_order_atom(term: F.Term) -> bool:
+    """Atoms acceptable to the first-order prover: no cardinality, no trees."""
+    return not contains_op(term, {"card", "tree", "tree2"}) and not contains_higher_order(term)
+
+
+def is_ground_smt_atom(term: F.Term) -> bool:
+    """Atoms acceptable to the SMT interface: no reachability, no cardinality."""
+    return not contains_op(
+        term, {"card", "tree", "tree2", "rtrancl", "trancl", "rtrancl_pt"}
+    ) and not contains_higher_order(term)

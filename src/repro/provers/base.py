@@ -1,0 +1,124 @@
+"""The common interface of every prover integrated into Jahob.
+
+The paper treats each prover as a black box (Section 1.5, "Splitting"):
+a prover receives one sequent at a time and answers *proved* or *gives up*.
+Soundness of the whole system only requires that a prover never answers
+*proved* for an invalid sequent; incompleteness is expected and handled by
+trying the next prover in the user-specified order.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional
+
+from ..vcgen.sequent import Sequent
+
+
+class Verdict(Enum):
+    """The possible answers of a prover on one sequent."""
+
+    PROVED = "proved"
+    UNKNOWN = "unknown"
+    UNSUPPORTED = "unsupported"  # the sequent falls outside the prover's fragment
+    TIMEOUT = "timeout"
+
+
+@dataclass
+class ProverAnswer:
+    """The answer of one prover on one sequent, with timing and diagnostics."""
+
+    verdict: Verdict
+    prover: str
+    time: float = 0.0
+    detail: str = ""
+
+    @property
+    def proved(self) -> bool:
+        return self.verdict is Verdict.PROVED
+
+
+class Prover(ABC):
+    """Base class of all provers.
+
+    Subclasses implement :meth:`attempt`; :meth:`prove` wraps it with timing
+    and defensive error handling (a crashing prover must never make the
+    system unsound or abort the verification — it simply fails to prove).
+    """
+
+    #: Short name used on the command line and in reports (e.g. ``"mona"``).
+    name: str = "prover"
+
+    def __init__(self, timeout: float = 10.0) -> None:
+        self.timeout = timeout
+
+    @abstractmethod
+    def attempt(self, sequent: Sequent) -> ProverAnswer:
+        """Try to prove the sequent; must be sound, may be incomplete."""
+
+    def prove(self, sequent: Sequent) -> ProverAnswer:
+        start = time.perf_counter()
+        try:
+            answer = self.attempt(sequent)
+        except Exception as exc:  # noqa: BLE001 - prover bugs must not kill the run
+            answer = ProverAnswer(
+                Verdict.UNKNOWN, self.name, detail=f"internal error: {exc!r}"
+            )
+        answer.prover = self.name
+        answer.time = time.perf_counter() - start
+        return answer
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+@dataclass
+class ProverStats:
+    """Aggregate statistics of one prover across a verification run.
+
+    These are the numbers reported per prover in Figures 7 and 15: how many
+    sequents the prover attempted, how many it proved, and how much time it
+    spent (including unsuccessful attempts).
+    """
+
+    attempted: int = 0
+    proved: int = 0
+    time: float = 0.0
+
+    def record(self, answer: ProverAnswer) -> None:
+        self.attempted += 1
+        self.time += answer.time
+        if answer.proved:
+            self.proved += 1
+
+
+class ProverRegistry:
+    """Maps command-line prover names to factory functions.
+
+    Mirrors the paper's ``-usedp spass mona bapa`` command-line interface
+    (Figure 7): users select provers by name and order.
+    """
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, "ProverFactory"] = {}
+
+    def register(self, name: str, factory: "ProverFactory") -> None:
+        self._factories[name] = factory
+
+    def create(self, name: str, **options) -> Prover:
+        if name not in self._factories:
+            known = ", ".join(sorted(self._factories))
+            raise KeyError(f"unknown prover {name!r}; known provers: {known}")
+        return self._factories[name](**options)
+
+    def known(self):
+        return sorted(self._factories)
+
+
+ProverFactory = callable
+
+#: The global registry; populated by :mod:`repro.provers.dispatcher`.
+registry = ProverRegistry()

@@ -1,0 +1,136 @@
+"""The prover dispatcher: tries provers on each sequent in a user-given order.
+
+This is the integrated-reasoning heart of the system (Sections 5.1-5.2): a
+verification condition is split into sequents, and every sequent is offered
+to the provers in the order the user listed them on the command line
+(``-usedp spass mona bapa`` in Figure 7).  Per-prover statistics — how many
+sequents each prover attempted and proved and how much time it spent,
+including failed attempts — are collected for the Figure 7 / Figure 15
+reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..vcgen.sequent import Sequent
+from .base import Prover, ProverAnswer, ProverStats, Verdict, registry
+from .syntactic import SyntacticProver
+
+#: Aliases mapping the paper's prover names to this reproduction's engines.
+PROVER_ALIASES = {
+    "spass": "fol",
+    "e": "fol",
+    "z3": "smt",
+    "cvc3": "smt",
+    "isabelle": "interactive",
+    "coq": "interactive",
+}
+
+DEFAULT_ORDER = ("syntactic", "smt", "fol", "mona", "bapa", "interactive")
+
+
+def _register_default_provers() -> None:
+    if registry.known():
+        return
+    from ..bapa.prover import BapaProver
+    from ..fol.prover import FirstOrderProver
+    from ..interactive.prover import InteractiveProver
+    from ..mona.prover import MonaProver
+    from ..smt.prover import SmtProver
+
+    registry.register("syntactic", SyntacticProver)
+    registry.register("fol", FirstOrderProver)
+    registry.register("smt", SmtProver)
+    registry.register("mona", MonaProver)
+    registry.register("bapa", BapaProver)
+    registry.register("interactive", InteractiveProver)
+
+
+def resolve_prover_names(names: Sequence[str]) -> List[str]:
+    """Resolve aliases (spass, e, z3, cvc3, isabelle, coq) to engine names."""
+    return [PROVER_ALIASES.get(name.lower(), name.lower()) for name in names]
+
+
+def make_provers(names: Sequence[str], **options) -> List[Prover]:
+    """Instantiate the provers named on the command line, in order."""
+    _register_default_provers()
+    provers = []
+    for name in resolve_prover_names(names):
+        provers.append(registry.create(name, **options.get(name, {})))
+    return provers
+
+
+@dataclass
+class SequentOutcome:
+    """What happened to a single sequent."""
+
+    sequent: Sequent
+    proved: bool
+    prover: Optional[str] = None
+    answers: List[ProverAnswer] = field(default_factory=list)
+
+
+@dataclass
+class DispatchResult:
+    """Results of dispatching a batch of sequents to the prover portfolio."""
+
+    outcomes: List[SequentOutcome] = field(default_factory=list)
+    stats: Dict[str, ProverStats] = field(default_factory=dict)
+    total_time: float = 0.0
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def proved(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.proved)
+
+    @property
+    def all_proved(self) -> bool:
+        return self.proved == self.total
+
+    def unproved(self) -> List[SequentOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.proved]
+
+    def proved_by(self, prover_name: str) -> int:
+        return sum(1 for o in self.outcomes if o.proved and o.prover == prover_name)
+
+
+class Dispatcher:
+    """Runs the prover portfolio over sequents, in the configured order."""
+
+    def __init__(self, provers: Sequence[Prover], stop_on_failure: bool = False) -> None:
+        self.provers = list(provers)
+        self.stop_on_failure = stop_on_failure
+
+    @classmethod
+    def from_names(cls, names: Sequence[str] = DEFAULT_ORDER, **options) -> "Dispatcher":
+        return cls(make_provers(names, **options))
+
+    def prove_sequent(self, sequent: Sequent, result: DispatchResult) -> SequentOutcome:
+        outcome = SequentOutcome(sequent=sequent, proved=False)
+        for prover in self.provers:
+            answer = prover.prove(sequent)
+            outcome.answers.append(answer)
+            stats = result.stats.setdefault(prover.name, ProverStats())
+            stats.record(answer)
+            if answer.proved:
+                outcome.proved = True
+                outcome.prover = prover.name
+                break
+        return outcome
+
+    def prove_all(self, sequents: Sequence[Sequent]) -> DispatchResult:
+        result = DispatchResult()
+        start = time.perf_counter()
+        for sequent in sequents:
+            outcome = self.prove_sequent(sequent, result)
+            result.outcomes.append(outcome)
+            if self.stop_on_failure and not outcome.proved:
+                break
+        result.total_time = time.perf_counter() - start
+        return result

@@ -1,0 +1,152 @@
+"""The built-in syntactic prover (paper Section 6.1).
+
+Before invoking any external prover, Jahob tests whether a sequent is
+trivially valid: the goal is (or simplifies to) ``True``, an assumption is
+(or simplifies to) ``False``, or the goal occurs among the assumptions
+modulo simple validity-preserving transformations (alpha-renaming, symmetry
+of equality, double negation, commutativity of conjunction/disjunction).
+
+In practice this discharges a large fraction of the conjuncts of every
+verification condition — e.g. the null-dereference checks that recur along
+every path, and invariants that are assumed at a call site and must be
+re-established unchanged immediately afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..form import ast as F
+from ..form.rewrite import simplify
+from ..form.subst import alpha_equal
+from ..vcgen.sequent import Sequent
+from .base import Prover, ProverAnswer, Verdict
+
+
+def _normalize(term: F.Term) -> F.Term:
+    """Simplify and normalise a formula for syntactic comparison."""
+    term = simplify(term)
+    # Normalise commutative connective argument order structurally.
+    return _sort_commutative(term)
+
+
+def _sort_commutative(term: F.Term) -> F.Term:
+    from ..form.printer import to_str
+
+    if isinstance(term, F.And):
+        args = tuple(sorted((_sort_commutative(a) for a in term.args), key=to_str))
+        return F.And(args) if len(args) > 1 else (args[0] if args else F.TRUE)
+    if isinstance(term, F.Or):
+        args = tuple(sorted((_sort_commutative(a) for a in term.args), key=to_str))
+        return F.Or(args) if len(args) > 1 else (args[0] if args else F.FALSE)
+    if isinstance(term, F.Not):
+        return F.Not(_sort_commutative(term.arg))
+    if isinstance(term, F.Eq):
+        lhs = _sort_commutative(term.lhs)
+        rhs = _sort_commutative(term.rhs)
+        if to_str(lhs) > to_str(rhs):
+            lhs, rhs = rhs, lhs
+        return F.Eq(lhs, rhs)
+    if isinstance(term, F.Iff):
+        lhs = _sort_commutative(term.lhs)
+        rhs = _sort_commutative(term.rhs)
+        if to_str(lhs) > to_str(rhs):
+            lhs, rhs = rhs, lhs
+        return F.Iff(lhs, rhs)
+    if isinstance(term, F.Implies):
+        return F.Implies(_sort_commutative(term.lhs), _sort_commutative(term.rhs))
+    if isinstance(term, F.App):
+        return F.App(
+            _sort_commutative(term.func), tuple(_sort_commutative(a) for a in term.args)
+        )
+    if isinstance(term, (F.Quant, F.Lambda, F.SetCompr)):
+        body = _sort_commutative(term.body)
+        if isinstance(term, F.Quant):
+            return F.Quant(term.kind, term.params, body)
+        if isinstance(term, F.Lambda):
+            return F.Lambda(term.params, body)
+        return F.SetCompr(term.params, body)
+    if isinstance(term, F.TupleTerm):
+        return F.TupleTerm(tuple(_sort_commutative(i) for i in term.items))
+    if isinstance(term, F.Old):
+        return F.Old(_sort_commutative(term.term))
+    if isinstance(term, F.Ite):
+        return F.Ite(
+            _sort_commutative(term.cond),
+            _sort_commutative(term.then),
+            _sort_commutative(term.els),
+        )
+    return term
+
+
+def _matches(goal: F.Term, assumption: F.Term) -> bool:
+    """Goal occurs in the assumption modulo simple transformations."""
+    if goal == assumption or alpha_equal(goal, assumption):
+        return True
+    # Symmetric equality.
+    if isinstance(goal, F.Eq) and isinstance(assumption, F.Eq):
+        if goal.lhs == assumption.rhs and goal.rhs == assumption.lhs:
+            return True
+    # Double negation.
+    if isinstance(assumption, F.Not) and isinstance(assumption.arg, F.Not):
+        return _matches(goal, assumption.arg.arg)
+    if isinstance(goal, F.Not) and isinstance(goal.arg, F.Not):
+        return _matches(goal.arg.arg, assumption)
+    # A conjunction assumption yields each of its conjuncts.
+    if isinstance(assumption, F.And):
+        return any(_matches(goal, a) for a in assumption.args)
+    # An Iff assumption yields both implications' shape; treat as equality of sides.
+    if isinstance(goal, F.Iff) and isinstance(assumption, F.Iff):
+        if goal.lhs == assumption.rhs and goal.rhs == assumption.lhs:
+            return True
+    return False
+
+
+class SyntacticProver(Prover):
+    """Discharges trivially valid sequents by syntactic inspection."""
+
+    name = "syntactic"
+
+    def attempt(self, seq: Sequent) -> ProverAnswer:
+        goal = _normalize(seq.goal.formula)
+        if isinstance(goal, F.BoolLit):
+            if goal.value:
+                return ProverAnswer(Verdict.PROVED, self.name, detail="goal is True")
+            return ProverAnswer(Verdict.UNKNOWN, self.name, detail="goal is False")
+
+        # Reflexivity and other goals that simplify to True are covered above;
+        # now look for the goal (or a contradiction) among the assumptions.
+        assumptions: List[F.Term] = []
+        for labeled in seq.assumptions:
+            norm = _normalize(labeled.formula)
+            if isinstance(norm, F.BoolLit) and not norm.value:
+                return ProverAnswer(
+                    Verdict.PROVED, self.name, detail="assumption is False"
+                )
+            assumptions.append(norm)
+
+        for assumption in assumptions:
+            if _matches(goal, assumption):
+                return ProverAnswer(
+                    Verdict.PROVED, self.name, detail="goal occurs in assumptions"
+                )
+
+        # Contradictory pair of assumptions: A and ~A.
+        negated = {a.arg for a in assumptions if isinstance(a, F.Not)}
+        for assumption in assumptions:
+            if assumption in negated:
+                return ProverAnswer(
+                    Verdict.PROVED, self.name, detail="contradictory assumptions"
+                )
+
+        # Goal of the form A --> G where G is assumed, or ~A with A known false.
+        if isinstance(goal, F.Implies):
+            for assumption in assumptions:
+                if _matches(goal.rhs, assumption):
+                    return ProverAnswer(
+                        Verdict.PROVED, self.name, detail="conclusion of goal assumed"
+                    )
+            if _matches(goal.rhs, goal.lhs):
+                return ProverAnswer(Verdict.PROVED, self.name, detail="A --> A")
+
+        return ProverAnswer(Verdict.UNKNOWN, self.name)

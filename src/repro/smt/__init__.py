@@ -1,0 +1,19 @@
+"""Ground SMT-style prover (the CVC3 / Z3 role in the Jahob portfolio)."""
+
+from .congruence import CongruenceClosure, check_euf  # noqa: F401
+from .instantiate import InstantiationConfig, ground_problem  # noqa: F401
+from .lia import check_lia, fourier_motzkin_consistent  # noqa: F401
+from .prover import SmtProver  # noqa: F401
+from .sat import SatSolver, SatResult  # noqa: F401
+
+__all__ = [
+    "SmtProver",
+    "CongruenceClosure",
+    "check_euf",
+    "check_lia",
+    "fourier_motzkin_consistent",
+    "SatSolver",
+    "SatResult",
+    "ground_problem",
+    "InstantiationConfig",
+]

@@ -1,0 +1,121 @@
+"""Congruence closure over ground first-order terms (the EUF theory solver).
+
+This is the classic union-find based algorithm: ground terms are interned
+into a DAG, asserted equalities merge equivalence classes, and congruence
+(``a1 = b1, ..., an = bn  implies  f(a..) = f(b..)``) is propagated to a fixed
+point.  Asserted disequalities are then checked against the final classes.
+
+Predicate atoms are handled by the standard reification trick: ``p(t)`` is
+treated as the term equation ``p(t) = $tt`` and ``~p(t)`` as ``p(t) = $ff``
+with the additional global disequality ``$tt != $ff``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..fol.terms import FApp, FTerm
+
+
+class CongruenceClosure:
+    """Incremental-ish congruence closure (rebuilt per check, which is fine
+    for the sequent sizes produced by splitting)."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[FTerm, FTerm] = {}
+        self._subterms: List[FApp] = []
+        self._equalities: List[Tuple[FTerm, FTerm]] = []
+        self._disequalities: List[Tuple[FTerm, FTerm]] = []
+
+    # -- construction ---------------------------------------------------------
+
+    def intern(self, term: FTerm) -> None:
+        if term in self._parent:
+            return
+        self._parent[term] = term
+        if isinstance(term, FApp):
+            for arg in term.args:
+                self.intern(arg)
+            if term.args:
+                self._subterms.append(term)
+
+    def assert_equal(self, lhs: FTerm, rhs: FTerm) -> None:
+        self.intern(lhs)
+        self.intern(rhs)
+        self._equalities.append((lhs, rhs))
+
+    def assert_distinct(self, lhs: FTerm, rhs: FTerm) -> None:
+        self.intern(lhs)
+        self.intern(rhs)
+        self._disequalities.append((lhs, rhs))
+
+    # -- union-find -----------------------------------------------------------
+
+    def find(self, term: FTerm) -> FTerm:
+        root = term
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[term] != root:
+            self._parent[term], term = root, self._parent[term]
+        return root
+
+    def _union(self, a: FTerm, b: FTerm) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+    # -- the closure ------------------------------------------------------------
+
+    def check(self) -> bool:
+        """Return True when the asserted literals are EUF-consistent."""
+        for lhs, rhs in self._equalities:
+            self._union(lhs, rhs)
+        # Propagate congruence to a fixed point.
+        changed = True
+        while changed:
+            changed = False
+            signature: Dict[Tuple[str, Tuple[FTerm, ...]], FTerm] = {}
+            for term in self._subterms:
+                key = (term.func, tuple(self.find(a) for a in term.args))
+                other = signature.get(key)
+                if other is None:
+                    signature[key] = term
+                elif self.find(other) != self.find(term):
+                    self._union(other, term)
+                    changed = True
+        for lhs, rhs in self._disequalities:
+            if self.find(lhs) == self.find(rhs):
+                return False
+        return True
+
+    def equivalence_classes(self) -> List[Set[FTerm]]:
+        classes: Dict[FTerm, Set[FTerm]] = {}
+        for term in self._parent:
+            classes.setdefault(self.find(term), set()).add(term)
+        return list(classes.values())
+
+
+TRUE_TERM = FApp("$tt", ())
+FALSE_TERM = FApp("$ff", ())
+
+
+def check_euf(
+    equalities: Iterable[Tuple[FTerm, FTerm]],
+    disequalities: Iterable[Tuple[FTerm, FTerm]],
+    true_atoms: Iterable[FTerm] = (),
+    false_atoms: Iterable[FTerm] = (),
+) -> bool:
+    """One-shot satisfiability check of a conjunction of EUF literals."""
+    cc = CongruenceClosure()
+    cc.assert_distinct(TRUE_TERM, FALSE_TERM)
+    for lhs, rhs in equalities:
+        cc.assert_equal(lhs, rhs)
+    for lhs, rhs in disequalities:
+        cc.assert_distinct(lhs, rhs)
+    for atom in true_atoms:
+        cc.assert_equal(atom, TRUE_TERM)
+    for atom in false_atoms:
+        cc.assert_equal(atom, FALSE_TERM)
+    return cc.check()

@@ -1,0 +1,240 @@
+"""Heuristic quantifier instantiation for the ground SMT prover.
+
+Modern SMT solvers handle quantified assumptions by E-matching; this module
+implements a simpler relevance-guided instantiation that serves the same
+role in the portfolio: universally quantified assumptions are instantiated
+with ground terms harvested from the sequent (preferring terms that occur in
+the goal), existentials are Skolemised with fresh constants, and anything
+that remains quantified afterwards is soundly discarded.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..form import ast as F
+from ..form.rewrite import nnf, simplify
+from ..form.subst import free_vars, substitute
+from ..form.types import INT, OBJ, Type
+
+
+@dataclass
+class InstantiationConfig:
+    max_candidates_per_sort: int = 8
+    max_instances_per_formula: int = 64
+    max_total_formulas: int = 400
+    max_candidate_size: int = 4
+    rounds: int = 2
+
+
+def ground_terms(formulas: Iterable[F.Term]) -> Tuple[List[F.Term], List[F.Term]]:
+    """Harvest ground candidate terms, split into (object-like, integer-like)."""
+    obj_terms: List[F.Term] = []
+    int_terms: List[F.Term] = []
+    seen: Set[str] = set()
+    from ..form.printer import to_str
+
+    def classify(term: F.Term) -> Optional[str]:
+        if isinstance(term, F.IntLit):
+            return "int"
+        if isinstance(term, F.Var):
+            if term.name in ("null",):
+                return "obj"
+            if F.is_builtin(term.name):
+                return None
+            return "obj"
+        if isinstance(term, F.App) and isinstance(term.func, F.Var):
+            name = term.func.name
+            if name in ("plus", "minus", "times", "uminus", "card", "arrayLength", "div", "mod"):
+                return "int"
+            if name in F.SET_OPS or name in F.REACH_OPS or name in ("lt", "lte", "gt", "gte", "elem", "subseteq", "fieldWrite", "arrayWrite", "tree", "tree2"):
+                return None
+            return "obj"
+        return None
+
+    def visit(term: F.Term) -> None:
+        # Names bound by any binder inside this formula; a subterm is a
+        # candidate only if it does not mention any of them (program
+        # variables, fields and specification variables are free names and
+        # are perfectly good instantiation candidates).
+        bound_names = set()
+        for sub in F.subterms(term):
+            if isinstance(sub, (F.Quant, F.Lambda, F.SetCompr)):
+                bound_names.update(name for name, _ in sub.params)
+        for sub in F.subterms(term):
+            if isinstance(sub, (F.Quant, F.Lambda, F.SetCompr)):
+                continue
+            if free_vars(sub) & bound_names:
+                continue
+            kind = classify(sub)
+            if kind is None:
+                continue
+            key = to_str(sub)
+            if key in seen:
+                continue
+            seen.add(key)
+            if kind == "obj":
+                obj_terms.append(sub)
+            else:
+                int_terms.append(sub)
+
+    formulas = list(formulas)
+    for formula in formulas:
+        visit(formula)
+    # Names used in function position (fields, arrays) are not useful
+    # instantiation candidates for object quantifiers; drop the bare names.
+    heads = set()
+    for formula in formulas:
+        for sub in F.subterms(formula):
+            if isinstance(sub, F.App) and isinstance(sub.func, F.Var):
+                heads.add(sub.func.name)
+    obj_terms = [t for t in obj_terms if not (isinstance(t, F.Var) and t.name in heads)]
+    int_terms = [t for t in int_terms if not (isinstance(t, F.Var) and t.name in heads)]
+    # Prefer small candidate terms (variables and single field reads).
+    obj_terms.sort(key=F.term_size)
+    int_terms.sort(key=F.term_size)
+    obj_terms = [t for t in obj_terms if F.term_size(t) <= 4]
+    int_terms = [t for t in int_terms if F.term_size(t) <= 4]
+    return obj_terms, int_terms
+
+
+class SkolemSupply:
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def fresh(self, base: str) -> F.Var:
+        self._counter += 1
+        return F.Var(f"sk_{base}_{self._counter}")
+
+
+def skolemize_existentials(formula: F.Term, supply: SkolemSupply) -> F.Term:
+    """Replace positively-occurring existentials by fresh constants.
+
+    The formula must already be in negation normal form, so every remaining
+    quantifier occurs positively in the asserted direction.
+    """
+    if isinstance(formula, F.Quant) and formula.kind == "EX":
+        mapping = {name: supply.fresh(name) for name, _ in formula.params}
+        return skolemize_existentials(substitute(formula.body, mapping), supply)
+    if isinstance(formula, F.Quant):
+        return F.Quant(formula.kind, formula.params, skolemize_existentials(formula.body, supply))
+    if isinstance(formula, F.And):
+        return F.mk_and(tuple(skolemize_existentials(a, supply) for a in formula.args))
+    if isinstance(formula, F.Or):
+        return F.mk_or(tuple(skolemize_existentials(a, supply) for a in formula.args))
+    return formula
+
+
+def drop_remaining_quantifiers(formula: F.Term) -> F.Term:
+    """Replace any leftover quantified subformula by ``True`` (weakening).
+
+    The formula is one of the asserted members of the refutation set, so
+    weakening it is sound: if the weakened set is unsatisfiable, so is the
+    original.
+    """
+    if isinstance(formula, F.Quant):
+        return F.TRUE
+    if isinstance(formula, F.And):
+        return F.mk_and(tuple(drop_remaining_quantifiers(a) for a in formula.args))
+    if isinstance(formula, F.Or):
+        return F.mk_or(tuple(drop_remaining_quantifiers(a) for a in formula.args))
+    return formula
+
+
+def _param_candidates(
+    param_type: Optional[Type],
+    obj_candidates: Sequence[F.Term],
+    int_candidates: Sequence[F.Term],
+) -> Sequence[F.Term]:
+    if param_type == INT:
+        return int_candidates or (F.IntLit(0),)
+    if param_type == OBJ or param_type is None:
+        return obj_candidates or (F.NULL,)
+    # Sets, functions and tuples are not instantiated by this heuristic.
+    return ()
+
+
+def instantiate_universals(
+    formula: F.Term,
+    obj_candidates: Sequence[F.Term],
+    int_candidates: Sequence[F.Term],
+    config: InstantiationConfig,
+) -> List[F.Term]:
+    """Produce ground instances of a universally quantified assumption."""
+    if not (isinstance(formula, F.Quant) and formula.kind == "ALL"):
+        return [formula]
+    params = formula.params
+    candidate_lists = []
+    for _name, typ in params:
+        candidates = _param_candidates(typ, obj_candidates, int_candidates)
+        if not candidates:
+            return []  # cannot instantiate this sort; drop the assumption
+        candidate_lists.append(list(candidates)[: config.max_candidates_per_sort])
+
+    instances: List[F.Term] = []
+    for combo in itertools.product(*candidate_lists):
+        mapping = {name: value for (name, _), value in zip(params, combo)}
+        instance = substitute(formula.body, mapping)
+        instances.append(instance)
+        if len(instances) >= config.max_instances_per_formula:
+            break
+    # The instantiated body may itself start with a universal quantifier
+    # (nested ALL); recurse one level so `ALL x y.` written as nested
+    # binders still gets both variables instantiated.
+    out: List[F.Term] = []
+    for instance in instances:
+        instance = simplify(instance)
+        if isinstance(instance, F.Quant) and instance.kind == "ALL":
+            out.extend(
+                instantiate_universals(instance, obj_candidates, int_candidates, config)
+            )
+        else:
+            out.append(instance)
+    return out
+
+
+def ground_problem(
+    assertions: Sequence[F.Term],
+    goal_terms: Sequence[F.Term] = (),
+    config: Optional[InstantiationConfig] = None,
+) -> List[F.Term]:
+    """Turn a set of asserted formulas into ground formulas.
+
+    ``goal_terms`` are formulas whose ground subterms should be preferred as
+    instantiation candidates (typically the negated goal).
+    """
+    config = config or InstantiationConfig()
+    supply = SkolemSupply()
+    current = [simplify(nnf(a)) for a in assertions]
+
+    for _round in range(config.rounds):
+        goal_objs, goal_ints = ground_terms(list(goal_terms))
+        all_objs, all_ints = ground_terms(current)
+        # Goal terms first: relevance heuristic.
+        obj_candidates = goal_objs + [t for t in all_objs if t not in goal_objs]
+        int_candidates = goal_ints + [t for t in all_ints if t not in goal_ints]
+        if F.NULL not in obj_candidates:
+            obj_candidates.append(F.NULL)
+
+        next_formulas: List[F.Term] = []
+        for formula in current:
+            formula = skolemize_existentials(formula, supply)
+            if isinstance(formula, F.Quant) and formula.kind == "ALL":
+                next_formulas.extend(
+                    instantiate_universals(formula, obj_candidates, int_candidates, config)
+                )
+            else:
+                next_formulas.append(formula)
+            if len(next_formulas) > config.max_total_formulas:
+                break
+        current = [simplify(f) for f in next_formulas]
+        if all(not _has_quantifier(f) for f in current):
+            break
+
+    return [drop_remaining_quantifiers(f) for f in current]
+
+
+def _has_quantifier(formula: F.Term) -> bool:
+    return any(isinstance(sub, F.Quant) for sub in F.subterms(formula))

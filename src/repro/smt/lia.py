@@ -1,0 +1,246 @@
+"""Linear integer arithmetic conflict detection (the arithmetic theory solver).
+
+Asserted arithmetic literals are normalised into linear constraints
+``sum(c_i * x_i) <= b`` over *atoms* (maximal non-arithmetic subterms are
+treated as integer unknowns).  Satisfiability over the rationals is then
+decided by Fourier–Motzkin elimination with exact ``fractions.Fraction``
+arithmetic.
+
+Soundness argument: the solver reports a *conflict* only when the constraint
+system has no rational solution, which implies it has no integer solution
+either; therefore a conflict can never cause Jahob to prove an invalid
+sequent.  When the rational relaxation is satisfiable the solver simply
+reports "consistent", which at worst makes the SMT prover answer *unknown*.
+Strict inequalities between integer-sorted terms are tightened
+(``x < y`` becomes ``x <= y - 1``), which is valid over the integers and
+increases the number of genuine conflicts detected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from ..form import ast as F
+
+
+#: A linear expression: mapping from atom keys to coefficients plus a constant.
+#: The empty key ``""`` is reserved for the constant term.
+Linear = Dict[str, Fraction]
+
+
+class NonLinearError(Exception):
+    """Raised when an expression is not linear (e.g. a product of unknowns)."""
+
+
+@dataclass
+class Constraint:
+    """``coeffs . vars <= bound`` (non-strict, integer-tightened)."""
+
+    coeffs: Dict[str, Fraction]
+    bound: Fraction
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        terms = " + ".join(f"{c}*{v}" for v, c in sorted(self.coeffs.items()))
+        return f"{terms} <= {self.bound}"
+
+
+def _combine(a: Linear, b: Linear, factor: Fraction) -> Linear:
+    out = dict(a)
+    for key, coeff in b.items():
+        out[key] = out.get(key, Fraction(0)) + factor * coeff
+        if out[key] == 0 and key:
+            del out[key]
+    return out
+
+
+class LinearizeContext:
+    """Maps non-arithmetic subterms to fresh unknown names."""
+
+    def __init__(self) -> None:
+        self._atoms: Dict[str, F.Term] = {}
+
+    def key_for(self, term: F.Term) -> str:
+        from ..form.printer import to_str
+
+        key = to_str(term)
+        self._atoms[key] = term
+        return key
+
+    @property
+    def atoms(self) -> Dict[str, F.Term]:
+        return dict(self._atoms)
+
+
+def linearize(term: F.Term, ctx: LinearizeContext) -> Linear:
+    """Translate an integer-sorted HOL term into a linear expression."""
+    if isinstance(term, F.IntLit):
+        return {"": Fraction(term.value)}
+    if F.is_app_of(term, "plus") and len(term.args) == 2:
+        return _combine(linearize(term.args[0], ctx), linearize(term.args[1], ctx), Fraction(1))
+    if F.is_app_of(term, "minus") and len(term.args) == 2:
+        return _combine(linearize(term.args[0], ctx), linearize(term.args[1], ctx), Fraction(-1))
+    if F.is_app_of(term, "uminus") and len(term.args) == 1:
+        return _combine({}, linearize(term.args[0], ctx), Fraction(-1))
+    if F.is_app_of(term, "times") and len(term.args) == 2:
+        lhs, rhs = term.args
+        if isinstance(lhs, F.IntLit):
+            return _combine({}, linearize(rhs, ctx), Fraction(lhs.value))
+        if isinstance(rhs, F.IntLit):
+            return _combine({}, linearize(lhs, ctx), Fraction(rhs.value))
+        raise NonLinearError(f"non-linear product {term!r}")
+    if F.is_app_of(term, "card") and len(term.args) == 1:
+        # Cardinalities are integer unknowns for this solver (BAPA handles
+        # their set-algebraic meaning); they are additionally non-negative.
+        return {ctx.key_for(term): Fraction(1)}
+    # Any other term is an opaque integer unknown.
+    return {ctx.key_for(term): Fraction(1)}
+
+
+def literal_to_constraints(
+    atom: F.Term, positive: bool, ctx: LinearizeContext
+) -> Optional[List[Constraint]]:
+    """Translate an (possibly negated) arithmetic atom into constraints.
+
+    Returns ``None`` when the atom is not arithmetic.
+    """
+    if isinstance(atom, F.Eq):
+        kind = "eq"
+        lhs, rhs = atom.lhs, atom.rhs
+    elif F.is_app_of(atom, "lt") and len(atom.args) == 2:
+        kind = "lt"
+        lhs, rhs = atom.args
+    elif F.is_app_of(atom, "lte") and len(atom.args) == 2:
+        kind = "lte"
+        lhs, rhs = atom.args
+    elif F.is_app_of(atom, "gt") and len(atom.args) == 2:
+        kind = "lt"
+        lhs, rhs = atom.args[1], atom.args[0]
+    elif F.is_app_of(atom, "gte") and len(atom.args) == 2:
+        kind = "lte"
+        lhs, rhs = atom.args[1], atom.args[0]
+    else:
+        return None
+
+    try:
+        left = linearize(lhs, ctx)
+        right = linearize(rhs, ctx)
+    except NonLinearError:
+        return None
+
+    diff = _combine(left, right, Fraction(-1))  # lhs - rhs
+    constant = diff.pop("", Fraction(0))
+
+    def le(coeffs: Dict[str, Fraction], bound: Fraction) -> Constraint:
+        return Constraint(dict(coeffs), bound)
+
+    neg = {k: -v for k, v in diff.items()}
+
+    if kind == "eq":
+        if positive:
+            return [le(diff, -constant), le(neg, constant)]
+        # A disequality is not convex; handled by the EUF solver instead.
+        return []
+    if kind == "lte":
+        if positive:
+            return [le(diff, -constant)]  # lhs - rhs <= 0
+        return [le(neg, constant - 1)]  # ~(lhs <= rhs)  ==  rhs <= lhs - 1
+    if kind == "lt":
+        if positive:
+            return [le(diff, -constant - 1)]  # lhs <= rhs - 1
+        return [le(neg, constant)]  # ~(lhs < rhs)  ==  rhs <= lhs
+    return None
+
+
+def is_arith_atom(atom: F.Term) -> bool:
+    """Atoms the LIA solver contributes constraints for."""
+    if isinstance(atom, F.Eq):
+        return _is_int_term(atom.lhs) or _is_int_term(atom.rhs)
+    return any(F.is_app_of(atom, op) for op in ("lt", "lte", "gt", "gte"))
+
+
+def _is_int_term(term: F.Term) -> bool:
+    if isinstance(term, F.IntLit):
+        return True
+    return any(
+        F.is_app_of(term, op) for op in ("plus", "minus", "times", "uminus", "card", "arrayLength", "div", "mod")
+    )
+
+
+def fourier_motzkin_consistent(constraints: List[Constraint], max_constraints: int = 4000) -> bool:
+    """Decide rational satisfiability of a conjunction of <= constraints.
+
+    Returns False only when the system is definitely infeasible; gives up
+    (returns True) if the elimination blows past ``max_constraints``.
+    """
+    system = [(dict(c.coeffs), c.bound) for c in constraints]
+    # Quick constant check.
+    system = [c for c in system if not _drop_if_trivial(c)]
+    for coeffs, bound in system:
+        if not coeffs and bound < 0:
+            return False
+
+    variables = sorted({v for coeffs, _ in system for v in coeffs})
+    for variable in variables:
+        lower = []  # constraints giving  l <= x  (coeff < 0)
+        upper = []  # constraints giving  x <= u  (coeff > 0)
+        rest = []
+        for coeffs, bound in system:
+            coeff = coeffs.get(variable, Fraction(0))
+            if coeff > 0:
+                upper.append((coeffs, bound, coeff))
+            elif coeff < 0:
+                lower.append((coeffs, bound, coeff))
+            else:
+                rest.append((coeffs, bound))
+        new_system = rest
+        for lower_coeffs, lower_bound, lower_coeff in lower:
+            for upper_coeffs, upper_bound, upper_coeff in upper:
+                # Combine to eliminate `variable`.
+                scale_low = Fraction(1) / -lower_coeff
+                scale_up = Fraction(1) / upper_coeff
+                coeffs: Dict[str, Fraction] = {}
+                for key, value in lower_coeffs.items():
+                    coeffs[key] = coeffs.get(key, Fraction(0)) + value * scale_low
+                for key, value in upper_coeffs.items():
+                    coeffs[key] = coeffs.get(key, Fraction(0)) + value * scale_up
+                coeffs.pop(variable, None)
+                coeffs = {k: v for k, v in coeffs.items() if v != 0}
+                bound = lower_bound * scale_low + upper_bound * scale_up
+                if not coeffs:
+                    if bound < 0:
+                        return False
+                    continue
+                new_system.append((coeffs, bound))
+        if len(new_system) > max_constraints:
+            return True  # give up: treated as consistent (sound)
+        system = new_system
+    for coeffs, bound in system:
+        if not coeffs and bound < 0:
+            return False
+    return True
+
+
+def _drop_if_trivial(entry) -> bool:
+    coeffs, bound = entry
+    return not coeffs and bound >= 0
+
+
+def check_lia(literals: List[Tuple[F.Term, bool]]) -> bool:
+    """Check consistency of a set of (atom, polarity) arithmetic literals.
+
+    Cardinality unknowns receive an implicit non-negativity constraint.
+    """
+    ctx = LinearizeContext()
+    constraints: List[Constraint] = []
+    for atom, positive in literals:
+        translated = literal_to_constraints(atom, positive, ctx)
+        if translated:
+            constraints.extend(translated)
+    for key, term in ctx.atoms.items():
+        if F.is_app_of(term, "card") or F.is_app_of(term, "arrayLength"):
+            constraints.append(Constraint({key: Fraction(-1)}, Fraction(0)))
+    if not constraints:
+        return True
+    return fourier_motzkin_consistent(constraints)

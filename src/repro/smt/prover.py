@@ -1,0 +1,261 @@
+"""The SMT-style prover (the CVC3 / Z3 role in Figure 1).
+
+A lazy SMT loop over ground formulas:
+
+1. the sequent is rewritten and approximated into the ground fragment
+   (:mod:`repro.provers.approximation`),
+2. quantifiers are removed by Skolemisation and relevance-guided
+   instantiation (:mod:`repro.smt.instantiate`),
+3. the ground refutation problem is Tseitin-encoded into CNF and solved by
+   the DPLL core (:mod:`repro.smt.sat`),
+4. every propositional model is checked against the theories — congruence
+   closure for equality/uninterpreted functions and Fourier–Motzkin for
+   linear integer arithmetic — and refuted models are blocked with a new
+   clause until either the SAT solver reports unsatisfiability (the sequent
+   is proved) or a theory-consistent model survives (the prover gives up).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..fol.clausify import ClausificationError, Clausifier
+from ..form import ast as F
+from ..form.printer import to_str
+from ..provers.approximation import (
+    drop_unsupported_assumptions,
+    is_ground_smt_atom,
+    relevant_assumptions,
+    rewrite_sequent,
+)
+from ..provers.base import Prover, ProverAnswer, Verdict
+from ..vcgen.sequent import Sequent
+from .congruence import check_euf
+from .instantiate import InstantiationConfig, ground_problem
+from .lia import check_lia, is_arith_atom
+from .sat import SatSolver
+
+
+class _TseitinEncoder:
+    """CNF encoding of ground formulas; atoms are shared by printed form."""
+
+    def __init__(self) -> None:
+        self.atom_ids: Dict[str, int] = {}
+        self.atoms: Dict[int, F.Term] = {}
+        self.clauses: List[List[int]] = []
+        self._next = 0
+
+    def _fresh(self) -> int:
+        self._next += 1
+        return self._next
+
+    def atom_literal(self, atom: F.Term) -> int:
+        key = to_str(atom)
+        if key not in self.atom_ids:
+            self.atom_ids[key] = self._fresh()
+            self.atoms[self.atom_ids[key]] = atom
+        return self.atom_ids[key]
+
+    def assert_formula(self, formula: F.Term) -> None:
+        literal = self.encode(formula)
+        self.clauses.append([literal])
+
+    def encode(self, formula: F.Term) -> int:
+        if isinstance(formula, F.BoolLit):
+            literal = self._fresh()
+            if formula.value:
+                self.clauses.append([literal])
+            else:
+                self.clauses.append([-literal])
+            return literal
+        if isinstance(formula, F.Not):
+            return -self.encode(formula.arg)
+        if isinstance(formula, F.And):
+            out = self._fresh()
+            literals = [self.encode(a) for a in formula.args]
+            for lit in literals:
+                self.clauses.append([-out, lit])
+            self.clauses.append([out] + [-lit for lit in literals])
+            return out
+        if isinstance(formula, F.Or):
+            out = self._fresh()
+            literals = [self.encode(a) for a in formula.args]
+            self.clauses.append([-out] + literals)
+            for lit in literals:
+                self.clauses.append([out, -lit])
+            return out
+        if isinstance(formula, F.Implies):
+            return self.encode(F.Or((F.Not(formula.lhs), formula.rhs)))
+        if isinstance(formula, F.Iff):
+            out = self._fresh()
+            a = self.encode(formula.lhs)
+            b = self.encode(formula.rhs)
+            self.clauses.append([-out, -a, b])
+            self.clauses.append([-out, a, -b])
+            self.clauses.append([out, a, b])
+            self.clauses.append([out, -a, -b])
+            return out
+        # Atom.
+        return self.atom_literal(formula)
+
+    @property
+    def num_vars(self) -> int:
+        return self._next
+
+
+_INT_MARKERS = ("card", "plus", "minus", "times", "uminus", "arrayLength", "div", "mod")
+
+
+def _looks_integer(term: F.Term) -> bool:
+    if isinstance(term, F.IntLit):
+        return True
+    return any(
+        isinstance(sub, F.IntLit) or (isinstance(sub, F.Var) and sub.name in _INT_MARKERS)
+        for sub in F.subterms(term)
+    )
+
+
+def _split_integer_disequalities(formula: F.Term) -> F.Term:
+    """Rewrite ``~(a = b)`` over integers into ``a < b | b < a`` (valid over Z),
+    so the convex linear-arithmetic solver can refute it."""
+    from ..form.rewrite import map_subterms
+
+    def rewrite(node: F.Term) -> F.Term:
+        if (
+            isinstance(node, F.Not)
+            and isinstance(node.arg, F.Eq)
+            and (_looks_integer(node.arg.lhs) or _looks_integer(node.arg.rhs))
+        ):
+            return F.And(
+                (
+                    node,
+                    F.Or(
+                        (
+                            F.app("lt", node.arg.lhs, node.arg.rhs),
+                            F.app("lt", node.arg.rhs, node.arg.lhs),
+                        )
+                    ),
+                )
+            )
+        return node
+
+    return map_subterms(formula, rewrite)
+
+
+@dataclass
+class SmtStatistics:
+    instances: int = 0
+    atoms: int = 0
+    theory_conflicts: int = 0
+
+
+class SmtProver(Prover):
+    """The ground SMT prover of the portfolio."""
+
+    name = "smt"
+
+    def __init__(
+        self,
+        timeout: float = 5.0,
+        max_theory_iterations: int = 300,
+        instantiation: Optional[InstantiationConfig] = None,
+    ) -> None:
+        super().__init__(timeout=timeout)
+        self.max_theory_iterations = max_theory_iterations
+        self.instantiation = instantiation or InstantiationConfig()
+
+    # -- main entry point ------------------------------------------------------
+
+    def attempt(self, sequent: Sequent) -> ProverAnswer:
+        start = time.perf_counter()
+        prepared = rewrite_sequent(relevant_assumptions(sequent.restricted()))
+        prepared = drop_unsupported_assumptions(prepared, is_ground_smt_atom)
+
+        goal = prepared.goal.formula
+        if isinstance(goal, F.BoolLit) and goal.value:
+            return ProverAnswer(Verdict.PROVED, self.name, detail="goal trivial after approximation")
+
+        assertions = [a.formula for a in prepared.assumptions] + [F.Not(goal)]
+        ground = ground_problem(assertions, goal_terms=[F.Not(goal)], config=self.instantiation)
+
+        encoder = _TseitinEncoder()
+        ground = [_split_integer_disequalities(g) for g in ground]
+        for formula in ground:
+            simplified = formula
+            if isinstance(simplified, F.BoolLit) and simplified.value:
+                continue
+            encoder.assert_formula(simplified)
+
+        if not encoder.clauses:
+            return ProverAnswer(Verdict.UNKNOWN, self.name, detail="nothing to refute")
+
+        stats = SmtStatistics(instances=len(ground), atoms=len(encoder.atom_ids))
+        clausifier = Clausifier()
+
+        solver = SatSolver(encoder.num_vars)
+        solver.add_clauses(encoder.clauses)
+
+        for _iteration in range(self.max_theory_iterations):
+            if time.perf_counter() - start > self.timeout:
+                return ProverAnswer(Verdict.TIMEOUT, self.name, detail="timeout in DPLL(T) loop")
+            result = solver.solve()
+            if not result.satisfiable:
+                detail = (
+                    f"unsat: {stats.atoms} atoms, {stats.instances} ground formulas, "
+                    f"{stats.theory_conflicts} theory conflicts"
+                )
+                return ProverAnswer(Verdict.PROVED, self.name, detail=detail)
+            blocking = self._theory_conflict(result.assignment, encoder, clausifier)
+            if blocking is None:
+                return ProverAnswer(
+                    Verdict.UNKNOWN,
+                    self.name,
+                    detail="theory-consistent propositional model found",
+                )
+            stats.theory_conflicts += 1
+            solver.add_clause(blocking)
+
+        return ProverAnswer(Verdict.UNKNOWN, self.name, detail="theory conflict limit reached")
+
+    # -- theory checking -------------------------------------------------------
+
+    def _theory_conflict(
+        self,
+        assignment: Dict[int, bool],
+        encoder: _TseitinEncoder,
+        clausifier: Clausifier,
+    ) -> Optional[List[int]]:
+        """Check the assigned theory atoms; return a blocking clause or None."""
+        equalities: List[Tuple] = []
+        disequalities: List[Tuple] = []
+        true_atoms: List = []
+        false_atoms: List = []
+        arith_literals: List[Tuple[F.Term, bool]] = []
+        relevant_literals: List[int] = []
+
+        for var_id, atom in encoder.atoms.items():
+            if var_id not in assignment:
+                continue
+            value = assignment[var_id]
+            relevant_literals.append(var_id if value else -var_id)
+            if is_arith_atom(atom):
+                arith_literals.append((atom, value))
+            try:
+                if isinstance(atom, F.Eq):
+                    lhs = clausifier.term_to_fol(atom.lhs, {})
+                    rhs = clausifier.term_to_fol(atom.rhs, {})
+                    (equalities if value else disequalities).append((lhs, rhs))
+                else:
+                    reified = clausifier.term_to_fol(atom, {})
+                    (true_atoms if value else false_atoms).append(reified)
+            except ClausificationError:
+                continue
+
+        euf_ok = check_euf(equalities, disequalities, true_atoms, false_atoms)
+        lia_ok = check_lia(arith_literals) if euf_ok else True
+        if euf_ok and lia_ok:
+            return None
+        # Block this combination of theory literals.
+        return [-lit for lit in relevant_literals]

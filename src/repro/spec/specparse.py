@@ -1,0 +1,309 @@
+"""Parser for the text of Jahob specification comments.
+
+Specification comments contain small keyword-driven declarations whose
+formula payloads are quoted strings (parsed separately by
+:mod:`repro.form.parser`).  The grammar follows the paper's examples:
+
+Class-level items (separated by ``;`` or newlines)::
+
+    public specvar content :: "(obj * obj) set"
+    private static ghost specvar nodes :: "objset" = "{}"
+    vardefs "content == first..cnt"
+    invariant CntDef: "ALL x. ..."
+    invariant "tree [Node.next]"
+
+Method contracts::
+
+    requires "k0 ~= null"  modifies content, size  ensures "..."
+
+In-body statements::
+
+    nodes := "{n1} Un nodes"
+    x..cnt := "..."
+    note lemma1: "..." by CntDef, pre
+    assert "..."         assume "..."
+    havoc z suchThat "z : content"
+    ghost specvar seen :: "objset" = "{}"
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .contracts import (
+    AssertSpec,
+    AssumeSpec,
+    ClassSpec,
+    GhostAssign,
+    HavocSpec,
+    Invariant,
+    LocalSpecVar,
+    MethodContract,
+    NoteSpec,
+    SpecStatement,
+    SpecVarDecl,
+    VarDef,
+)
+
+
+class SpecParseError(Exception):
+    """Raised when a specification comment is malformed."""
+
+
+# -- small token scanner ------------------------------------------------------------
+
+
+class _Scanner:
+    """Splits spec text into words, punctuation and quoted formula strings."""
+
+    def __init__(self, text: str) -> None:
+        self.tokens = self._tokenize(text)
+        self.pos = 0
+
+    @staticmethod
+    def _tokenize(text: str) -> List[Tuple[str, str]]:
+        tokens: List[Tuple[str, str]] = []
+        i = 0
+        n = len(text)
+        while i < n:
+            ch = text[i]
+            if ch.isspace():
+                i += 1
+                continue
+            if ch == '"':
+                j = text.find('"', i + 1)
+                if j < 0:
+                    raise SpecParseError(f"unterminated formula string in spec: {text!r}")
+                tokens.append(("formula", text[i + 1: j]))
+                i = j + 1
+                continue
+            if ch in ";:,=.":
+                if text.startswith("::", i):
+                    tokens.append(("symbol", "::"))
+                    i += 2
+                    continue
+                if text.startswith(":=", i):
+                    tokens.append(("symbol", ":="))
+                    i += 2
+                    continue
+                if text.startswith("..", i):
+                    tokens.append(("symbol", ".."))
+                    i += 2
+                    continue
+                tokens.append(("symbol", ch))
+                i += 1
+                continue
+            match = re.match(r"[A-Za-z_][A-Za-z0-9_.\[\]*()]*", text[i:])
+            if match:
+                tokens.append(("word", match.group(0)))
+                i += len(match.group(0))
+                continue
+            raise SpecParseError(f"unexpected character {ch!r} in spec: {text[i:i+25]!r}")
+        return tokens
+
+    def peek(self, offset: int = 0) -> Optional[Tuple[str, str]]:
+        index = self.pos + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def at_word(self, *words: str) -> bool:
+        token = self.peek()
+        return token is not None and token[0] == "word" and token[1] in words
+
+    def at_symbol(self, symbol: str) -> bool:
+        token = self.peek()
+        return token is not None and token[0] == "symbol" and token[1] == symbol
+
+    def advance(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise SpecParseError("unexpected end of specification comment")
+        self.pos += 1
+        return token
+
+    def expect_kind(self, kind: str) -> str:
+        token = self.advance()
+        if token[0] != kind:
+            raise SpecParseError(f"expected {kind}, found {token}")
+        return token[1]
+
+    def done(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+    def skip_semicolons(self) -> None:
+        while self.at_symbol(";"):
+            self.advance()
+
+
+_MODIFIERS = {"public", "private", "protected", "static", "ghost"}
+
+
+# -- class-level specifications -------------------------------------------------------
+
+
+def parse_class_spec(blocks: List[str]) -> ClassSpec:
+    """Parse the class-level specification comments of one class."""
+    spec = ClassSpec()
+    for block in blocks:
+        _parse_class_block(block, spec)
+    return spec
+
+
+def _parse_class_block(text: str, spec: ClassSpec) -> None:
+    scanner = _Scanner(text)
+    while not scanner.done():
+        scanner.skip_semicolons()
+        if scanner.done():
+            break
+        modifiers = set()
+        while scanner.at_word(*_MODIFIERS):
+            modifiers.add(scanner.advance()[1])
+        if scanner.at_word("specvar"):
+            scanner.advance()
+            name = scanner.expect_kind("word")
+            if scanner.at_symbol("::"):
+                scanner.advance()
+            token = scanner.advance()
+            type_text = token[1]
+            init_text = None
+            if scanner.at_symbol("="):
+                scanner.advance()
+                init_text = scanner.expect_kind("formula")
+            spec.specvars.append(
+                SpecVarDecl(
+                    name=name,
+                    type_text=type_text,
+                    is_ghost="ghost" in modifiers,
+                    is_public="public" in modifiers,
+                    is_static="static" in modifiers or True,
+                    init_text=init_text,
+                )
+            )
+        elif scanner.at_word("vardefs"):
+            scanner.advance()
+            definition = scanner.expect_kind("formula")
+            if "==" not in definition:
+                raise SpecParseError(f"vardefs must contain '==': {definition!r}")
+            name, _, body = definition.partition("==")
+            spec.vardefs.append(VarDef(name.strip(), body.strip()))
+        elif scanner.at_word("invariant"):
+            scanner.advance()
+            name = f"inv{len(spec.invariants) + 1}"
+            if scanner.peek() and scanner.peek()[0] == "word":
+                name = scanner.advance()[1]
+                if scanner.at_symbol(":"):
+                    scanner.advance()
+            formula = scanner.expect_kind("formula")
+            spec.invariants.append(
+                Invariant(name=name, formula_text=formula, is_public="public" in modifiers)
+            )
+        elif scanner.at_word("claimedby"):
+            scanner.advance()
+            scanner.advance()  # the claiming class name; enforced syntactically elsewhere
+        else:
+            token = scanner.advance()
+            raise SpecParseError(f"unexpected token {token} in class specification: {text!r}")
+        scanner.skip_semicolons()
+
+
+# -- method contracts -------------------------------------------------------------------
+
+
+def parse_contract(text: str) -> MethodContract:
+    """Parse a requires/modifies/ensures contract comment."""
+    contract = MethodContract()
+    if not text.strip():
+        return contract
+    scanner = _Scanner(text)
+    while not scanner.done():
+        scanner.skip_semicolons()
+        if scanner.done():
+            break
+        keyword = scanner.expect_kind("word")
+        if keyword == "requires":
+            contract.requires_text = scanner.expect_kind("formula")
+        elif keyword == "ensures":
+            contract.ensures_text = scanner.expect_kind("formula")
+        elif keyword == "modifies":
+            names = [scanner.expect_kind("word")]
+            while scanner.at_symbol(","):
+                scanner.advance()
+                names.append(scanner.expect_kind("word"))
+            contract.modifies.extend(names)
+        else:
+            raise SpecParseError(f"unexpected contract keyword {keyword!r} in {text!r}")
+    return contract
+
+
+# -- in-body specification statements ------------------------------------------------------
+
+
+def parse_statement(text: str) -> List[SpecStatement]:
+    """Parse the content of a specification statement comment."""
+    statements: List[SpecStatement] = []
+    scanner = _Scanner(text)
+    while not scanner.done():
+        scanner.skip_semicolons()
+        if scanner.done():
+            break
+        statements.append(_parse_one_statement(scanner))
+        scanner.skip_semicolons()
+    return statements
+
+
+def _parse_one_statement(scanner: _Scanner) -> SpecStatement:
+    if scanner.at_word("note", "assert", "assume"):
+        keyword = scanner.advance()[1]
+        label = ""
+        if scanner.peek() and scanner.peek()[0] == "word" and scanner.peek(1) and scanner.peek(1) == ("symbol", ":"):
+            label = scanner.advance()[1]
+            scanner.advance()
+        formula = scanner.expect_kind("formula")
+        hints: List[str] = []
+        if scanner.at_word("by"):
+            scanner.advance()
+            hints.append(scanner.expect_kind("word"))
+            while scanner.at_symbol(","):
+                scanner.advance()
+                hints.append(scanner.expect_kind("word"))
+        if keyword == "note":
+            return NoteSpec(label or "note", formula, hints)
+        if keyword == "assert":
+            return AssertSpec(label or "assert", formula, hints)
+        return AssumeSpec(label or "assume", formula)
+    if scanner.at_word("havoc"):
+        scanner.advance()
+        targets = [scanner.expect_kind("word")]
+        while scanner.at_symbol(","):
+            scanner.advance()
+            targets.append(scanner.expect_kind("word"))
+        such_that = None
+        if scanner.at_word("suchThat"):
+            scanner.advance()
+            such_that = scanner.expect_kind("formula")
+        return HavocSpec(targets, such_that)
+    if scanner.at_word("ghost", "specvar"):
+        while scanner.at_word("ghost", "public", "private", "static"):
+            scanner.advance()
+        if scanner.at_word("specvar"):
+            scanner.advance()
+        name = scanner.expect_kind("word")
+        if scanner.at_symbol("::"):
+            scanner.advance()
+        type_text = scanner.advance()[1]
+        init_text = None
+        if scanner.at_symbol("="):
+            scanner.advance()
+            init_text = scanner.expect_kind("formula")
+        return LocalSpecVar(name, type_text, init_text)
+    # Ghost assignment: target := "expr"  (target may be  x  or  x..field).
+    target_parts = [scanner.expect_kind("word")]
+    while scanner.at_symbol(".."):
+        scanner.advance()
+        target_parts.append(scanner.expect_kind("word"))
+    if not scanner.at_symbol(":="):
+        raise SpecParseError(f"expected ':=' in specification assignment near {target_parts}")
+    scanner.advance()
+    expr = scanner.expect_kind("formula")
+    target_text = "..".join(target_parts)
+    return GhostAssign(target_text, expr)

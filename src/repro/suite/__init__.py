@@ -1,0 +1,23 @@
+"""The bundled verified data structure suite (paper Section 7)."""
+
+from .library import (  # noqa: F401
+    FIGURE15_NAMES,
+    STRUCTURES,
+    SuiteEntry,
+    entries,
+    entry,
+    names,
+    source,
+    verify_structure,
+)
+
+__all__ = [
+    "STRUCTURES",
+    "FIGURE15_NAMES",
+    "SuiteEntry",
+    "entries",
+    "entry",
+    "names",
+    "source",
+    "verify_structure",
+]

@@ -1,0 +1,128 @@
+"""The verified data structure suite (paper Section 7, Figure 15).
+
+Ten data structures are bundled as mini-Java sources with full functional
+specifications.  :data:`STRUCTURES` lists them together with the prover
+order used to reproduce the corresponding Figure 15 row (the paper applies
+the provers in the order of the table's columns; here the names map onto
+this reproduction's engines — see ``repro.provers.dispatcher.PROVER_ALIASES``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from importlib import resources
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One data structure of the suite."""
+
+    name: str                     # class to verify
+    file_name: str                # bundled source file
+    description: str
+    provers: Tuple[str, ...]      # prover order for its Figure 15 row
+    paper_row: str                # the corresponding row label in Figure 15
+
+
+#: The ten data structures of Figure 15 plus the sized list of Section 2.2.
+STRUCTURES: Tuple[SuiteEntry, ...] = (
+    SuiteEntry(
+        "AssocList", "AssocList.java",
+        "association list: a map stored as a list of key/value pairs",
+        ("smt", "fol", "mona", "bapa"), "Association List",
+    ),
+    SuiteEntry(
+        "SpaceSubdivisionTree", "SpaceSubdivisionTree.java",
+        "three-dimensional space subdivision tree with eight-element child arrays",
+        ("smt", "mona", "bapa"), "Space Subdivision Tree",
+    ),
+    SuiteEntry(
+        "SpanningTree", "SpanningTree.java",
+        "spanning tree of a graph",
+        ("smt", "mona", "bapa"), "Spanning Tree",
+    ),
+    SuiteEntry(
+        "HashTable", "HashTable.java",
+        "hash table: a map implemented as an array of bucket lists",
+        ("smt", "bapa", "mona"), "Hash Table",
+    ),
+    SuiteEntry(
+        "BinarySearchTree", "BinarySearchTree.java",
+        "binary search tree implementing a set",
+        ("smt", "mona", "bapa"), "Binary Search Tree",
+    ),
+    SuiteEntry(
+        "PriorityQueue", "PriorityQueue.java",
+        "priority queue stored as a binary heap in a dense array",
+        ("smt", "bapa"), "Priority Queue",
+    ),
+    SuiteEntry(
+        "ArrayList", "ArrayList.java",
+        "array-backed list implementing a map from a dense integer range",
+        ("smt", "bapa"), "Array List",
+    ),
+    SuiteEntry(
+        "CircularList", "CircularList.java",
+        "circular doubly-linked list implementing a set",
+        ("smt", "mona", "bapa"), "Circular List",
+    ),
+    SuiteEntry(
+        "SinglyLinkedList", "SinglyLinkedList.java",
+        "null-terminated singly-linked list implementing a set",
+        ("smt", "mona", "bapa"), "Singly-Linked List",
+    ),
+    SuiteEntry(
+        "CursorList", "CursorList.java",
+        "list with a removal cursor for iteration",
+        ("smt", "mona", "bapa"), "Cursor List",
+    ),
+    SuiteEntry(
+        "SizedList", "SizedList.java",
+        "the sized list of Section 2.2 (Figure 6), combining FOL, MONA and BAPA",
+        ("fol", "mona", "bapa", "smt"), "Sized List (Section 2.2)",
+    ),
+)
+
+#: The rows that appear in Figure 15 (the sized list is the Figure 7 example).
+FIGURE15_NAMES: Tuple[str, ...] = tuple(e.name for e in STRUCTURES if e.name != "SizedList")
+
+
+def entries() -> Tuple[SuiteEntry, ...]:
+    """All bundled data structures."""
+    return STRUCTURES
+
+
+def entry(name: str) -> SuiteEntry:
+    """Look up a suite entry by class name (case-insensitive)."""
+    for candidate in STRUCTURES:
+        if candidate.name.lower() == name.lower():
+            return candidate
+    known = ", ".join(e.name for e in STRUCTURES)
+    raise KeyError(f"unknown suite structure {name!r}; known: {known}")
+
+
+def source(name: str) -> str:
+    """The mini-Java source text of a bundled data structure."""
+    info = entry(name)
+    return resources.files("repro.suite").joinpath("data", info.file_name).read_text()
+
+
+def names() -> List[str]:
+    return [e.name for e in STRUCTURES]
+
+
+def verify_structure(name: str, provers: Optional[Sequence[str]] = None, **options):
+    """Verify every contracted method of a bundled structure.
+
+    Returns a :class:`repro.core.report.ClassReport` (one Figure 15 row).
+    """
+    from ..core.verifier import verify_class
+
+    info = entry(name)
+    return verify_class(
+        source(name),
+        class_name=info.name,
+        provers=list(provers) if provers is not None else list(info.provers),
+        **options,
+    )

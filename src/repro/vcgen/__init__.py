@@ -1,0 +1,15 @@
+"""Verification condition generation, sequents and splitting."""
+
+from .sequent import Labeled, Sequent, sequent  # noqa: F401
+from .splitter import SplitResult, split_goal  # noqa: F401
+from .vcgen import MethodVC, generate_method_vc  # noqa: F401
+
+__all__ = [
+    "Labeled",
+    "Sequent",
+    "sequent",
+    "SplitResult",
+    "split_goal",
+    "MethodVC",
+    "generate_method_vc",
+]

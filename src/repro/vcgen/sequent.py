@@ -1,0 +1,135 @@
+"""Sequents: the labelled implications produced by splitting verification conditions.
+
+A *sequent* (the paper's term, Section 5.1 and Figure 7) is an implication
+
+    A1 & A2 & ... & An  -->  G
+
+where every assumption ``Ai`` and the goal ``G`` carry string labels that
+record where they came from (an invariant name, a ``note`` label, a program
+path condition, a precondition conjunct, ...).  Labels drive assumption
+selection (the ``by`` clause of Section 3.5) and error reporting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..form import ast as F
+from ..form.printer import to_str
+from ..form.typecheck import TypeEnv
+
+
+@dataclass(frozen=True)
+class Labeled:
+    """A formula together with the labels attached to it during VC generation."""
+
+    formula: F.Term
+    labels: Tuple[str, ...] = ()
+
+    def with_label(self, label: Optional[str]) -> "Labeled":
+        if not label:
+            return self
+        return Labeled(self.formula, self.labels + (label,))
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        prefix = ",".join(self.labels)
+        return f"[{prefix}] {to_str(self.formula)}" if prefix else to_str(self.formula)
+
+
+@dataclass
+class Sequent:
+    """One proof obligation: assumptions |- goal."""
+
+    assumptions: Tuple[Labeled, ...]
+    goal: Labeled
+    #: Identifiers from an explicit ``by l1, ..., ln`` clause; when non-empty
+    #: only assumptions carrying one of these labels are passed to provers.
+    hints: Tuple[str, ...] = ()
+    #: Description of the program point this sequent came from.
+    origin: str = ""
+    env: Optional[TypeEnv] = None
+
+    # -- views ----------------------------------------------------------------
+
+    def assumption_formulas(self) -> Tuple[F.Term, ...]:
+        return tuple(a.formula for a in self.assumptions)
+
+    def to_implication(self) -> F.Term:
+        """The sequent as a single HOL formula."""
+        if not self.assumptions:
+            return self.goal.formula
+        return F.mk_implies(F.mk_and(self.assumption_formulas()), self.goal.formula)
+
+    def relevant_assumptions(self) -> Tuple[Labeled, ...]:
+        """Assumptions filtered by the ``by`` hints (all of them if no hints)."""
+        if not self.hints:
+            return self.assumptions
+        wanted = set(self.hints)
+        selected = tuple(
+            a for a in self.assumptions if wanted.intersection(a.labels)
+        )
+        # An explicit hint list that matches nothing would make the sequent
+        # unprovable for no good reason; fall back to all assumptions.
+        return selected if selected else self.assumptions
+
+    def restricted(self) -> "Sequent":
+        """A copy of the sequent containing only the hint-selected assumptions."""
+        return Sequent(
+            assumptions=self.relevant_assumptions(),
+            goal=self.goal,
+            hints=(),
+            origin=self.origin,
+            env=self.env,
+        )
+
+    def with_extra_assumptions(self, extra: Iterable[Labeled]) -> "Sequent":
+        return Sequent(
+            assumptions=self.assumptions + tuple(extra),
+            goal=self.goal,
+            hints=self.hints,
+            origin=self.origin,
+            env=self.env,
+        )
+
+    # -- identity --------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """A stable identifier used by the interactive lemma store."""
+        parts = [to_str(a.formula) for a in self.assumptions] + ["|-", to_str(self.goal.formula)]
+        digest = hashlib.sha256("\n".join(sorted(parts[:-2]) + parts[-2:]).encode()).hexdigest()
+        return digest[:16]
+
+    def goal_fingerprint(self) -> str:
+        """A fingerprint of the goal alone (used for hint-matching lemmas)."""
+        return hashlib.sha256(to_str(self.goal.formula).encode()).hexdigest()[:16]
+
+    def size(self) -> int:
+        return sum(F.term_size(a.formula) for a in self.assumptions) + F.term_size(
+            self.goal.formula
+        )
+
+    def pretty(self, max_assumptions: int = 30) -> str:
+        lines: List[str] = []
+        shown = self.assumptions[:max_assumptions]
+        for labeled in shown:
+            lines.append("  " + str(labeled))
+        if len(self.assumptions) > max_assumptions:
+            lines.append(f"  ... ({len(self.assumptions) - max_assumptions} more assumptions)")
+        lines.append("  " + "-" * 40)
+        lines.append("  " + str(self.goal))
+        header = f"sequent [{self.origin}]" if self.origin else "sequent"
+        return header + "\n" + "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.pretty()
+
+
+def sequent(assumptions: Sequence[F.Term], goal: F.Term, origin: str = "") -> Sequent:
+    """Convenience constructor used heavily by tests and examples."""
+    return Sequent(
+        assumptions=tuple(Labeled(a) for a in assumptions),
+        goal=Labeled(goal),
+        origin=origin,
+    )

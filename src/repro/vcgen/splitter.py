@@ -1,0 +1,93 @@
+"""Splitting of verification conditions into sequents (paper Figure 13).
+
+The rules convert a goal into a list of implications:
+
+* ``A --> G1 & G2``        splits into  ``A --> G1`` and ``A --> G2``;
+* ``A --> (B --> G)``       becomes     ``A & B --> G``;
+* ``A --> ALL x. G``        becomes     ``A --> G[x := x_fresh]``.
+
+Splitting preserves the labels attached to formulas (used for ``by``-clause
+assumption selection and for error messages), and discards implications that
+are syntactically valid — the goal literally occurs among the assumptions or
+is ``True`` — counting them as "proved during splitting" exactly as the
+report of Figure 7 does.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..form import ast as F
+from ..form.subst import substitute
+from ..form.typecheck import TypeEnv
+from ..form.types import OBJ
+from .sequent import Labeled, Sequent
+
+_fresh_counter = itertools.count(1)
+
+
+@dataclass
+class SplitResult:
+    sequents: List[Sequent] = field(default_factory=list)
+    proved_during_splitting: int = 0
+
+
+def _label_conjuncts(formula: F.Term, labels: Tuple[str, ...]) -> List[Labeled]:
+    return [Labeled(conjunct, labels) for conjunct in F.conjuncts(formula)]
+
+
+def split_goal(
+    assumptions: Tuple[Labeled, ...],
+    goal: Labeled,
+    env: Optional[TypeEnv] = None,
+    hints: Tuple[str, ...] = (),
+    origin: str = "",
+    result: Optional[SplitResult] = None,
+) -> SplitResult:
+    """Split one proof obligation into sequents according to Figure 13."""
+    if result is None:
+        result = SplitResult()
+    formula = goal.formula
+
+    if isinstance(formula, F.BoolLit) and formula.value:
+        result.proved_during_splitting += 1
+        return result
+    # Syntactic elimination (Section 5.1): the goal occurs verbatim among the
+    # assumptions -- typically a class invariant untouched by the method.
+    for assumption in assumptions:
+        if assumption.formula == formula:
+            result.proved_during_splitting += 1
+            return result
+    if isinstance(formula, F.And):
+        for conjunct in formula.args:
+            split_goal(assumptions, Labeled(conjunct, goal.labels), env, hints, origin, result)
+        return result
+    if isinstance(formula, F.Implies):
+        extended = assumptions + tuple(_label_conjuncts(formula.lhs, goal.labels + ("hyp",)))
+        split_goal(extended, Labeled(formula.rhs, goal.labels), env, hints, origin, result)
+        return result
+    if isinstance(formula, F.Quant) and formula.kind == "ALL":
+        renaming = {}
+        new_env = env.copy() if env is not None else None
+        for name, typ in formula.params:
+            fresh = f"{name}${next(_fresh_counter)}"
+            renaming[name] = F.Var(fresh)
+            if new_env is not None:
+                new_env.bind(fresh, typ if typ is not None else OBJ)
+        body = substitute(formula.body, renaming)
+        split_goal(assumptions, Labeled(body, goal.labels), new_env, hints, origin, result)
+        return result
+
+    # Syntactic elimination during splitting: the goal occurs verbatim among
+    # the assumptions (Section 5.1).
+    for assumption in assumptions:
+        if assumption.formula == formula:
+            result.proved_during_splitting += 1
+            return result
+
+    result.sequents.append(
+        Sequent(assumptions=assumptions, goal=goal, hints=hints, origin=origin, env=env)
+    )
+    return result

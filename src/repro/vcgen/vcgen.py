@@ -1,0 +1,358 @@
+"""Verification condition generation for one method (paper Section 4).
+
+The generator assembles, for a method ``m`` of class ``C``:
+
+* entry assumptions — the precondition, the class invariants, background
+  axioms of the heap model (``f null = null``, ``null`` is never allocated),
+  and the ``old_v = v`` equations for the pre-state snapshot;
+* the translated body (with runtime-check assertions, loop-invariant
+  obligations, and postcondition checks at every return point);
+* exit assertions — the postcondition (with its frame conjuncts for public
+  specification variables not listed in ``modifies``) and the class
+  invariants.
+
+Defined specification variables (``vardefs``) are unfolded everywhere, which
+realises the variable-dependency tracking of Section 4.4: havocking a
+concrete variable automatically "changes" every defined variable that
+depends on it, because the defined variable no longer appears as a separate
+symbol.
+
+The desugared command is then explored path by path (equivalent to
+``wlp`` + splitting, Figure 10 + Figure 13, but label-preserving): every
+``assert`` reached along a path yields sequents whose assumptions are the
+formulas assumed along that path, with state-variable incarnations renamed
+at each ``havoc``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..form import ast as F
+from ..form.rewrite import map_subterms, simplify, unfold_definitions
+from ..form.subst import free_vars, substitute
+from ..form.typecheck import TypeEnv
+from ..form.types import BOOL, INT, OBJ, TFun, Type
+from ..gcl.commands import Assert, Assign, Assume, Choice, Command, Havoc, Note, Seq, desugar
+from ..gcl.translate import MethodTranslator
+from ..java.resolver import MethodInfo, Program, java_type_to_hol
+from .sequent import Labeled, Sequent
+from .splitter import SplitResult, split_goal
+
+
+@dataclass
+class MethodVC:
+    """The proof obligations of one method."""
+
+    class_name: str
+    method_name: str
+    sequents: List[Sequent] = field(default_factory=list)
+    proved_during_splitting: int = 0
+    paths: int = 0
+
+    @property
+    def total_obligations(self) -> int:
+        return len(self.sequents) + self.proved_during_splitting
+
+
+# ---------------------------------------------------------------------------
+# Formula preparation
+# ---------------------------------------------------------------------------
+
+
+def _replace_old(term: F.Term, state_vars: Set[str]) -> F.Term:
+    """Rewrite ``old e`` into ``e`` with state variables renamed to ``old_v``."""
+    mapping = {name: F.Var("old_" + name) for name in state_vars}
+
+    def rewrite(node: F.Term) -> F.Term:
+        if isinstance(node, F.Old):
+            return substitute(node.term, mapping)
+        return node
+
+    return map_subterms(term, rewrite)
+
+
+def _command_map(command: Command, fn) -> Command:
+    """Apply ``fn`` to every formula embedded in a command."""
+    if isinstance(command, Assume):
+        return Assume(fn(command.formula), command.label)
+    if isinstance(command, Assert):
+        return Assert(fn(command.formula), command.label, command.hints)
+    if isinstance(command, Note):
+        return Note(fn(command.formula), command.label, command.hints)
+    if isinstance(command, Havoc):
+        such_that = fn(command.such_that) if command.such_that is not None else None
+        return Havoc(command.variables, such_that)
+    if isinstance(command, Assign):
+        return Assign(command.variable, fn(command.value))
+    if isinstance(command, Seq):
+        return Seq(tuple(_command_map(sub, fn) for sub in command.commands))
+    if isinstance(command, Choice):
+        return Choice(_command_map(command.left, fn), _command_map(command.right, fn))
+    from ..gcl.commands import If, Loop
+
+    if isinstance(command, If):
+        return If(fn(command.condition), _command_map(command.then_branch, fn), _command_map(command.else_branch, fn))
+    if isinstance(command, Loop):
+        invariants = tuple((name, fn(formula)) for name, formula in command.invariants)
+        return Loop(invariants, fn(command.condition), _command_map(command.body, fn))
+    raise TypeError(f"unknown command {command!r}")
+
+
+def _background_axioms(program: Program) -> List[Tuple[str, F.Term]]:
+    """Heap-model facts that hold in every state (Section 4.1)."""
+    axioms: List[Tuple[str, F.Term]] = [
+        ("background:null-unalloc", F.mk_not(F.mk_elem(F.NULL, F.ALLOC))),
+    ]
+    for info in program.fields.values():
+        if info.is_static:
+            continue
+        default = F.IntLit(0) if info.value_type == INT else F.NULL
+        axioms.append(
+            (f"background:{info.name}-null", F.Eq(F.App(F.Var(info.name), (F.NULL,)), default))
+        )
+    return axioms
+
+
+# ---------------------------------------------------------------------------
+# Path exploration
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _PathState:
+    assumptions: Tuple[Labeled, ...]
+    #: current symbolic value of each mutated state variable (strongest
+    #: postcondition style: assignments substitute, havocs introduce fresh
+    #: incarnation variables)
+    renaming: Dict[str, F.Term]
+    env: TypeEnv
+    alive: bool = True
+
+
+class _Explorer:
+    """Walks a simple guarded command, generating sequents at every assert."""
+
+    def __init__(self, origin_prefix: str) -> None:
+        self.origin_prefix = origin_prefix
+        self.result = SplitResult()
+        self.paths = 0
+        self._fresh = itertools.count(1)
+
+    def _rename(self, formula: F.Term, state: _PathState) -> F.Term:
+        if not state.renaming:
+            return formula
+        return substitute(formula, dict(state.renaming))
+
+    def explore(self, command: Command, states: List[_PathState]) -> List[_PathState]:
+        if isinstance(command, Seq):
+            current = states
+            for sub in command.commands:
+                current = self.explore(sub, current)
+            return current
+        if isinstance(command, Choice):
+            left = self.explore(command.left, [self._copy(s) for s in states])
+            right = self.explore(command.right, [self._copy(s) for s in states])
+            return left + right
+        if isinstance(command, Assume):
+            out = []
+            for state in states:
+                if not state.alive:
+                    out.append(state)
+                    continue
+                formula = simplify(self._rename(command.formula, state))
+                if isinstance(formula, F.BoolLit):
+                    if not formula.value:
+                        state.alive = False
+                    out.append(state)
+                    continue
+                state.assumptions = state.assumptions + (Labeled(formula, (command.label,) if command.label else ()),)
+                out.append(state)
+            return out
+        if isinstance(command, Assert):
+            for state in states:
+                if not state.alive:
+                    continue
+                formula = simplify(self._rename(command.formula, state))
+                origin = f"{self.origin_prefix}:{command.label}" if command.label else self.origin_prefix
+                split_goal(
+                    state.assumptions,
+                    Labeled(formula, (command.label,) if command.label else ()),
+                    state.env,
+                    hints=command.hints,
+                    origin=origin,
+                    result=self.result,
+                )
+                # assert-then-assume: later obligations on this path may use it.
+                state.assumptions = state.assumptions + (
+                    Labeled(formula, (command.label,) if command.label else ()),
+                )
+            return states
+        if isinstance(command, Assign):
+            for state in states:
+                if not state.alive:
+                    continue
+                value = self._rename(command.value, state)
+                state.renaming = dict(state.renaming)
+                state.renaming[command.variable] = value
+            return states
+        if isinstance(command, Havoc):
+            for state in states:
+                if not state.alive:
+                    continue
+                for variable in command.variables:
+                    fresh = f"{variable}#{next(self._fresh)}"
+                    previous = state.renaming.get(variable)
+                    if isinstance(previous, F.Var):
+                        previous_type = state.env.lookup(previous.name)
+                    else:
+                        previous_type = state.env.lookup(variable)
+                    state.renaming = dict(state.renaming)
+                    state.renaming[variable] = F.Var(fresh)
+                    state.env = state.env.copy()
+                    state.env.bind(fresh, previous_type if previous_type is not None else OBJ)
+            return states
+        raise TypeError(f"not a simple command: {command!r}")
+
+    @staticmethod
+    def _copy(state: _PathState) -> _PathState:
+        return _PathState(state.assumptions, dict(state.renaming), state.env.copy(), state.alive)
+
+
+# ---------------------------------------------------------------------------
+# Main entry point
+# ---------------------------------------------------------------------------
+
+
+def generate_method_vc(
+    program: Program,
+    class_name: str,
+    method_name: str,
+    include_frame: bool = True,
+    include_background: bool = True,
+) -> MethodVC:
+    """Generate the sequents whose validity establishes the method's correctness."""
+    info: MethodInfo = program.method(class_name, method_name)
+    contract = info.contract
+    state_vars = program.state_variables()
+
+    def prepare(term: F.Term) -> F.Term:
+        term = unfold_definitions(term, program.definitions)
+        term = _replace_old(term, state_vars)
+        return term
+
+    precondition = prepare(program.parse(contract.requires_text))
+    postcondition = program.parse(contract.ensures_text)
+
+    # Frame conjuncts for public specification variables not in `modifies`.
+    if include_frame:
+        modified = set(contract.modifies)
+        frame_terms = []
+        for name in program.public_specvars:
+            if name not in modified:
+                frame_terms.append(F.Eq(F.Var(name), F.Old(F.Var(name))))
+        if frame_terms:
+            postcondition = F.mk_and((postcondition,) + tuple(frame_terms))
+    postcondition = prepare(postcondition)
+
+    invariants = [(name, prepare(formula)) for name, formula in program.invariants]
+
+    translator = MethodTranslator(
+        program,
+        class_name,
+        info.decl,
+        postcondition=postcondition,
+        exit_invariants=tuple(invariants),
+    )
+    translation = translator.translate()
+    body = _command_map(translation.command, prepare)
+
+    # Entry assumptions.
+    entry: List[Command] = [Assume(precondition, "pre")]
+    for name, formula in invariants:
+        entry.append(Assume(formula, f"inv:{name}"))
+    if include_background:
+        for label, axiom in _background_axioms(program):
+            entry.append(Assume(axiom, label))
+
+    # Pre-state snapshot equations for every old_<v> that is actually used.
+    exit_asserts: List[Command] = [Assert(postcondition, label="post")]
+    for name, formula in invariants:
+        exit_asserts.append(Assert(formula, label=f"inv-exit:{name}"))
+
+    used_names: Set[str] = set()
+    for command in [body] + exit_asserts:
+        for formula in _collect_formulas(command):
+            used_names |= free_vars(formula)
+    old_equations: List[Command] = []
+    for name in sorted(used_names):
+        if name.startswith("old_") and name[4:] in state_vars:
+            old_equations.append(
+                Assume(F.Eq(F.Var(name), F.Var(name[4:])), f"old:{name[4:]}")
+            )
+
+    full = Seq(tuple(entry + old_equations + [body] + exit_asserts))
+    simple = desugar(full)
+
+    # Build the initial typing environment: globals + parameters + locals.
+    env = program.env.copy()
+    for param_type, param_name in info.decl.params:
+        env.bind(param_name, java_type_to_hol(param_type))
+    for local in translation.locals_:
+        if isinstance(local, tuple):
+            local_name, local_type = local
+            env.bind(local_name, java_type_to_hol(local_type))
+        else:
+            env.bind(local, OBJ)
+    return_type = java_type_to_hol(info.decl.return_type) if info.decl.return_type != "void" else OBJ
+    env.bind("result", return_type)
+    for name in used_names:
+        if name.startswith("old_") and name[4:] in state_vars:
+            original_type = env.lookup(name[4:])
+            if original_type is not None:
+                env.bind(name, original_type)
+
+    explorer = _Explorer(origin_prefix=f"{class_name}.{method_name}")
+    final_states = explorer.explore(simple, [_PathState((), {}, env)])
+    explorer.paths = len(final_states)
+
+    return MethodVC(
+        class_name=class_name,
+        method_name=method_name,
+        sequents=explorer.result.sequents,
+        proved_during_splitting=explorer.result.proved_during_splitting,
+        paths=len(final_states),
+    )
+
+
+def _collect_formulas(command: Command) -> List[F.Term]:
+    out: List[F.Term] = []
+    if isinstance(command, (Assume,)):
+        out.append(command.formula)
+    elif isinstance(command, (Assert, Note)):
+        out.append(command.formula)
+    elif isinstance(command, Havoc) and command.such_that is not None:
+        out.append(command.such_that)
+    elif isinstance(command, Assign):
+        out.append(command.value)
+    elif isinstance(command, Seq):
+        for sub in command.commands:
+            out.extend(_collect_formulas(sub))
+    elif isinstance(command, Choice):
+        out.extend(_collect_formulas(command.left))
+        out.extend(_collect_formulas(command.right))
+    else:
+        from ..gcl.commands import If, Loop
+
+        if isinstance(command, If):
+            out.append(command.condition)
+            out.extend(_collect_formulas(command.then_branch))
+            out.extend(_collect_formulas(command.else_branch))
+        elif isinstance(command, Loop):
+            out.append(command.condition)
+            for _name, formula in command.invariants:
+                out.append(formula)
+            out.extend(_collect_formulas(command.body))
+    return out

@@ -1,0 +1,83 @@
+"""The BAPA decision procedure: Venn-region reduction and the prover interface."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bapa.prover import BapaProver
+from repro.bapa.venn import BapaError, conjunction_satisfiable
+from repro.form.parser import parse_formula as parse
+from repro.vcgen.sequent import sequent
+
+
+def _prove(assumptions, goal):
+    seq = sequent([parse(a) for a in assumptions], parse(goal))
+    return BapaProver().prove(seq)
+
+
+VALID = [
+    # cardinality of insertions (the sized-list invariant, Section 2.2)
+    (["size = card content", "content1 = content Un {x}", "x ~: content"],
+     "size + 1 = card content1"),
+    (["size = card content", "x ~: content", "x ~= null"],
+     "size + 1 = card (content Un {x})"),
+    # set algebra with cardinalities
+    (["A subseteq B"], "card A <= card B"),
+    (["A subseteq B", "card B <= card A"], "A = B"),
+    (["card A = 0"], "A = {}"),
+    (["x : A"], "card A >= 1"),
+    (["A Int B = {}"], "card (A Un B) = card A + card B"),
+    (["A = {}"], "card A = 0"),
+    # element reasoning through singleton sets
+    (["fresh ~= null", "null ~: nodes"], "null ~: {fresh} Un nodes"),
+    (["x ~= y"], "card {x, y} = 2"),
+    (["x : A", "y : A", "x ~= y"], "card A >= 2"),
+]
+
+
+@pytest.mark.parametrize("assumptions, goal", VALID)
+def test_proves_valid_bapa_sequents(assumptions, goal):
+    answer = _prove(assumptions, goal)
+    assert answer.proved, answer.detail
+
+
+INVALID = [
+    (["size = card content", "content1 = content Un {x}"], "size + 1 = card content1"),
+    (["A subseteq B"], "card B <= card A"),
+    ([], "card A >= 1"),
+    (["null ~: nodes"], "null ~: {fresh} Un nodes"),
+    (["x : A", "y : A"], "card A >= 2"),
+    ([], "card (A Un B) = card A + card B"),
+]
+
+
+@pytest.mark.parametrize("assumptions, goal", INVALID)
+def test_never_proves_invalid_bapa_sequents(assumptions, goal):
+    assert not _prove(assumptions, goal).proved
+
+
+def test_quantified_goal_is_declined():
+    answer = _prove([], "ALL x. x : A --> card A >= 1")
+    assert not answer.proved
+
+
+def test_conjunction_satisfiable_raises_outside_fragment():
+    with pytest.raises(BapaError):
+        conjunction_satisfiable([(parse("x : {y. y ~= null}"), True)], set())
+
+
+def test_too_many_set_variables_rejected():
+    literals = [(parse(f"S{i} subseteq S{i+1}"), True) for i in range(8)]
+    with pytest.raises(BapaError):
+        conjunction_satisfiable(literals, {f"S{i}" for i in range(9)})
+
+
+@given(st.integers(min_value=0, max_value=6), st.integers(min_value=0, max_value=6))
+@settings(max_examples=30, deadline=None)
+def test_cardinality_sum_property(n, m):
+    """card A = n, card B = m, A and B disjoint entail card(A Un B) = n + m,
+    and never entail a wrong total."""
+    assumptions = [f"card A = {n}", f"card B = {m}", "A Int B = {}"]
+    good = _prove(assumptions, f"card (A Un B) = {n + m}")
+    assert good.proved
+    bad = _prove(assumptions, f"card (A Un B) = {n + m + 1}")
+    assert not bad.proved

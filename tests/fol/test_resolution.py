@@ -1,0 +1,118 @@
+"""The resolution prover on classic first-order problems, and the HOL-to-FOL
+translation on sequents with reachability."""
+
+import pytest
+
+from repro.fol.clausify import Clausifier
+from repro.fol.hol2fol import translate_sequent
+from repro.fol.prover import FirstOrderProver
+from repro.fol.resolution import ResolutionProver
+from repro.form.parser import parse_formula as parse
+from repro.vcgen.sequent import sequent
+
+
+def _refutes(assumptions, goal, timeout=8.0):
+    seq = sequent([parse(a) for a in assumptions], parse(goal))
+    return FirstOrderProver(timeout=timeout).prove(seq).proved
+
+
+# -- valid entailments the prover must find ---------------------------------------
+
+VALID = [
+    (["p"], "p"),
+    (["p --> q", "p"], "q"),
+    (["ALL x. p x --> q x", "p a"], "q a"),
+    (["ALL x. p x"], "p a"),
+    (["ALL x y. r x y --> r y x", "r a b"], "r b a"),
+    (["ALL x y z. r x y & r y z --> r x z", "r a b", "r b c"], "r a c"),
+    (["a = b", "p a"], "p b"),
+    (["a = b", "b = c"], "a = c"),
+    (["f a = b", "a = c"], "f c = b"),
+    (["ALL x. x : S --> x : T", "a : S"], "a : T"),
+    (["EX x. p x", "ALL x. p x --> q x"], "EX x. q x"),
+    (["ALL x. p x | q x", "ALL x. ~ p x"], "q a"),
+    ([], "p a --> p a"),
+    ([], "(ALL x. p x) --> p a"),
+]
+
+
+@pytest.mark.parametrize("assumptions, goal", VALID)
+def test_proves_valid_entailments(assumptions, goal):
+    assert _refutes(assumptions, goal)
+
+
+# -- invalid entailments must never be "proved" (soundness) -------------------------
+
+INVALID = [
+    (["p --> q", "q"], "p"),
+    (["p a"], "p b"),
+    (["ALL x. p x --> q x"], "q a"),
+    (["a = b"], "a = c"),
+    ([], "p a"),
+    (["EX x. p x"], "p a"),
+    (["r a b", "r b c"], "r a c"),
+]
+
+
+@pytest.mark.parametrize("assumptions, goal", INVALID)
+def test_never_proves_invalid_entailments(assumptions, goal):
+    assert not _refutes(assumptions, goal, timeout=2.0)
+
+
+# -- reachability translation ---------------------------------------------------------
+
+
+def test_reachability_axioms_prove_step():
+    assumptions = ["(root, x) : {(u, v). u..next = v}^*"]
+    goal = "(root, x..next) : {(u, v). u..next = v}^*"
+    # reach(root, x) and the step/transitivity axioms give reach(root, x.next).
+    assert _refutes(assumptions, goal)
+
+
+def test_reachability_reflexivity():
+    assert _refutes([], "(x, x) : {(u, v). u..next = v}^*")
+
+
+def test_reachability_not_assumed_invalid():
+    assert not _refutes([], "(x, y) : {(u, v). u..next = v}^*", timeout=2.0)
+
+
+def test_translation_produces_clauses():
+    seq = sequent(
+        [parse("ALL x. x : S --> x..next : S"), parse("a : S")],
+        parse("a..next : S"),
+    )
+    translation = translate_sequent(seq)
+    assert translation.clauses
+    # The goal is negated, so at least one clause holds the negated goal atom.
+    assert any(not lit.positive and lit.pred == "elem" for c in translation.clauses for lit in c)
+
+
+def test_clausifier_skolemizes_existentials():
+    clausifier = Clausifier()
+    clauses = clausifier.clausify(parse("EX x. p x"))
+    assert len(clauses) == 1
+    literal = clauses[0].literals[0]
+    assert literal.pred == "p"
+    assert literal.args[0].func.startswith("sk_")
+
+
+def test_clausifier_distributes_disjunction():
+    clausifier = Clausifier()
+    clauses = clausifier.clausify(parse("(p & q) | r"))
+    assert len(clauses) == 2
+
+
+def test_empty_clause_detected_immediately():
+    engine = ResolutionProver()
+    clausifier = Clausifier()
+    clauses = clausifier.clausify(parse("p")) + clausifier.clausify(parse("~p"))
+    assert engine.refute(clauses).refuted
+
+
+def test_saturation_terminates_on_satisfiable_input():
+    engine = ResolutionProver(max_seconds=2.0, max_processed=200)
+    clausifier = Clausifier()
+    clauses = clausifier.clausify(parse("p a")) + clausifier.clausify(parse("q b"))
+    result = engine.refute(clauses)
+    assert not result.refuted

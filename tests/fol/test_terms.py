@@ -1,0 +1,120 @@
+"""Unification, substitution and clause utilities of the first-order prover."""
+
+import pytest
+
+from repro.fol.terms import (
+    Clause,
+    FApp,
+    FVar,
+    Literal,
+    apply_subst,
+    clause_vars,
+    clause_weight,
+    const,
+    rename_clause,
+    subsumes,
+    unify,
+    unify_literals,
+)
+
+
+def f(*args):
+    return FApp("f", args)
+
+
+def g(*args):
+    return FApp("g", args)
+
+
+X, Y, Z = FVar("X"), FVar("Y"), FVar("Z")
+a, b, c = const("a"), const("b"), const("c")
+
+
+def test_unify_variable_with_constant():
+    assert unify(X, a) == {"X": a}
+
+
+def test_unify_identical_terms():
+    assert unify(f(a, b), f(a, b)) == {}
+
+
+def test_unify_nested():
+    subst = unify(f(X, g(Y)), f(a, g(b)))
+    assert subst == {"X": a, "Y": b}
+
+
+def test_unify_occurs_check():
+    assert unify(X, f(X)) is None
+
+
+def test_unify_clash():
+    assert unify(f(a), g(a)) is None
+    assert unify(f(a), f(b)) is None
+
+
+def test_unify_shared_variable():
+    subst = unify(f(X, X), f(a, Y))
+    assert apply_subst(f(X, X), subst) == apply_subst(f(a, Y), subst)
+
+
+def test_unify_is_most_general():
+    subst = unify(f(X), f(Y))
+    # The unifier must not instantiate to a constant.
+    assert all(isinstance(value, FVar) for value in subst.values())
+
+
+def test_apply_subst_resolves_chains():
+    subst = unify(f(X, Y), f(Y, a))
+    assert apply_subst(X, subst) == a
+
+
+def test_unify_literals_same_predicate():
+    l1 = Literal(True, "p", (X, b))
+    l2 = Literal(True, "p", (a, Y))
+    subst = unify_literals(l1, l2)
+    assert subst == {"X": a, "Y": b}
+
+
+def test_unify_literals_different_predicates():
+    l1 = Literal(True, "p", (X,))
+    l2 = Literal(True, "q", (a,))
+    assert unify_literals(l1, l2) is None
+
+
+def test_clause_deduplicates_literals():
+    lit = Literal(True, "p", (a,))
+    clause = Clause((lit, lit))
+    assert len(clause) == 1
+
+
+def test_tautology_detection():
+    lit = Literal(True, "p", (a,))
+    clause = Clause((lit, lit.negate()))
+    assert clause.is_tautology()
+    assert Clause((Literal(True, "=", (a, a)),)).is_tautology()
+
+
+def test_clause_vars_and_rename():
+    clause = Clause((Literal(True, "p", (X, Y)), Literal(False, "q", (Z,))))
+    assert clause_vars(clause) == {"X", "Y", "Z"}
+    renamed = rename_clause(clause, "_1")
+    assert clause_vars(renamed) == {"X_1", "Y_1", "Z_1"}
+
+
+def test_clause_weight_counts_symbols():
+    light = Clause((Literal(True, "p", (a,)),))
+    heavy = Clause((Literal(True, "p", (f(g(a), b),)), Literal(True, "q", (c,))))
+    assert clause_weight(light) < clause_weight(heavy)
+
+
+def test_subsumption_ground():
+    general = Clause((Literal(True, "p", (X,)),))
+    specific = Clause((Literal(True, "p", (a,)), Literal(True, "q", (b,))))
+    assert subsumes(general, specific)
+    assert not subsumes(specific, general)
+
+
+def test_subsumption_respects_polarity():
+    general = Clause((Literal(False, "p", (X,)),))
+    specific = Clause((Literal(True, "p", (a,)),))
+    assert not subsumes(general, specific)

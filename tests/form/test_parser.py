@@ -1,0 +1,200 @@
+"""Parser and printer tests: round-tripping the paper's specification formulas."""
+
+import pytest
+
+from repro.form import ast as F
+from repro.form.parser import ParseError, parse_formula
+from repro.form.printer import to_str
+
+# Formulas drawn from the paper's figures (2-6) and from the bundled suite.
+ROUND_TRIP_FORMULAS = [
+    "k0 ~= null & v0 ~= null",
+    "content = old content - {(k0, result)} Un {(k0, v0)}",
+    "(result = null --> ~(EX v. (k0, v) : old content))",
+    "(result ~= null --> (k0, result) : old content)",
+    "ALL x. x : Node & x : alloc & x ~= null --> x..cnt = {(x..key, x..value)} Un x..next..cnt",
+    "ALL x. x : Node & x : alloc & x = null --> x..cnt = {}",
+    "edge = (% x y. (x : Node & y = x..next) | (x : AssocList & y = x..first))",
+    "ALL x1 x2 y. y ~= null & edge x1 y & edge x2 y --> x1 = x2",
+    "nodes = {n. n ~= null & (root, n) : {(u, v). u..next = v}^*}",
+    "content = {x. EX n. x = n..data & n : nodes}",
+    "size = card content",
+    "tree [List.next]",
+    "ALL v. ((k0, v) : content) = ((k0, v) : current..cnt)",
+    "x ~: content",
+    "content = old content Un {x}",
+    "A subseteq B & B subseteq C --> A subseteq C",
+    "x : A Un B",
+    "x : A Int B - C",
+    "size + 1 = card content1",
+    "0 <= i & i < count",
+    "arrayRead arrayState elems i = v",
+    "fieldWrite next n1 root = q",
+    "first ~= null --> content = cnt first",
+    "ALL n. n : nodes --> n..next : nodes | n..next = null",
+    "EX n. n : nodes & x = n..data",
+    "~(x = y) | x = y",
+    "card A >= 1",
+    "a < b & b <= c --> a < c",
+    "p & q | r",
+    "p --> q --> r",
+    "p <-> q",
+    "(x, y) : treeEdges",
+    "hsize > 0 --> maxElem = arrayRead arrayState heap 0",
+    "result = hashOf k & 0 <= result & result < tcapacity",
+    "(u, v) : {(x, y). y = x..next}^+",
+    "-3 < x",
+    "f (g x) (h y z) = w",
+]
+
+
+@pytest.mark.parametrize("text", ROUND_TRIP_FORMULAS)
+def test_round_trip(text):
+    """Parsing, printing and re-parsing reaches a fixed point."""
+    term = parse_formula(text)
+    printed = to_str(term)
+    reparsed = parse_formula(printed)
+    assert to_str(reparsed) == printed
+
+
+@pytest.mark.parametrize(
+    "text, expected_type",
+    [
+        ("ALL x. x : S", F.Quant),
+        ("EX x. x : S", F.Quant),
+        ("% x y. x = y", F.Lambda),
+        ("{x. x : S}", F.SetCompr),
+        ("{(x, y). x = y}", F.SetCompr),
+        ("{a, b, c}", F.App),
+        ("{}", F.Var),
+        ("x & y", F.And),
+        ("x | y", F.Or),
+        ("~x", F.Not),
+        ("x --> y", F.Implies),
+        ("x <-> y", F.Iff),
+        ("x = y", F.Eq),
+        ("old content", F.Old),
+        ("(a, b)", F.TupleTerm),
+        ("42", F.IntLit),
+        ("True", F.BoolLit),
+    ],
+)
+def test_node_kinds(text, expected_type):
+    assert isinstance(parse_formula(text), expected_type)
+
+
+def test_field_access_is_application():
+    term = parse_formula("x..next")
+    assert isinstance(term, F.App)
+    assert term.func == F.Var("next")
+    assert term.args == (F.Var("x"),)
+
+
+def test_chained_field_access():
+    term = parse_formula("x..next..cnt")
+    assert isinstance(term, F.App)
+    assert term.func == F.Var("cnt")
+    inner = term.args[0]
+    assert isinstance(inner, F.App) and inner.func == F.Var("next")
+
+
+def test_membership_negation():
+    term = parse_formula("x ~: S")
+    assert isinstance(term, F.Not)
+    assert F.is_app_of(term.arg, "elem")
+
+
+def test_set_difference_parses_as_minus():
+    term = parse_formula("A - B")
+    assert F.is_app_of(term, "minus")
+
+
+def test_rtrancl_postfix():
+    term = parse_formula("R^*")
+    assert F.is_app_of(term, "rtrancl")
+
+
+def test_trancl_postfix():
+    term = parse_formula("R^+")
+    assert F.is_app_of(term, "trancl")
+
+
+def test_tree_declaration():
+    term = parse_formula("tree [next]")
+    assert F.is_app_of(term, "tree")
+
+
+def test_tree_with_two_fields():
+    term = parse_formula("tree [left, right]")
+    assert F.is_app_of(term, "tree2")
+
+
+def test_unicode_notation_accepted():
+    ascii_term = parse_formula("ALL x. x : S --> x ~= null")
+    unicode_term = parse_formula("∀ x. x ∈ S → x ≠ null")
+    assert to_str(ascii_term) == to_str(unicode_term)
+
+
+def test_implication_is_right_associative():
+    term = parse_formula("a --> b --> c")
+    assert isinstance(term, F.Implies)
+    assert isinstance(term.rhs, F.Implies)
+
+
+def test_and_binds_tighter_than_or():
+    term = parse_formula("a & b | c")
+    assert isinstance(term, F.Or)
+
+
+def test_comparison_binds_tighter_than_and():
+    term = parse_formula("x = y & z = w")
+    assert isinstance(term, F.And)
+    assert all(isinstance(arg, F.Eq) for arg in term.args)
+
+
+def test_quantifier_scopes_to_the_right():
+    term = parse_formula("ALL x. x : S & x ~= null")
+    assert isinstance(term, F.Quant)
+    assert isinstance(term.body, F.And)
+
+
+def test_multi_variable_binder():
+    term = parse_formula("ALL x y z. x = y --> y = z --> x = z")
+    assert isinstance(term, F.Quant)
+    assert [name for name, _ in term.params] == ["x", "y", "z"]
+
+
+def test_typed_binder():
+    term = parse_formula("ALL (x::int). 0 <= x | x < 0")
+    assert isinstance(term, F.Quant)
+    from repro.form.types import INT
+
+    assert term.params[0][1] == INT
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "x &",
+        "ALL . x",
+        "x : ",
+        "{x. }",
+        "x..",
+        "((x)",
+        "x ~~ y",
+    ],
+)
+def test_parse_errors(bad):
+    with pytest.raises(ParseError):
+        parse_formula(bad)
+
+
+def test_finite_set_literal_prints_back():
+    term = parse_formula("{a, b}")
+    assert to_str(term) == "{a, b}"
+
+
+def test_qualified_names_survive():
+    term = parse_formula("tree [List.next]")
+    assert to_str(parse_formula(to_str(term))) == to_str(term)

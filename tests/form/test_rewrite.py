@@ -1,0 +1,147 @@
+"""Rewriting passes: simplification, NNF, set expansion, field-write expansion."""
+
+import pytest
+
+from repro.form import ast as F
+from repro.form.parser import parse_formula as parse
+from repro.form.printer import to_str
+from repro.form.rewrite import (
+    eliminate_ite,
+    expand_field_writes,
+    expand_set_equalities,
+    expand_set_literals,
+    nnf,
+    simplify,
+    unfold_definitions,
+)
+
+
+@pytest.mark.parametrize(
+    "before, after",
+    [
+        ("x = x", "True"),
+        ("True & p", "p"),
+        ("False & p", "False"),
+        ("False | p", "p"),
+        ("True | p", "True"),
+        ("~~p", "p"),
+        ("p --> True", "True"),
+        ("1 + 2 = 3", "True"),
+        ("2 < 1", "False"),
+        ("x : {}", "False"),
+        ("A Un {} = A", "True"),
+        ("size + 0 = size", "True"),
+        ("p & p & True", "p & p"),
+    ],
+)
+def test_simplify(before, after):
+    assert to_str(simplify(parse(before))) == to_str(parse(after))
+
+
+@pytest.mark.parametrize(
+    "before",
+    [
+        "~(p & q)",
+        "~(p | q)",
+        "~(p --> q)",
+        "~(ALL x. x : S)",
+        "~(EX x. x : S)",
+        "p <-> q",
+        "~(p <-> q)",
+    ],
+)
+def test_nnf_removes_negations_of_compounds(before):
+    result = nnf(parse(before))
+    # In NNF, negation only applies to atoms.
+    for sub in F.subterms(result):
+        if isinstance(sub, F.Not):
+            assert not isinstance(
+                sub.arg, (F.And, F.Or, F.Implies, F.Iff, F.Quant, F.Not)
+            )
+
+
+def test_nnf_pushes_negation_through_quantifier():
+    result = nnf(parse("~(ALL x. x : S)"))
+    assert isinstance(result, F.Quant) and result.kind == "EX"
+
+
+@pytest.mark.parametrize(
+    "before, after",
+    [
+        ("x : A Un B", "x : A | x : B"),
+        ("x : A Int B", "x : A & x : B"),
+        ("x : A - B", "x : A & x ~: B"),
+        ("x : {a, b}", "x = a | x = b | False"),
+        ("x : {y. y ~= null}", "x ~= null"),
+        ("x : (A Un B) Int C", "(x : A | x : B) & x : C"),
+    ],
+)
+def test_expand_set_literals(before, after):
+    assert to_str(simplify(expand_set_literals(parse(before)))) == to_str(
+        simplify(parse(after))
+    )
+
+
+def test_expand_subseteq():
+    result = expand_set_literals(parse("A subseteq B"))
+    assert isinstance(result, F.Quant)
+
+
+def test_expand_set_equalities():
+    result = expand_set_equalities(parse("A = B Un {x}"), {"A", "B"})
+    assert isinstance(result, F.Quant)
+    assert isinstance(result.body, F.Iff)
+
+
+def test_expand_set_equalities_ignores_object_equalities():
+    term = parse("x = y")
+    assert expand_set_equalities(term, {"A"}) == term
+
+
+def test_expand_field_writes_same_object():
+    result = expand_field_writes(parse("(fieldWrite next n root) n = q"))
+    assert to_str(result) == "root = q"
+
+
+def test_expand_field_writes_other_object_introduces_ite():
+    result = expand_field_writes(parse("(fieldWrite next n root) m = q"))
+    assert any(isinstance(sub, F.Ite) for sub in F.subterms(result))
+
+
+def test_expand_array_writes():
+    result = expand_field_writes(
+        parse("(arrayWrite arrayState a i v) a i = v")
+    )
+    assert to_str(simplify(result)) == "True"
+
+
+def test_eliminate_ite_boolean_position():
+    term = parse("x = y & z = w")
+    ite = F.Ite(parse("c"), parse("p"), parse("q"))
+    result = eliminate_ite(F.And((ite, term)))
+    assert not any(isinstance(sub, F.Ite) for sub in F.subterms(result))
+
+
+def test_eliminate_ite_term_position():
+    term = F.Eq(F.Ite(parse("c"), F.Var("a"), F.Var("b")), F.Var("q"))
+    result = eliminate_ite(term)
+    assert not any(isinstance(sub, F.Ite) for sub in F.subterms(result))
+    # The case split must mention both branches.
+    text = to_str(result)
+    assert "a = q" in text and "b = q" in text
+
+
+def test_unfold_definitions():
+    definitions = {"content": parse("cnt first")}
+    result = unfold_definitions(parse("content = old content Un {x}"), definitions)
+    assert "content" not in to_str(result).split() or "cnt" in to_str(result)
+
+
+def test_unfold_definitions_chain():
+    definitions = {"a": parse("b Un {x}"), "b": parse("c")}
+    result = unfold_definitions(parse("y : a"), definitions)
+    assert to_str(result) == "y : c Un {x}"
+
+
+def test_quantifier_over_boolean_constant_simplifies():
+    assert to_str(simplify(F.Quant("ALL", (("x", None),), F.TRUE))) == "True"

@@ -1,0 +1,158 @@
+"""Substitution, free variables, beta reduction and alpha equivalence."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.form import ast as F
+from repro.form.parser import parse_formula
+from repro.form.printer import to_str
+from repro.form.subst import alpha_equal, beta_reduce, free_vars, fresh_name, substitute
+
+
+@pytest.mark.parametrize(
+    "text, expected",
+    [
+        ("x = y", {"x", "y"}),
+        ("ALL x. x = y", {"y"}),
+        ("EX x y. x = y", set()),
+        ("% x. x..next = y", {"y", "next"}),
+        ("{x. x : S}", {"S"}),
+        ("x : A Un B", {"x", "A", "B"}),
+        ("card content = size", {"content", "size"}),
+        ("null = x", {"x"}),  # builtins are not free variables
+        ("old content = content", {"content"}),
+        ("(ALL x. x : S) & x : T", {"x", "S", "T"}),
+    ],
+)
+def test_free_vars(text, expected):
+    assert set(free_vars(parse_formula(text))) == expected
+
+
+def test_substitute_simple():
+    term = parse_formula("x = y")
+    result = substitute(term, {"x": F.Var("z")})
+    assert to_str(result) == "z = y"
+
+
+def test_substitute_does_not_touch_bound():
+    term = parse_formula("ALL x. x = y")
+    result = substitute(term, {"x": F.Var("z")})
+    assert to_str(result) == to_str(term)
+
+
+def test_substitute_avoids_capture():
+    # Substituting y := x under a binder for x must rename the binder.
+    term = parse_formula("ALL x. x = y")
+    result = substitute(term, {"y": F.Var("x")})
+    assert isinstance(result, F.Quant)
+    bound_name = result.params[0][0]
+    assert bound_name != "x"
+    assert to_str(result.body) == f"{bound_name} = x"
+
+
+def test_substitute_simultaneous():
+    term = parse_formula("x = y")
+    result = substitute(term, {"x": F.Var("y"), "y": F.Var("x")})
+    assert to_str(result) == "y = x"
+
+
+def test_beta_reduce_simple():
+    term = parse_formula("(% x. x..next) a")
+    assert to_str(beta_reduce(term)) == "next a"
+
+
+def test_beta_reduce_two_arguments():
+    term = parse_formula("(% x y. x = y) a b")
+    assert to_str(beta_reduce(term)) == "a = b"
+
+
+def test_beta_reduce_under_connectives():
+    term = parse_formula("p & (% x. x : S) a")
+    assert to_str(beta_reduce(term)) == "p & a : S"
+
+
+def test_beta_reduce_partial_application():
+    term = parse_formula("(% x y. x = y) a")
+    reduced = beta_reduce(term)
+    assert isinstance(reduced, F.Lambda)
+    assert to_str(beta_reduce(F.App(reduced, (F.Var("b"),)))) == "a = b"
+
+
+def test_alpha_equal_binders():
+    t1 = parse_formula("ALL x. x : S")
+    t2 = parse_formula("ALL y. y : S")
+    assert alpha_equal(t1, t2)
+
+
+def test_alpha_not_equal_different_structure():
+    t1 = parse_formula("ALL x. x : S")
+    t2 = parse_formula("EX x. x : S")
+    assert not alpha_equal(t1, t2)
+
+
+def test_alpha_distinguishes_free_variables():
+    t1 = parse_formula("x : S")
+    t2 = parse_formula("y : S")
+    assert not alpha_equal(t1, t2)
+
+
+def test_fresh_name_avoids_collisions():
+    name = fresh_name("x", {"x", "x_1", "x_2"})
+    assert name not in {"x", "x_1", "x_2"}
+
+
+# -- property-based tests ------------------------------------------------------
+
+_names = st.sampled_from(["a", "b", "c", "d"])
+
+
+@st.composite
+def simple_formulas(draw, depth=2):
+    """A small random formula generator over equality atoms and connectives."""
+    if depth == 0:
+        left, right = draw(_names), draw(_names)
+        return F.Eq(F.Var(left), F.Var(right))
+    kind = draw(st.sampled_from(["atom", "not", "and", "or", "implies", "forall"]))
+    if kind == "atom":
+        return draw(simple_formulas(depth=0))
+    if kind == "not":
+        return F.Not(draw(simple_formulas(depth=depth - 1)))
+    if kind in ("and", "or"):
+        args = (draw(simple_formulas(depth=depth - 1)), draw(simple_formulas(depth=depth - 1)))
+        return F.And(args) if kind == "and" else F.Or(args)
+    if kind == "implies":
+        return F.Implies(
+            draw(simple_formulas(depth=depth - 1)), draw(simple_formulas(depth=depth - 1))
+        )
+    var = draw(_names)
+    return F.Quant("ALL", ((var, None),), draw(simple_formulas(depth=depth - 1)))
+
+
+@given(simple_formulas())
+@settings(max_examples=60, deadline=None)
+def test_print_parse_round_trip_property(term):
+    """to_str/parse is a round trip on randomly generated formulas."""
+    printed = to_str(term)
+    reparsed = parse_formula(printed)
+    assert to_str(reparsed) == printed
+
+
+@given(simple_formulas())
+@settings(max_examples=60, deadline=None)
+def test_substitution_of_fresh_variable_is_invertible(term):
+    """Renaming a free variable to a fresh name and back is the identity."""
+    original = to_str(term)
+    for name in free_vars(term):
+        fresh = fresh_name(name + "_fresh", free_vars(term))
+        renamed = substitute(term, {name: F.Var(fresh)})
+        restored = substitute(renamed, {fresh: F.Var(name)})
+        assert alpha_equal(restored, term), (original, to_str(restored))
+
+
+@given(simple_formulas())
+@settings(max_examples=60, deadline=None)
+def test_substitution_removes_the_variable(term):
+    """After substituting x := <fresh constant>, x is no longer free."""
+    for name in free_vars(term):
+        replaced = substitute(term, {name: F.Var("$constant")})
+        assert name not in free_vars(replaced)

@@ -1,0 +1,139 @@
+"""Type checking and inference tests."""
+
+import pytest
+
+from repro.form import ast as F
+from repro.form.parser import parse_formula
+from repro.form.typecheck import TypeEnv, TypeError_, check_formula, infer_type, standard_env
+from repro.form.types import (
+    BOOL,
+    INT,
+    OBJ,
+    OBJ_SET,
+    TFun,
+    TSet,
+    TTuple,
+    fun_type,
+    parse_type,
+)
+
+
+def _env():
+    env = standard_env()
+    env.bind("Node", TSet(OBJ))
+    env.bind("content", TSet(TTuple((OBJ, OBJ))))
+    env.bind("nodes", OBJ_SET)
+    env.bind("next", fun_type([OBJ], OBJ))
+    env.bind("key", fun_type([OBJ], OBJ))
+    env.bind("value", fun_type([OBJ], OBJ))
+    env.bind("cnt", fun_type([OBJ], TSet(TTuple((OBJ, OBJ)))))
+    env.bind("size", INT)
+    env.bind("data", fun_type([OBJ], OBJ))
+    return env
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "k0 ~= null",
+        "size = card nodes",
+        "ALL x. x : Node --> x..next : Node | x..next = null",
+        "ALL x. x : Node & x ~= null --> x..cnt = {(x..key, x..value)} Un x..next..cnt",
+        "(k0, v0) : content",
+        "content = old content Un {(k0, v0)}",
+        "nodes = {n. n..next = null}",
+        "size + 1 > 0",
+        "EX v. (k0, v) : content",
+        "ALL v. ((k0, v) : content) = ((k0, v) : cnt current)",
+    ],
+)
+def test_well_typed_formulas(text):
+    annotated = check_formula(parse_formula(text), _env())
+    assert annotated is not None
+
+
+@pytest.mark.parametrize(
+    "text, expected",
+    [
+        ("size", INT),
+        ("size + 1", INT),
+        ("card nodes", INT),
+        ("nodes", OBJ_SET),
+        ("nodes Un {x}", OBJ_SET),
+        ("x..next", OBJ),
+        ("x : nodes", BOOL),
+        ("(x, y)", TTuple((OBJ, OBJ))),
+        ("% x. x..next", TFun(OBJ, OBJ)),
+        ("{n. n..next = null}", OBJ_SET),
+    ],
+)
+def test_inferred_types(text, expected):
+    assert infer_type(parse_formula(text), _env()) == expected
+
+
+def test_binder_annotation_defaults_to_obj():
+    annotated = check_formula(parse_formula("ALL x. x : nodes"), _env())
+    assert annotated.params[0][1] == OBJ
+
+
+def test_binder_annotation_infers_int():
+    env = _env()
+    annotated = check_formula(parse_formula("ALL i. i < size"), env)
+    assert annotated.params[0][1] == INT
+
+
+def test_minus_resolves_to_set_difference():
+    env = _env()
+    annotated = check_formula(parse_formula("nodes - {x} = nodes"), env)
+    # The overloaded '-' must become set difference when operands are sets.
+    assert "setdiff" in repr(annotated) or F.is_app_of(annotated.lhs, "setdiff")
+
+
+def test_minus_stays_arithmetic_for_integers():
+    env = _env()
+    typ = infer_type(parse_formula("size - 1"), env)
+    assert typ == INT
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "size = nodes",            # int vs set
+        "card size",               # card of a non-set
+        "size Un nodes",           # union of an int
+        "(x : nodes) + 1",         # bool used as int
+    ],
+)
+def test_ill_typed_formulas(text):
+    with pytest.raises(TypeError_):
+        check_formula(parse_formula(text), _env())
+
+
+@pytest.mark.parametrize(
+    "text, expected",
+    [
+        ("bool", BOOL),
+        ("int", INT),
+        ("obj", OBJ),
+        ("objset", OBJ_SET),
+        ("obj set", OBJ_SET),
+        ("(obj * obj) set", TSet(TTuple((OBJ, OBJ)))),
+        ("obj => obj", TFun(OBJ, OBJ)),
+        ("obj => obj => bool", TFun(OBJ, TFun(OBJ, BOOL))),
+        ("obj => (obj * obj) set", TFun(OBJ, TSet(TTuple((OBJ, OBJ))))),
+        ("(int * obj) set", TSet(TTuple((INT, OBJ)))),
+    ],
+)
+def test_parse_type(text, expected):
+    assert parse_type(text) == expected
+
+
+def test_unknown_variables_default_to_obj():
+    env = TypeEnv()
+    assert infer_type(parse_formula("mystery"), env) == OBJ
+
+
+def test_unknown_variables_rejected_when_strict():
+    env = TypeEnv(default_obj=False)
+    with pytest.raises(TypeError_):
+        infer_type(parse_formula("mystery = null"), env)

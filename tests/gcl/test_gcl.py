@@ -1,0 +1,220 @@
+"""Guarded commands: translation from Java, desugaring (Fig 11/12) and wlp (Fig 10)."""
+
+import pytest
+
+from repro.form import ast as F
+from repro.form.parser import parse_formula as parse
+from repro.form.printer import to_str
+from repro.form.rewrite import simplify
+from repro.gcl.commands import (
+    Assert,
+    Assign,
+    Assume,
+    Choice,
+    Havoc,
+    If,
+    Loop,
+    Note,
+    Seq,
+    assigned_variables,
+    desugar,
+    seq,
+)
+from repro.gcl.translate import MethodTranslator, TranslationError
+from repro.gcl.wlp import verification_condition, wlp
+from repro.java.resolver import parse_program
+
+SOURCE = """
+public /*: claimedby List */ class Node { public Object data; public Node next; }
+class List {
+    private static Node first;
+    private static int size;
+    /*: public static ghost specvar content :: "objset" = "{}"; */
+
+    public static void add(Object x)
+    /*: requires "x ~= null" modifies content ensures "content = old content Un {x}" */
+    {
+        Node n = new Node();
+        n.next = first;
+        first = n;
+        size = size + 1;
+        //: content := "{x} Un content";
+    }
+
+    public static Object head()
+    /*: requires "first ~= null" ensures "True" */
+    {
+        if (first != null) { return first.data; }
+        return null;
+    }
+
+    public static void count()
+    /*: requires "True" ensures "True" */
+    {
+        int i = 0;
+        while /*: inv "0 <= i" */ (i < size) {
+            i = i + 1;
+        }
+    }
+}
+"""
+
+
+def _translate(method, post="True"):
+    program = parse_program(SOURCE)
+    info = program.method("List", method)
+    translator = MethodTranslator(program, "List", info.decl, postcondition=parse(post))
+    return program, translator.translate()
+
+
+# -- translation -------------------------------------------------------------------------
+
+
+def test_allocation_produces_fresh_object_facts():
+    _, result = _translate("add")
+    text = repr(result.command)
+    assert "alloc" in text
+    # The allocated object is constrained to be new and non-null.
+    assert "fresh" in text
+
+
+def test_field_assignment_becomes_functional_update():
+    _, result = _translate("add")
+    assigns = [c for c in _flatten(result.command) if isinstance(c, Assign)]
+    next_updates = [a for a in assigns if a.variable == "next"]
+    assert next_updates and F.is_app_of(next_updates[0].value, "fieldWrite")
+
+
+def test_ghost_assignment_translated():
+    _, result = _translate("add")
+    assigns = [c for c in _flatten(result.command) if isinstance(c, Assign)]
+    assert any(a.variable == "content" for a in assigns)
+
+
+def test_dereference_generates_null_check():
+    _, result = _translate("head")
+    asserts = [c for c in _flatten(result.command) if isinstance(c, Assert)]
+    assert any(c.label == "null-check" for c in asserts)
+
+
+def test_return_checks_postcondition():
+    _, result = _translate("head", post="result = result")
+    asserts = [c for c in _flatten(result.command) if isinstance(c, Assert)]
+    assert any(c.label == "post:return" for c in asserts)
+
+
+def test_loop_translation_keeps_invariant():
+    _, result = _translate("count")
+    loops = [c for c in _flatten(result.command) if isinstance(c, Loop)]
+    assert len(loops) == 1
+    assert loops[0].invariants[0][1] == parse("0 <= i")
+
+
+def test_method_calls_rejected():
+    program = parse_program(
+        "class A { static void f() /*: requires \"True\" ensures \"True\" */ { g(); } "
+        "static void g() /*: requires \"True\" ensures \"True\" */ { } }"
+    )
+    info = program.method("A", "f")
+    translator = MethodTranslator(program, "A", info.decl, postcondition=F.TRUE)
+    with pytest.raises(TranslationError):
+        translator.translate()
+
+
+def _flatten(command):
+    out = [command]
+    if isinstance(command, Seq):
+        for sub in command.commands:
+            out.extend(_flatten(sub))
+    elif isinstance(command, Choice):
+        out.extend(_flatten(command.left))
+        out.extend(_flatten(command.right))
+    elif isinstance(command, If):
+        out.extend(_flatten(command.then_branch))
+        out.extend(_flatten(command.else_branch))
+    elif isinstance(command, Loop):
+        out.extend(_flatten(command.body))
+    return out
+
+
+# -- desugaring (Figures 11 and 12) ----------------------------------------------------------
+
+
+def test_desugar_if_is_choice_of_assumes():
+    command = If(parse("c"), Assume(parse("p")), Assume(parse("q")))
+    lowered = desugar(command)
+    assert isinstance(lowered, Choice)
+    assert isinstance(lowered.left, Seq) and isinstance(lowered.left.commands[0], Assume)
+
+
+def test_desugar_note_is_assert_then_assume():
+    lowered = desugar(Note(parse("p"), label="lemma"))
+    assert isinstance(lowered, Seq)
+    assert isinstance(lowered.commands[0], Assert)
+    assert isinstance(lowered.commands[1], Assume)
+
+
+def test_desugar_havoc_suchthat_emits_feasibility_assert():
+    lowered = desugar(Havoc(("x",), parse("0 <= x")))
+    kinds = [type(c).__name__ for c in lowered.commands]
+    assert kinds == ["Assert", "Havoc", "Assume"]
+    assert isinstance(lowered.commands[0].formula, F.Quant)
+
+
+def test_desugar_loop_structure():
+    loop = Loop((("inv", parse("0 <= i")),), parse("i < n"), Assign("i", parse("i + 1")))
+    lowered = desugar(loop)
+    kinds = [type(c).__name__ for c in lowered.commands]
+    assert kinds[0] == "Assert"          # invariant initially
+    assert "Havoc" in kinds              # havoc modified variables
+    assert kinds[-1] == "Choice"         # exit vs iterate
+
+
+def test_assigned_variables():
+    command = seq(Assign("x", parse("1")), If(parse("c"), Assign("y", parse("2")), Seq(())))
+    assert assigned_variables(command) == {"x", "y"}
+
+
+# -- wlp (Figure 10) ---------------------------------------------------------------------------
+
+
+def test_wlp_assume():
+    assert to_str(wlp(Assume(parse("p")), parse("q"))) == "p --> q"
+
+
+def test_wlp_assert():
+    assert to_str(wlp(Assert(parse("p")), parse("q"))) == "p & q"
+
+
+def test_wlp_seq_composes_right_to_left():
+    command = seq(Assume(parse("p")), Assert(parse("q")))
+    assert to_str(simplify(wlp(command, F.TRUE))) == "p --> q"
+
+
+def test_wlp_choice_is_conjunction():
+    command = Choice(Assert(parse("p")), Assert(parse("q")))
+    result = wlp(command, F.TRUE)
+    assert isinstance(result, F.And)
+
+
+def test_wlp_assign_substitutes():
+    command = Assign("x", parse("x + 1"))
+    result = wlp(command, parse("x = 2"))
+    assert to_str(result) == "x + 1 = 2"
+
+
+def test_wlp_havoc_renames():
+    command = Havoc(("x",))
+    result = wlp(command, parse("x < z & y = 1"))
+    text = to_str(result)
+    assert "y = 1" in text and "x#" in text and " z" in text
+
+
+def test_verification_condition_of_correct_snippet_is_valid():
+    # assume x = 1; assert x = 1  --> the VC is discharged by the syntactic prover.
+    from repro.provers.syntactic import SyntacticProver
+    from repro.vcgen.sequent import sequent as mk_sequent
+
+    command = seq(Assume(parse("x = 1")), Assert(parse("x = 1")))
+    vc = simplify(verification_condition(command))
+    assert SyntacticProver().prove(mk_sequent([], vc)).proved

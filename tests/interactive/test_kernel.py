@@ -1,0 +1,133 @@
+"""The interactive proof kernel, scripts and the lemma store."""
+
+import pytest
+
+from repro.form.parser import parse_formula as parse
+from repro.interactive.kernel import Kernel, ProofError, ProofScript, ProofState
+from repro.interactive.lemma_store import LemmaStore
+from repro.interactive.prover import InteractiveProver
+from repro.vcgen.sequent import sequent
+
+
+def _seq(assumptions, goal):
+    return sequent([parse(a) for a in assumptions], parse(goal))
+
+
+def test_intro_implication():
+    kernel = Kernel(automatic_provers=[])
+    state = ProofState([_seq([], "p --> p")])
+    state = kernel.apply(state, "intro")
+    assert not state.finished
+    goal = state.first()
+    assert str(goal.goal.formula) != ""
+    assert any(str(a.formula) for a in goal.assumptions)
+
+
+def test_intro_universal():
+    kernel = Kernel(automatic_provers=[])
+    state = ProofState([_seq([], "ALL x. x = x")])
+    state = kernel.apply(state, "intro")
+    from repro.form import ast as F
+
+    assert isinstance(state.first().goal.formula, F.Eq)
+
+
+def test_split_conjunction():
+    kernel = Kernel(automatic_provers=[])
+    state = ProofState([_seq(["p", "q"], "p & q")])
+    state = kernel.apply(state, "split")
+    assert len(state.goals) == 2
+
+
+def test_assumption_tactic():
+    kernel = Kernel(automatic_provers=[])
+    state = ProofState([_seq(["p"], "p")])
+    state = kernel.apply(state, "assumption")
+    assert state.finished
+
+
+def test_assumption_tactic_fails_when_not_assumed():
+    kernel = Kernel(automatic_provers=[])
+    state = ProofState([_seq([], "p")])
+    with pytest.raises(ProofError):
+        kernel.apply(state, "assumption")
+
+
+def test_cases_tactic_splits_into_two_goals():
+    kernel = Kernel(automatic_provers=[])
+    state = ProofState([_seq([], "p | ~p")])
+    state = kernel.apply(state, "cases", "p")
+    assert len(state.goals) == 2
+
+
+def test_have_introduces_a_lemma_subgoal():
+    kernel = Kernel(automatic_provers=[])
+    state = ProofState([_seq(["a = b", "b = c"], "a = c")])
+    state = kernel.apply(state, "have", "a = c")
+    assert len(state.goals) == 2
+
+
+def test_instantiate_tactic():
+    kernel = Kernel(automatic_provers=[])
+    seq = sequent([parse("ALL x. x : S --> x ~= null")], parse("a : S --> a ~= null"))
+    seq.assumptions[0].labels  # labels are empty; add via Labeled path below
+    from repro.vcgen.sequent import Labeled, Sequent
+
+    labelled = Sequent(
+        assumptions=(Labeled(parse("ALL x. x : S --> x ~= null"), ("inv",)),),
+        goal=Labeled(parse("a : S --> a ~= null")),
+    )
+    state = ProofState([labelled])
+    state = kernel.apply(state, "instantiate", "inv: a")
+    texts = [str(a) for a in state.first().assumptions]
+    assert any("a : S" in text for text in texts)
+
+
+def test_script_replay_success():
+    kernel = Kernel()
+    script = ProofScript("simple", [("intro", ""), ("auto", "")])
+    assert kernel.replay(_seq([], "x = y --> x = y"), script)
+
+
+def test_script_replay_failure_is_not_an_error():
+    kernel = Kernel(automatic_provers=[])
+    script = ProofScript("broken", [("split", "")])
+    assert not kernel.replay(_seq([], "p --> q"), script)
+
+
+def test_unknown_tactic_rejected():
+    kernel = Kernel(automatic_provers=[])
+    with pytest.raises(ProofError):
+        kernel.apply(ProofState([_seq([], "p")]), "hammer")
+
+
+# -- lemma store and interactive prover ----------------------------------------------------
+
+
+def test_lemma_store_roundtrip(tmp_path):
+    store = LemmaStore()
+    seq = _seq(["a = b", "b = c"], "a = c")
+    store.add_for(seq, ProofScript("trans", [("auto", "smt")]))
+    path = tmp_path / "lemmas.json"
+    store.save(path)
+    loaded = LemmaStore.load(path)
+    assert loaded.lookup(seq) is not None
+    assert loaded.lookup(seq).name == "trans"
+
+
+def test_interactive_prover_uses_stored_script():
+    seq = _seq(["a = b", "b = c"], "a = c")
+    store = LemmaStore()
+    store.add_for(seq, ProofScript("trans", [("auto", "smt")]))
+    prover = InteractiveProver(store=store, use_default_script=False)
+    assert prover.prove(seq).proved
+
+
+def test_interactive_prover_default_script():
+    prover = InteractiveProver()
+    assert prover.prove(_seq([], "ALL x. x : S --> x : S")).proved
+
+
+def test_interactive_prover_cannot_prove_invalid():
+    prover = InteractiveProver()
+    assert not prover.prove(_seq([], "x = y")).proved

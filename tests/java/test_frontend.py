@@ -1,0 +1,220 @@
+"""Mini-Java lexer, parser and resolver."""
+
+import pytest
+
+from repro.form.types import INT, OBJ, OBJ_SET, TFun, TSet
+from repro.java import ast as J
+from repro.java.lexer import JavaSyntaxError, tokenize
+from repro.java.parser import parse_java
+from repro.java.resolver import parse_program
+from repro.spec import parse_class_spec, parse_contract, parse_statement
+from repro.spec.contracts import AssertSpec, GhostAssign, NoteSpec
+
+EXAMPLE = """
+public /*: claimedby List */ class Node {
+    public Object data; public Node next;
+}
+class List {
+    private static Node first;
+    private static int size;
+
+    /*: public static ghost specvar content :: "objset" = "{}";
+        invariant SizeInv: "size = card content";
+        invariant NextInv: "ALL n. n : content --> n ~= null";
+    */
+
+    public static void add(Object x)
+    /*: requires "x ~= null & x ~: content"
+        modifies content
+        ensures "content = old content Un {x}" */
+    {
+        Node n = new Node();
+        n.next = first;
+        n.data = x;
+        first = n;
+        size = size + 1;
+        //: content := "{x} Un content";
+    }
+
+    public static boolean member(Object x)
+    /*: requires "x ~= null"
+        ensures "(result = true) = (x : content)" */
+    {
+        Node current = first;
+        while /*: inv "current = current" */ (current != null) {
+            if (current.data == x) { return true; }
+            current = current.next;
+        }
+        return false;
+    }
+}
+"""
+
+
+# -- lexer -------------------------------------------------------------------------
+
+
+def test_tokenize_keywords_and_idents():
+    tokens = tokenize("class Foo { int x; }")
+    kinds = [t.kind for t in tokens]
+    assert kinds == ["keyword", "ident", "symbol", "keyword", "ident", "symbol", "symbol"]
+
+
+def test_tokenize_spec_comments():
+    tokens = tokenize('x = 1; //: content := "{x}"\n y = 2; /*: assert "x = 1" */')
+    specs = [t for t in tokens if t.kind == "spec"]
+    assert len(specs) == 2
+    assert 'content := "{x}"' in specs[0].value
+
+
+def test_tokenize_skips_ordinary_comments():
+    tokens = tokenize("/* nothing */ x // more\n = 1;")
+    assert all(t.kind != "spec" for t in tokens)
+
+
+def test_tokenize_reports_line_numbers():
+    tokens = tokenize("x;\ny;\nz;")
+    assert [t.line for t in tokens if t.kind == "ident"] == [1, 2, 3]
+
+
+def test_tokenize_error():
+    with pytest.raises(JavaSyntaxError):
+        tokenize("x @ y")
+
+
+# -- parser ------------------------------------------------------------------------
+
+
+def test_parse_classes_and_members():
+    unit = parse_java(EXAMPLE)
+    assert [c.name for c in unit.classes] == ["Node", "List"]
+    node = unit.class_named("Node")
+    assert {f.name for f in node.fields} == {"data", "next"}
+    assert node.claimed_by == "List"
+    lst = unit.class_named("List")
+    assert {m.name for m in lst.methods} == {"add", "member"}
+    add = [m for m in lst.methods if m.name == "add"][0]
+    assert add.is_static and add.params == [("Object", "x")]
+    assert "requires" in add.contract_text
+
+
+def test_parse_statements_structure():
+    unit = parse_java(EXAMPLE)
+    add = [m for m in unit.class_named("List").methods if m.name == "add"][0]
+    kinds = [type(s).__name__ for s in add.body.statements]
+    assert kinds == ["LocalDecl", "Assign", "Assign", "Assign", "Assign", "SpecStmt"]
+
+
+def test_parse_while_with_invariant():
+    unit = parse_java(EXAMPLE)
+    member = [m for m in unit.class_named("List").methods if m.name == "member"][0]
+    loops = [s for s in member.body.statements if isinstance(s, J.While)]
+    assert len(loops) == 1
+    assert loops[0].invariants
+
+
+def test_parse_new_array():
+    unit = parse_java("class A { static Object t; static void init(int n) { t = new Object[n]; } }")
+    body = unit.class_named("A").methods[0].body
+    assign = body.statements[0]
+    assert isinstance(assign.value, J.NewArray)
+
+
+def test_parse_array_access():
+    unit = parse_java("class A { static Object t; static Object get(int i) { return t[i]; } }")
+    ret = unit.class_named("A").methods[0].body.statements[0]
+    assert isinstance(ret.value, J.ArrayAccess)
+
+
+def test_parse_error_reported():
+    with pytest.raises(JavaSyntaxError):
+        parse_java("class A { void broken( { } }")
+
+
+# -- specification comment parsing ----------------------------------------------------
+
+
+def test_parse_contract():
+    contract = parse_contract('requires "x ~= null" modifies content, size ensures "content = old content"')
+    assert contract.requires_text == "x ~= null"
+    assert contract.modifies == ["content", "size"]
+    assert contract.ensures_text == "content = old content"
+
+
+def test_parse_contract_empty():
+    contract = parse_contract("")
+    assert contract.requires_text == "True"
+    assert contract.ensures_text == "True"
+
+
+def test_parse_class_spec():
+    spec = parse_class_spec(
+        [
+            'public static ghost specvar content :: "objset" = "{}";'
+            ' invariant SizeInv: "size = card content";'
+            ' vardefs "abstracted == content Un {null}";'
+        ]
+    )
+    assert spec.specvars[0].name == "content"
+    assert spec.specvars[0].is_ghost and spec.specvars[0].is_public
+    assert spec.invariants[0].name == "SizeInv"
+    assert spec.vardefs[0].name == "abstracted"
+
+
+def test_parse_ghost_assignment_statement():
+    (stmt,) = parse_statement('content := "{x} Un content"')
+    assert isinstance(stmt, GhostAssign)
+    assert stmt.target_text == "content"
+
+
+def test_parse_field_ghost_assignment():
+    (stmt,) = parse_statement('n..cnt := "{(k, v)} Un content"')
+    assert isinstance(stmt, GhostAssign)
+    assert stmt.target_text == "n..cnt"
+
+
+def test_parse_note_with_hints():
+    (stmt,) = parse_statement('note Fresh: "x ~: content" by pre, SizeInv')
+    assert isinstance(stmt, NoteSpec)
+    assert stmt.label == "Fresh"
+    assert stmt.hints == ["pre", "SizeInv"]
+
+
+def test_parse_assert_statement():
+    (stmt,) = parse_statement('assert "x ~= null"')
+    assert isinstance(stmt, AssertSpec)
+
+
+# -- resolver ----------------------------------------------------------------------------
+
+
+def test_resolver_builds_heap_model():
+    program = parse_program(EXAMPLE)
+    assert program.env.lookup("Node") == TSet(OBJ)
+    assert program.env.lookup("next") == TFun(OBJ, OBJ)   # instance field
+    assert program.env.lookup("first") == OBJ              # static field
+    assert program.env.lookup("size") == INT
+    assert program.env.lookup("content") == OBJ_SET
+    assert "content" in program.ghost_vars
+    assert "content" in program.public_specvars
+    assert len(program.invariants) == 2
+
+
+def test_resolver_methods_and_contracts():
+    program = parse_program(EXAMPLE)
+    info = program.method("List", "add")
+    assert info.contract.modifies == ["content"]
+    with pytest.raises(KeyError):
+        program.method("List", "nonexistent")
+
+
+def test_resolver_normalises_qualified_names():
+    program = parse_program(EXAMPLE)
+    formula = program.parse("tree [Node.next]")
+    assert "Node.next" not in repr(formula)
+
+
+def test_state_variables_include_fields_and_specvars():
+    program = parse_program(EXAMPLE)
+    state = program.state_variables()
+    assert {"first", "next", "data", "size", "content", "alloc"} <= state

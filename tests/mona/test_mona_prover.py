@@ -1,0 +1,70 @@
+"""The MONA-role prover on sequents in the monadic fragment."""
+
+import pytest
+
+from repro.form.parser import parse_formula as parse
+from repro.mona.prover import MonaProver
+from repro.vcgen.sequent import sequent
+
+
+def _prove(assumptions, goal):
+    seq = sequent([parse(a) for a in assumptions], parse(goal))
+    return MonaProver().prove(seq)
+
+
+VALID = [
+    (["ALL x. x : content --> x : alloc", "e : content"], "e : alloc"),
+    (["content1 = content Un {e}", "ALL x. x : content --> x : nodes"],
+     "ALL x. x : content1 --> x : nodes | x = e"),
+    (["A subseteq B", "B subseteq C"], "A subseteq C"),
+    ([], "ALL x. x : A | x ~: A"),
+    (["x ~: content", "content1 = content Un {x}"], "content = content1 - {x}"),
+    (["x ~= null", "old_content = content"], "{x} Un content = old_content Un {x}"),
+    (["nodes = {}"], "ALL x. x ~: nodes"),
+    (["A = B"], "B = A"),
+    (["x : A", "A subseteq B", "B subseteq C"], "x : C"),
+    (["content = iterated Un toIterate", "toIterate = {}"], "content = iterated"),
+]
+
+
+@pytest.mark.parametrize("assumptions, goal", VALID)
+def test_proves_valid_monadic_sequents(assumptions, goal):
+    answer = _prove(assumptions, goal)
+    assert answer.proved, answer.detail
+
+
+INVALID = [
+    (["content1 = content Un {e}"], "ALL x. x : content1 --> x : content"),
+    (["A subseteq B"], "B subseteq A"),
+    ([], "x : A"),
+    (["x : A Un B"], "x : A"),
+    (["content = iterated Un toIterate"], "content = iterated"),
+]
+
+
+@pytest.mark.parametrize("assumptions, goal", INVALID)
+def test_never_proves_invalid_monadic_sequents(assumptions, goal):
+    assert not _prove(assumptions, goal).proved
+
+
+OUTSIDE_FRAGMENT = [
+    (["size = card content"], "size >= 0"),
+    (["(root, x) : {(u, v). u..next = v}^*"], "(x, x) : {(u, v). u..next = v}^*"),
+]
+
+
+@pytest.mark.parametrize("assumptions, goal", OUTSIDE_FRAGMENT)
+def test_goals_outside_the_fragment_are_declined_not_misproved(assumptions, goal):
+    answer = _prove(assumptions, goal)
+    assert not answer.proved
+    assert answer.verdict.value in ("unsupported", "unknown")
+
+
+def test_out_of_fragment_assumptions_are_dropped_soundly():
+    # The cardinality assumption cannot be encoded but the goal follows from
+    # the remaining monadic assumptions alone.
+    answer = _prove(
+        ["size = card content", "x : content", "content subseteq alloc"],
+        "x : alloc",
+    )
+    assert answer.proved

@@ -1,0 +1,209 @@
+"""The WS1S decision procedure: automata operations and known (in)validities."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mona import ws1s
+from repro.mona.automata import constant, from_predicate
+from repro.mona.ws1s import (
+    AndW,
+    Compiler,
+    EmptyW,
+    EqPosW,
+    Exists1W,
+    Exists2W,
+    FalseW,
+    FirstW,
+    IffW,
+    ImpliesW,
+    InW,
+    LessW,
+    NotW,
+    OrW,
+    SetEqW,
+    SingletonW,
+    SubsetW,
+    SuccW,
+    TrueW,
+    counterexample,
+    forall1,
+    forall2,
+    is_valid,
+)
+
+
+# -- automata primitives -----------------------------------------------------------------
+
+
+def test_constant_true_accepts_everything():
+    dfa = constant(True, ("X",))
+    assert dfa.accepts([])
+    assert dfa.accepts([(0,), (1,)])
+
+
+def test_constant_false_accepts_nothing():
+    dfa = constant(False, ("X",))
+    assert dfa.is_empty()
+
+
+def test_complement_involution():
+    dfa = constant(True, ("X",)).complement()
+    assert dfa.is_empty()
+    assert not dfa.complement().is_empty()
+
+
+def test_product_and_or():
+    t = constant(True, ("X",))
+    f = constant(False, ("X",))
+    assert t.product(f, "and").is_empty()
+    assert not t.product(f, "or").is_empty()
+
+
+def test_cylindrify_preserves_language_emptiness():
+    dfa = constant(False, ("X",)).cylindrify(("X", "Y"))
+    assert dfa.is_empty()
+
+
+def test_minimize_reduces_states():
+    # Build a deliberately redundant automaton and check minimisation shrinks it.
+    dfa = from_predicate(("X",), 4, 0, {0, 1, 2, 3}, lambda s, l: (s + 1) % 4)
+    minimized = dfa.minimize()
+    assert minimized.num_states <= dfa.num_states
+    assert minimized.num_states == 1
+
+
+# -- validity of WS1S sentences ---------------------------------------------------------
+
+VALID_SENTENCES = [
+    # propositional structure
+    ImpliesW(TrueW(), TrueW()),
+    OrW((TrueW(), FalseW())),
+    # set algebra
+    ImpliesW(AndW((SubsetW("X", "Y"), SubsetW("Y", "Z"))), SubsetW("X", "Z")),
+    ImpliesW(AndW((SubsetW("X", "Y"), SubsetW("Y", "X"))), SetEqW("X", "Y")),
+    ImpliesW(EmptyW("X"), SubsetW("X", "Y")),
+    forall1("x", ImpliesW(InW("x", "X"), InW("x", "X"))),
+    # order and successor
+    forall1("x", Exists1W("y", SuccW("x", "y"))),
+    forall1("x", forall1("y", ImpliesW(SuccW("x", "y"), LessW("x", "y")))),
+    forall1("x", NotW(LessW("x", "x"))),
+    forall1("x", forall1("y", forall1("z", ImpliesW(AndW((LessW("x", "y"), LessW("y", "z"))), LessW("x", "z"))))),
+    forall1("x", forall1("y", ImpliesW(EqPosW("x", "y"), EqPosW("y", "x")))),
+    # induction over positions (second-order!)
+    ImpliesW(
+        AndW(
+            (
+                Exists1W("z", AndW((FirstW("z"), InW("z", "X")))),
+                forall1("x", forall1("y", ImpliesW(AndW((InW("x", "X"), SuccW("x", "y"))), InW("y", "X")))),
+            )
+        ),
+        forall1("z", InW("z", "X")),
+    ),
+    # there is a first position
+    Exists1W("z", FirstW("z")),
+    # every non-empty set has a minimal element
+    ImpliesW(
+        NotW(EmptyW("X")),
+        Exists1W("m", AndW((InW("m", "X"), forall1("y", ImpliesW(LessW("y", "m"), NotW(InW("y", "X"))))))),
+    ),
+]
+
+INVALID_SENTENCES = [
+    FalseW(),
+    ImpliesW(SubsetW("X", "Y"), SubsetW("Y", "X")),
+    forall1("x", InW("x", "X")),
+    Exists1W("y", forall1("x", LessW("x", "y"))),
+    forall1("x", forall1("y", EqPosW("x", "y"))),
+    SetEqW("X", "Y"),
+    ImpliesW(SubsetW("X", "Y"), SetEqW("X", "Y")),
+]
+
+
+@pytest.mark.parametrize("formula", VALID_SENTENCES)
+def test_valid_sentences(formula):
+    assert is_valid(formula)
+
+
+@pytest.mark.parametrize("formula", INVALID_SENTENCES)
+def test_invalid_sentences(formula):
+    assert not is_valid(formula)
+
+
+def test_counterexample_for_invalid_formula():
+    formula = ImpliesW(SubsetW("X", "Y"), SubsetW("Y", "X"))
+    model = counterexample(formula)
+    assert model is not None
+    assert model["Y"] - model["X"]  # Y has an element outside X
+
+
+def test_counterexample_none_for_valid_formula():
+    assert counterexample(ImpliesW(SubsetW("X", "X"), TrueW())) is None
+
+
+# -- differential testing against brute-force finite models ------------------------------
+
+
+def _eval(formula, valuation, universe):
+    """Brute-force evaluation of a WS1S formula over a finite prefix universe."""
+    if isinstance(formula, TrueW):
+        return True
+    if isinstance(formula, FalseW):
+        return False
+    if isinstance(formula, InW):
+        (element,) = valuation[formula.element]
+        return element in valuation[formula.collection]
+    if isinstance(formula, EqPosW):
+        return valuation[formula.left] == valuation[formula.right]
+    if isinstance(formula, SubsetW):
+        return valuation[formula.left] <= valuation[formula.right]
+    if isinstance(formula, SetEqW):
+        return valuation[formula.left] == valuation[formula.right]
+    if isinstance(formula, NotW):
+        return not _eval(formula.arg, valuation, universe)
+    if isinstance(formula, AndW):
+        return all(_eval(a, valuation, universe) for a in formula.args)
+    if isinstance(formula, OrW):
+        return any(_eval(a, valuation, universe) for a in formula.args)
+    if isinstance(formula, ImpliesW):
+        return (not _eval(formula.lhs, valuation, universe)) or _eval(formula.rhs, valuation, universe)
+    raise AssertionError(f"unsupported node {formula!r}")
+
+
+_set_names = ["X", "Y"]
+
+
+@st.composite
+def monadic_formulas(draw, depth=2):
+    if depth == 0:
+        kind = draw(st.sampled_from(["subset", "seteq"]))
+        left, right = draw(st.sampled_from(_set_names)), draw(st.sampled_from(_set_names))
+        return SubsetW(left, right) if kind == "subset" else SetEqW(left, right)
+    kind = draw(st.sampled_from(["atom", "not", "and", "or", "implies"]))
+    if kind == "atom":
+        return draw(monadic_formulas(depth=0))
+    if kind == "not":
+        return NotW(draw(monadic_formulas(depth=depth - 1)))
+    if kind == "and":
+        return AndW((draw(monadic_formulas(depth=depth - 1)), draw(monadic_formulas(depth=depth - 1))))
+    if kind == "or":
+        return OrW((draw(monadic_formulas(depth=depth - 1)), draw(monadic_formulas(depth=depth - 1))))
+    return ImpliesW(draw(monadic_formulas(depth=depth - 1)), draw(monadic_formulas(depth=depth - 1)))
+
+
+@given(monadic_formulas())
+@settings(max_examples=40, deadline=None)
+def test_ws1s_agrees_with_bruteforce_on_set_formulas(formula):
+    """WS1S validity implies truth in every small finite model (soundness check)."""
+    valid = is_valid(formula)
+    universe = range(3)
+    subsets = [frozenset(s) for r in range(4) for s in itertools.combinations(universe, r)]
+    found_countermodel = False
+    for x in subsets:
+        for y in subsets:
+            valuation = {"X": set(x), "Y": set(y)}
+            if not _eval(formula, valuation, universe):
+                found_countermodel = True
+    if valid:
+        assert not found_countermodel

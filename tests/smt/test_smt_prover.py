@@ -1,0 +1,96 @@
+"""The SMT-role prover on ground and quantified sequents (validity and soundness)."""
+
+import pytest
+
+from repro.form.parser import parse_formula as parse
+from repro.smt.prover import SmtProver
+from repro.smt.sat import SatSolver
+from repro.vcgen.sequent import sequent
+
+
+def _proves(assumptions, goal, timeout=4.0):
+    seq = sequent([parse(a) for a in assumptions], parse(goal))
+    return SmtProver(timeout=timeout).prove(seq).proved
+
+
+VALID = [
+    # propositional / equality
+    (["p", "p --> q"], "q"),
+    (["a = b", "b = c"], "a = c"),
+    (["a = b", "p a"], "p b"),
+    (["a ~= b", "a = c"], "c ~= b"),
+    # heap updates
+    (["n1 ~= n2", "(fieldWrite next n1 root) n2 = q"], "next n2 = q"),
+    ([], "(fieldWrite next n root) n = root"),
+    (["(arrayWrite arrayState a i v) a i = w"], "v = w"),
+    # arithmetic
+    (["x < y", "y < z"], "x < z"),
+    (["size = 0"], "size + 1 = 1"),
+    (["0 <= i", "i < n", "n <= m"], "i < m"),
+    # quantifier instantiation
+    (["ALL x. x : S --> x ~= null", "a : S"], "a ~= null"),
+    (["ALL x. x : S --> x..f : S", "a : S"], "a..f..f : S"),
+    (["ALL x. p x"], "p a & p b"),
+    # membership after expansion
+    (["x : A"], "x : A Un B"),
+    (["x : A Int B"], "x : A"),
+    (["x ~: A Un B"], "x ~: A"),
+    (["content1 = content Un {e}", "x : content"], "x : content1"),
+]
+
+
+@pytest.mark.parametrize("assumptions, goal", VALID)
+def test_proves_valid_sequents(assumptions, goal):
+    assert _proves(assumptions, goal)
+
+
+INVALID = [
+    (["p --> q", "q"], "p"),
+    (["a = b"], "a = c"),
+    ([], "x < y"),
+    (["x <= y"], "x < y"),
+    (["ALL x. x : S --> x ~= null"], "a ~= null"),
+    (["x : A Un B"], "x : A"),
+    (["(fieldWrite next n1 root) n2 = q"], "next n2 = q"),  # n1 may equal n2
+    (["content1 = content Un {e}"], "x : content1"),
+]
+
+
+@pytest.mark.parametrize("assumptions, goal", INVALID)
+def test_never_proves_invalid_sequents(assumptions, goal):
+    assert not _proves(assumptions, goal, timeout=2.5)
+
+
+# -- the SAT core ------------------------------------------------------------------------
+
+
+def test_sat_simple_satisfiable():
+    solver = SatSolver(2)
+    solver.add_clauses([[1, 2], [-1, 2]])
+    result = solver.solve()
+    assert result.satisfiable
+    assert result.assignment[2] is True
+
+
+def test_sat_simple_unsatisfiable():
+    solver = SatSolver(1)
+    solver.add_clauses([[1], [-1]])
+    assert not solver.solve().satisfiable
+
+
+def test_sat_unit_propagation_chain():
+    solver = SatSolver(4)
+    solver.add_clauses([[1], [-1, 2], [-2, 3], [-3, 4], [-4]])
+    assert not solver.solve().satisfiable
+
+
+def test_sat_incremental_blocking():
+    solver = SatSolver(2)
+    solver.add_clauses([[1, 2]])
+    first = solver.solve()
+    assert first.satisfiable
+    blocking = [-(v if val else -v) for v, val in first.assignment.items()]
+    solver.add_clause(blocking)
+    second = solver.solve()
+    # Still satisfiable (a different assignment exists for [1, 2]).
+    assert second.satisfiable

@@ -1,0 +1,131 @@
+"""Theory solvers of the SMT prover: congruence closure and linear arithmetic."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fol.terms import FApp, FVar, const
+from repro.form.parser import parse_formula as parse
+from repro.smt.congruence import CongruenceClosure, check_euf
+from repro.smt.lia import check_lia, fourier_motzkin_consistent, Constraint
+from fractions import Fraction
+
+
+a, b, c, d = const("a"), const("b"), const("c"), const("d")
+
+
+def f(*args):
+    return FApp("f", args)
+
+
+# -- congruence closure -------------------------------------------------------------
+
+
+def test_euf_transitivity():
+    assert not check_euf([(a, b), (b, c)], [(a, c)])
+
+
+def test_euf_congruence():
+    assert not check_euf([(a, b)], [(f(a), f(b))])
+
+
+def test_euf_nested_congruence():
+    assert not check_euf([(a, b)], [(f(f(a)), f(f(b)))])
+
+
+def test_euf_consistent_assignment():
+    assert check_euf([(a, b)], [(c, d)])
+
+
+def test_euf_predicates_via_reification():
+    # p(a) true and p(b) false with a = b is inconsistent.
+    assert not check_euf([(a, b)], [], true_atoms=[FApp("p", (a,))], false_atoms=[FApp("p", (b,))])
+
+
+def test_euf_predicates_consistent():
+    assert check_euf([], [], true_atoms=[FApp("p", (a,))], false_atoms=[FApp("p", (b,))])
+
+
+def test_equivalence_classes():
+    cc = CongruenceClosure()
+    cc.assert_equal(a, b)
+    cc.assert_equal(c, d)
+    assert cc.check()
+    classes = cc.equivalence_classes()
+    assert any({a, b} <= cls for cls in classes)
+    assert not any({a, c} <= cls for cls in classes)
+
+
+@given(st.integers(min_value=2, max_value=12))
+@settings(max_examples=20, deadline=None)
+def test_euf_chain_property(n):
+    """A chain a0=a1=...=an always contradicts a0 != an (any length)."""
+    constants = [const(f"k{i}") for i in range(n + 1)]
+    equalities = [(constants[i], constants[i + 1]) for i in range(n)]
+    assert not check_euf(equalities, [(constants[0], constants[-1])])
+    assert check_euf(equalities[:-1], [(constants[0], constants[-1])])
+
+
+# -- linear integer arithmetic -----------------------------------------------------------
+
+
+def _lits(*pairs):
+    return [(parse(text), positive) for text, positive in pairs]
+
+
+def test_lia_transitivity_conflict():
+    assert not check_lia(_lits(("x < y", True), ("y < z", True), ("z < x", True)))
+
+
+def test_lia_equality_and_strict():
+    assert not check_lia(_lits(("x = y", True), ("x < y", True)))
+
+
+def test_lia_consistent():
+    assert check_lia(_lits(("x < y", True), ("y < z", True)))
+
+
+def test_lia_negated_inequality():
+    # ~(x <= y) and ~(y <= x) cannot both hold.
+    assert not check_lia(_lits(("x <= y", False), ("y <= x", False)))
+
+
+def test_lia_integer_tightening():
+    # x < y < x + 1 has no integer solution.
+    assert not check_lia(_lits(("x < y", True), ("y < x + 1", True)))
+
+
+def test_lia_cardinality_nonnegative():
+    assert not check_lia(_lits(("card S < 0", True)))
+
+
+def test_lia_constants():
+    assert not check_lia(_lits(("x = 3", True), ("x = 4", True)))
+    assert check_lia(_lits(("x = 3", True), ("y = 4", True)))
+
+
+def test_lia_coefficients():
+    assert not check_lia(_lits(("2 * x < 4", True), ("3 <= x", True)))
+
+
+def test_fourier_motzkin_direct():
+    constraints = [
+        Constraint({"x": Fraction(1)}, Fraction(5)),       # x <= 5
+        Constraint({"x": Fraction(-1)}, Fraction(-7)),      # x >= 7
+    ]
+    assert not fourier_motzkin_consistent(constraints)
+
+
+def test_fourier_motzkin_feasible():
+    constraints = [
+        Constraint({"x": Fraction(1), "y": Fraction(-1)}, Fraction(0)),   # x <= y
+        Constraint({"y": Fraction(1)}, Fraction(10)),
+    ]
+    assert fourier_motzkin_consistent(constraints)
+
+
+@given(st.integers(min_value=-20, max_value=20), st.integers(min_value=-20, max_value=20))
+@settings(max_examples=40, deadline=None)
+def test_lia_interval_property(low, high):
+    """low <= x <= high is consistent exactly when low <= high."""
+    literals = _lits((f"{low} <= x", True), (f"x <= {high}", True))
+    assert check_lia(literals) == (low <= high)
