@@ -34,7 +34,15 @@ Sub-packages:
 
 __version__ = "0.1.0"
 
-__all__ = ["verify", "verify_class", "MethodReport", "ClassReport", "suite", "__version__"]
+__all__ = [
+    "verify",
+    "verify_class",
+    "MethodReport",
+    "ClassReport",
+    "SequentCache",
+    "suite",
+    "__version__",
+]
 
 
 def __getattr__(name):
@@ -44,6 +52,10 @@ def __getattr__(name):
         from .core import verifier
 
         return getattr(verifier, name)
+    if name == "SequentCache":
+        from .provers.cache import SequentCache
+
+        return SequentCache
     if name in ("MethodReport", "ClassReport"):
         from .core import report
 

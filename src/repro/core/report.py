@@ -4,6 +4,11 @@ Figure 7 shows the per-method command-line report: how many sequents each
 prover proved and how long it spent, how many sequents the built-in checker
 discharged during splitting, and whether the verification succeeded.
 Figure 15 aggregates the same numbers per data structure.
+
+On top of the paper's numbers, the reports surface the dispatch
+instrumentation of the parallel cached dispatcher: sequent-cache hit rates
+(``cache_hits`` / ``cache_misses`` / ``proved_from_cache``), wall versus
+CPU time, and per-worker utilization when ``workers > 1``.
 """
 
 from __future__ import annotations
@@ -27,10 +32,32 @@ class MethodReport:
     prover_order: List[str] = field(default_factory=list)
     unproved_origins: List[str] = field(default_factory=list)
     total_time: float = 0.0
+    # -- dispatch instrumentation (parallel cached dispatcher) ----------------
+    cache_hits: int = 0
+    cache_misses: int = 0
+    proved_from_cache: int = 0
+    wall_time: float = 0.0
+    cpu_time: float = 0.0
+    workers: int = 1
+    worker_utilization: Dict[str, float] = field(default_factory=dict)
 
     @property
     def succeeded(self) -> bool:
         return self.proved_sequents == self.total_sequents
+
+    @property
+    def cache_lookups(self) -> int:
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of prover lookups answered by the sequent cache."""
+        return self.cache_hits / self.cache_lookups if self.cache_lookups else 0.0
+
+    @property
+    def proved_live(self) -> int:
+        """Sequents proved by actually running a prover (not cache replay)."""
+        return self.proved_sequents - self.proved_from_cache
 
     def proved_by(self, prover: str) -> int:
         stats = self.prover_stats.get(prover)
@@ -53,6 +80,21 @@ class MethodReport:
             lines.append(
                 f"{prover.upper()} proved {stats.proved} out of {stats.attempted} sequents. "
                 f"Total time : {stats.time:.1f} s"
+            )
+        if self.cache_lookups:
+            lines.append(
+                f"Sequent cache: {self.cache_hits}/{self.cache_lookups} lookups hit "
+                f"({self.cache_hit_rate:.0%}); {self.proved_from_cache} proofs replayed."
+            )
+        if self.workers > 1:
+            utilization = ", ".join(
+                f"{worker}={fraction:.0%}"
+                for worker, fraction in sorted(self.worker_utilization.items())
+            )
+            lines.append(
+                f"Dispatched on {self.workers} workers: wall {self.wall_time:.1f} s, "
+                f"prover CPU {self.cpu_time:.1f} s"
+                + (f" [{utilization}]" if utilization else "")
             )
         lines.append("=" * 56)
         lines.append(
@@ -99,6 +141,27 @@ class ClassReport:
     @property
     def proved_during_splitting(self) -> int:
         return sum(method.proved_during_splitting for method in self.methods)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(method.cache_hits for method in self.methods)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(method.cache_misses for method in self.methods)
+
+    @property
+    def proved_from_cache(self) -> int:
+        return sum(method.proved_from_cache for method in self.methods)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def cpu_time(self) -> float:
+        return sum(method.cpu_time for method in self.methods)
 
     def proved_by(self, prover: str) -> int:
         return sum(method.proved_by(prover) for method in self.methods)

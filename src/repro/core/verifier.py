@@ -12,6 +12,19 @@
 Prover names accept both this reproduction's engine names (``fol``, ``smt``,
 ``mona``, ``bapa``, ``interactive``, ``syntactic``) and the paper's tool
 names (``spass``, ``e``, ``z3``, ``cvc3``, ``isabelle``, ``coq``) as aliases.
+
+Scaling knobs (mapped onto the Figure 7 command line, see ROADMAP):
+
+* ``workers=N`` dispatches the split sequents to a pool of N workers
+  (:class:`repro.provers.dispatcher.ParallelDispatcher`); ``workers=1``
+  (the default) keeps the classic sequential dispatcher and produces
+  identical outcomes and per-prover statistics.  The default thread
+  backend shares the GIL, so for multi-core speedup of these pure-Python
+  provers pass ``backend="process"`` as well.
+* ``cache=`` takes a :class:`repro.provers.cache.SequentCache`; proved (and
+  refuted) sequents are memoised under their structural digest, so
+  re-verifying a method, a class, or the whole suite replays prior verdicts
+  instead of re-proving them.  Share one cache across calls to benefit.
 """
 
 from __future__ import annotations
@@ -21,7 +34,14 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from ..java.resolver import Program, parse_program
 from ..provers.base import ProverStats
-from ..provers.dispatcher import DEFAULT_ORDER, Dispatcher, make_provers, resolve_prover_names
+from ..provers.cache import SequentCache
+from ..provers.dispatcher import (
+    DEFAULT_ORDER,
+    Dispatcher,
+    ParallelDispatcher,
+    make_provers,
+    resolve_prover_names,
+)
 from ..vcgen.vcgen import generate_method_vc
 from .report import ClassReport, MethodReport
 
@@ -52,6 +72,10 @@ def verify(
     prover_options: Optional[Dict[str, dict]] = None,
     include_frame: bool = True,
     always_syntactic_first: bool = True,
+    workers: int = 1,
+    cache: Optional[SequentCache] = None,
+    backend: str = "thread",
+    sequent_budget: Optional[float] = None,
 ) -> MethodReport:
     """Verify one method and return its report (Figure 7).
 
@@ -59,6 +83,10 @@ def verify(
     Jahob's ``-usedp`` command line.  The syntactic prover is always run
     first unless ``always_syntactic_first`` is disabled (it is free and
     discharges the many trivial conjuncts every VC contains).
+
+    ``workers`` > 1 proves the split sequents in parallel; ``cache``
+    memoises prover verdicts per normalized sequent; ``sequent_budget``
+    bounds the time the whole portfolio may spend on any one sequent.
     """
     program = _as_program(source)
     if class_name is None:
@@ -70,7 +98,16 @@ def verify(
     names = resolve_prover_names(provers)
     if always_syntactic_first and "syntactic" not in names:
         names = ["syntactic"] + names
-    dispatcher = Dispatcher(make_provers(names, **(prover_options or {})))
+    options = prover_options or {}
+    if workers > 1:
+        dispatcher = ParallelDispatcher.from_names(
+            names, workers=workers, backend=backend, cache=cache,
+            sequent_budget=sequent_budget, **options,
+        )
+    else:
+        dispatcher = Dispatcher(
+            make_provers(names, **options), cache=cache, sequent_budget=sequent_budget
+        )
     dispatch = dispatcher.prove_all(method_vc.sequents)
 
     report = MethodReport(
@@ -83,6 +120,13 @@ def verify(
         prover_order=list(names),
         unproved_origins=[outcome.sequent.origin for outcome in dispatch.unproved()],
         total_time=time.perf_counter() - start,
+        cache_hits=dispatch.cache_stats.hits,
+        cache_misses=dispatch.cache_stats.misses,
+        proved_from_cache=dispatch.proved_from_cache,
+        wall_time=dispatch.wall_time,
+        cpu_time=dispatch.cpu_time,
+        workers=dispatch.workers,
+        worker_utilization=dict(dispatch.worker_utilization),
     )
     return report
 
@@ -94,8 +138,17 @@ def verify_class(
     methods: Optional[Sequence[str]] = None,
     prover_options: Optional[Dict[str, dict]] = None,
     include_frame: bool = True,
+    workers: int = 1,
+    cache: Optional[SequentCache] = None,
+    backend: str = "thread",
+    sequent_budget: Optional[float] = None,
 ) -> ClassReport:
-    """Verify every contracted method of a class (one Figure 15 row)."""
+    """Verify every contracted method of a class (one Figure 15 row).
+
+    ``workers`` and ``cache`` are forwarded to :func:`verify` for each
+    method; sharing one cache across the class lets invariant obligations
+    that repeat between methods be proved once and replayed.
+    """
     program = _as_program(source)
     if class_name is None:
         class_name = _single_class_name(program)
@@ -116,6 +169,10 @@ def verify_class(
                 provers=provers,
                 prover_options=prover_options,
                 include_frame=include_frame,
+                workers=workers,
+                cache=cache,
+                backend=backend,
+                sequent_budget=sequent_budget,
             )
         )
     return report

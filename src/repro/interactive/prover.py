@@ -42,6 +42,20 @@ class InteractiveProver(Prover):
         self.kernel = kernel or Kernel()
         self.use_default_script = use_default_script
 
+    def options_signature(self) -> str:
+        # Verdicts depend on the lemma store's exact contents: adding,
+        # replacing or removing a script can flip UNKNOWN to PROVED (or the
+        # reverse), so the signature fingerprints every (fingerprint, script)
+        # pair rather than just the count.
+        import hashlib
+
+        payload = "|".join(
+            f"{fingerprint}:{script!r}"
+            for fingerprint, script in sorted(self.store.scripts.items())
+        )
+        store_hash = hashlib.sha256(payload.encode()).hexdigest()[:16]
+        return super().options_signature() + f";lemmas={store_hash}"
+
     def attempt(self, sequent: Sequent) -> ProverAnswer:
         script = self.store.lookup(sequent)
         if script is not None and self.kernel.replay(sequent, script):

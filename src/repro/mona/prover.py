@@ -200,6 +200,15 @@ class MonaProver(Prover):
         super().__init__(timeout=timeout)
         self.compiler = Compiler(max_states=max_states, max_tracks=max_tracks)
 
+    def options_signature(self) -> str:
+        # The compiler caps bound the automaton search and therefore decide
+        # between PROVED and UNKNOWN; they must invalidate cached verdicts.
+        return (
+            super().options_signature()
+            + f";max_states={self.compiler.max_states}"
+            + f";max_tracks={self.compiler.max_tracks}"
+        )
+
     def attempt(self, sequent: Sequent) -> ProverAnswer:
         prepared = rewrite_sequent(relevant_assumptions(sequent.restricted(), rounds=2))
         formulas = [a.formula for a in prepared.assumptions] + [prepared.goal.formula]

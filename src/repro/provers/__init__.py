@@ -1,6 +1,16 @@
-"""Prover interface, formula approximation and the dispatcher."""
+"""Prover interface, formula approximation, caching and the dispatchers."""
 
 from .base import Prover, ProverAnswer, ProverStats, Verdict, registry  # noqa: F401
+from .cache import CacheStats, SequentCache  # noqa: F401
 from .syntactic import SyntacticProver  # noqa: F401
 
-__all__ = ["Prover", "ProverAnswer", "ProverStats", "Verdict", "registry", "SyntacticProver"]
+__all__ = [
+    "Prover",
+    "ProverAnswer",
+    "ProverStats",
+    "Verdict",
+    "registry",
+    "SyntacticProver",
+    "SequentCache",
+    "CacheStats",
+]

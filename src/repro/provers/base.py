@@ -35,6 +35,9 @@ class ProverAnswer:
     prover: str
     time: float = 0.0
     detail: str = ""
+    #: True when the answer was replayed from the sequent-result cache rather
+    #: than computed; cached answers are never recorded in :class:`ProverStats`.
+    cached: bool = False
 
     @property
     def proved(self) -> bool:
@@ -54,6 +57,36 @@ class Prover(ABC):
 
     def __init__(self, timeout: float = 10.0) -> None:
         self.timeout = timeout
+
+    def options_signature(self) -> str:
+        """A stable signature of the options that can change this prover's
+        verdicts; part of the sequent-result cache key so that, e.g., answers
+        computed under a short timeout or a small search bound are not
+        replayed for a more generous configuration.
+
+        The default serialises every scalar instance attribute (timeouts,
+        iteration/state bounds, flags) plus the scalar fields of dataclass
+        attributes (e.g. the SMT instantiation config).  Subclasses whose
+        verdicts depend on non-scalar state must extend this (the MONA
+        prover's compiler caps, the interactive prover's lemma store).
+        """
+        import dataclasses
+
+        parts = []
+        for name in sorted(vars(self)):
+            value = vars(self)[name]
+            if isinstance(value, (int, float, bool, str, type(None))):
+                parts.append(f"{name}={value!r}")
+            elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+                inner = ",".join(
+                    f"{f.name}={getattr(value, f.name)!r}"
+                    for f in dataclasses.fields(value)
+                    if isinstance(
+                        getattr(value, f.name), (int, float, bool, str, type(None))
+                    )
+                )
+                parts.append(f"{name}=({inner})")
+        return ";".join(parts)
 
     @abstractmethod
     def attempt(self, sequent: Sequent) -> ProverAnswer:

@@ -1,0 +1,216 @@
+"""Normalized-sequent result cache for the prover portfolio.
+
+Verification conditions of different methods of one class — and of the same
+method across repeated runs — share a large fraction of their sequents
+(class invariants re-established verbatim, recurring null checks, frame
+conjuncts).  The cache memoises each prover's verdict per *normalized*
+sequent: the key is the structural digest of
+:meth:`repro.vcgen.sequent.Sequent.digest`, which alpha-renames the
+splitter's fresh variables and the VC generator's havoc incarnations and
+sorts the assumption set, so logically identical obligations hit the same
+entry regardless of generated-name numbering or assumption order.
+
+Two tiers:
+
+* an in-memory LRU tier (always on) bounded by ``max_entries``;
+* an optional on-disk tier (``cache_dir``) holding one JSON file per
+  (sequent digest, prover name, prover options) key, so whole-suite
+  verification runs can be resumed across processes.
+
+All verdicts are cacheable.  ``TIMEOUT`` caching can be disabled
+(``cache_timeouts=False``) for machines with very variable load: a timeout
+recorded under one load would then be retried instead of replayed.  It is on
+by default because the cache key includes the prover's timeout option, so a
+replayed timeout always refers to the same time budget.  Soundness note:
+caching a ``PROVED`` verdict is sound because the digest is injective up to
+alpha-renaming of generated variables and assumption order, both of which
+preserve validity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..vcgen.sequent import Sequent
+from .base import ProverAnswer, Verdict
+
+#: Verdicts replayed from the cache unconditionally.
+ALWAYS_CACHEABLE = frozenset({Verdict.PROVED, Verdict.UNKNOWN, Verdict.UNSUPPORTED})
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters of one dispatch run (Figure 7 instrumentation)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    disk_hits: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stores += other.stores
+        self.disk_hits += other.disk_hits
+
+
+@dataclass(frozen=True)
+class CachedAnswer:
+    """A prover verdict stored in the cache (no wall-clock time: replay is free)."""
+
+    verdict: Verdict
+    detail: str = ""
+    proof_time: float = 0.0  # time of the original, uncached run
+
+    def to_answer(self, prover_name: str) -> ProverAnswer:
+        answer = ProverAnswer(
+            self.verdict, prover_name, time=0.0,
+            detail=f"cached: {self.detail}" if self.detail else "cached",
+        )
+        answer.cached = True
+        return answer
+
+
+class SequentCache:
+    """Thread-safe two-tier (LRU memory + optional disk) prover-result cache."""
+
+    def __init__(
+        self,
+        max_entries: int = 65536,
+        cache_dir: Optional[Union[str, Path]] = None,
+        cache_timeouts: bool = True,
+    ) -> None:
+        self.max_entries = max_entries
+        self.cache_timeouts = cache_timeouts
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._entries: "OrderedDict[str, CachedAnswer]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    # -- keys -----------------------------------------------------------------
+
+    @staticmethod
+    def key(sequent: Sequent, prover_name: str, options_signature: str = "") -> str:
+        """The cache key of one (sequent, prover, options) triple."""
+        raw = f"{sequent.digest()}|{prover_name}|{options_signature}"
+        return hashlib.sha256(raw.encode()).hexdigest()
+
+    # -- lookup / store -------------------------------------------------------
+
+    def lookup(
+        self, sequent: Sequent, prover_name: str, options_signature: str = ""
+    ) -> Optional[CachedAnswer]:
+        """Return the cached verdict, consulting memory then disk."""
+        cache_key = self.key(sequent, prover_name, options_signature)
+        with self._lock:
+            entry = self._entries.get(cache_key)
+            if entry is not None:
+                self._entries.move_to_end(cache_key)
+                self.stats.hits += 1
+                return entry
+        entry = self._disk_read(cache_key)
+        with self._lock:
+            if entry is not None:
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                self._remember(cache_key, entry)
+            else:
+                self.stats.misses += 1
+        return entry
+
+    def store(
+        self,
+        sequent: Sequent,
+        prover_name: str,
+        answer: ProverAnswer,
+        options_signature: str = "",
+    ) -> bool:
+        """Cache a freshly computed answer; returns False when not cacheable."""
+        if answer.verdict not in ALWAYS_CACHEABLE and not (
+            answer.verdict is Verdict.TIMEOUT and self.cache_timeouts
+        ):
+            return False
+        cache_key = self.key(sequent, prover_name, options_signature)
+        entry = CachedAnswer(answer.verdict, answer.detail, proof_time=answer.time)
+        with self._lock:
+            self._remember(cache_key, entry)
+            self.stats.stores += 1
+        self._disk_write(cache_key, entry)
+        return True
+
+    def _remember(self, cache_key: str, entry: CachedAnswer) -> None:
+        self._entries[cache_key] = entry
+        self._entries.move_to_end(cache_key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    # -- disk tier ------------------------------------------------------------
+
+    def _disk_path(self, cache_key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{cache_key}.json"
+
+    def _disk_read(self, cache_key: str) -> Optional[CachedAnswer]:
+        path = self._disk_path(cache_key)
+        if path is None or not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            return CachedAnswer(
+                Verdict(payload["verdict"]),
+                payload.get("detail", ""),
+                payload.get("proof_time", 0.0),
+            )
+        except (ValueError, KeyError, OSError):
+            return None  # a corrupt entry is just a miss
+
+    def _disk_write(self, cache_key: str, entry: CachedAnswer) -> None:
+        path = self._disk_path(cache_key)
+        if path is None:
+            return
+        try:
+            payload = {
+                "verdict": entry.verdict.value,
+                "detail": entry.detail,
+                "proof_time": entry.proof_time,
+            }
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(payload))
+            tmp.replace(path)
+        except OSError:
+            pass  # a full or read-only disk degrades to memory-only caching
+
+    # -- maintenance ----------------------------------------------------------
+
+    def clear(self, disk: bool = False) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+        if disk and self.cache_dir is not None:
+            for path in self.cache_dir.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

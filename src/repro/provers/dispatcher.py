@@ -1,4 +1,4 @@
-"""The prover dispatcher: tries provers on each sequent in a user-given order.
+"""The prover dispatchers: sequential and parallel, with result caching.
 
 This is the integrated-reasoning heart of the system (Sections 5.1-5.2): a
 verification condition is split into sequents, and every sequent is offered
@@ -7,16 +7,34 @@ to the provers in the order the user listed them on the command line
 sequents each prover attempted and proved and how much time it spent,
 including failed attempts — are collected for the Figure 7 / Figure 15
 reports.
+
+Splitting makes the workload embarrassingly parallel: sequents are
+independent proof obligations, so :class:`ParallelDispatcher` fans them out
+to a pool of workers (``workers=N``, thread- or process-backed) while
+keeping the merged :class:`DispatchResult` deterministic — outcomes are
+merged in the original sequent order and per-prover :class:`ProverStats`
+are recorded in exactly the sequence the sequential :class:`Dispatcher`
+would have used, so ``ParallelDispatcher(workers=1)`` is indistinguishable
+from ``Dispatcher`` (timings aside).
+
+Both dispatchers accept a :class:`repro.provers.cache.SequentCache`: before
+running a prover on a sequent, the cache is consulted under the sequent's
+structural digest (:meth:`repro.vcgen.sequent.Sequent.digest`) plus the
+prover name and options; hits replay the stored verdict for free and are
+*not* recorded in :class:`ProverStats` (the prover did not run).
 """
 
 from __future__ import annotations
 
+import threading
 import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..vcgen.sequent import Sequent
 from .base import Prover, ProverAnswer, ProverStats, Verdict, registry
+from .cache import CacheStats, SequentCache
 from .syntactic import SyntacticProver
 
 #: Aliases mapping the paper's prover names to this reproduction's engines.
@@ -71,6 +89,13 @@ class SequentOutcome:
     proved: bool
     prover: Optional[str] = None
     answers: List[ProverAnswer] = field(default_factory=list)
+    #: True when the per-sequent time budget ran out before the chain ended.
+    budget_exhausted: bool = False
+
+    @property
+    def from_cache(self) -> bool:
+        """True when the proving answer was replayed from the cache."""
+        return self.proved and bool(self.answers) and self.answers[-1].cached
 
 
 @dataclass
@@ -80,6 +105,15 @@ class DispatchResult:
     outcomes: List[SequentOutcome] = field(default_factory=list)
     stats: Dict[str, ProverStats] = field(default_factory=dict)
     total_time: float = 0.0
+    #: Per-run cache counters (all zero when dispatched without a cache).
+    cache_stats: CacheStats = field(default_factory=CacheStats)
+    #: Wall-clock time of the dispatch and the CPU time spent inside provers;
+    #: for the sequential dispatcher the two coincide (modulo bookkeeping).
+    wall_time: float = 0.0
+    cpu_time: float = 0.0
+    workers: int = 1
+    #: Fraction of the dispatch wall-time each worker spent proving.
+    worker_utilization: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total(self) -> int:
@@ -88,6 +122,16 @@ class DispatchResult:
     @property
     def proved(self) -> int:
         return sum(1 for outcome in self.outcomes if outcome.proved)
+
+    @property
+    def proved_from_cache(self) -> int:
+        """Sequents whose proof was replayed from the cache (not re-proved)."""
+        return sum(1 for outcome in self.outcomes if outcome.from_cache)
+
+    @property
+    def proved_live(self) -> int:
+        """Sequents actually proved by running a prover this dispatch."""
+        return self.proved - self.proved_from_cache
 
     @property
     def all_proved(self) -> bool:
@@ -100,37 +144,354 @@ class DispatchResult:
         return sum(1 for o in self.outcomes if o.proved and o.prover == prover_name)
 
 
-class Dispatcher:
-    """Runs the prover portfolio over sequents, in the configured order."""
+# ---------------------------------------------------------------------------
+# The prover chain on one sequent (shared by both dispatchers)
+# ---------------------------------------------------------------------------
 
-    def __init__(self, provers: Sequence[Prover], stop_on_failure: bool = False) -> None:
+
+def _run_prover_chain(
+    provers: Sequence[Prover],
+    sequent: Sequent,
+    cache: Optional[SequentCache] = None,
+    sequent_budget: Optional[float] = None,
+) -> SequentOutcome:
+    """Offer one sequent to the provers in order, consulting the cache first."""
+    outcome = SequentOutcome(sequent=sequent, proved=False)
+    start = time.perf_counter()
+    for prover in provers:
+        if sequent_budget is not None and time.perf_counter() - start > sequent_budget:
+            outcome.budget_exhausted = True
+            break
+        answer: Optional[ProverAnswer] = None
+        if cache is not None:
+            entry = cache.lookup(sequent, prover.name, prover.options_signature())
+            if entry is not None:
+                answer = entry.to_answer(prover.name)
+        if answer is None:
+            answer = prover.prove(sequent)
+            if cache is not None:
+                cache.store(sequent, prover.name, answer, prover.options_signature())
+        outcome.answers.append(answer)
+        if answer.proved:
+            outcome.proved = True
+            outcome.prover = prover.name
+            break
+    return outcome
+
+
+def _record_answer(result: DispatchResult, answer: ProverAnswer, cache_enabled: bool) -> None:
+    """Account one prover answer: cached answers count as cache hits and are
+    never recorded in :class:`ProverStats` (the prover did not run); live
+    answers count as misses (when a cache was consulted) and accumulate
+    per-prover statistics and CPU time."""
+    if answer.cached:
+        result.cache_stats.hits += 1
+        return
+    if cache_enabled:
+        result.cache_stats.misses += 1
+    result.stats.setdefault(answer.prover, ProverStats()).record(answer)
+    result.cpu_time += answer.time
+
+
+def _merge_outcomes(
+    result: DispatchResult,
+    outcomes: Sequence[SequentOutcome],
+    stop_on_failure: bool,
+    cache_enabled: bool,
+) -> None:
+    """Fold worker outcomes into ``result`` in the original sequent order.
+
+    Statistics are recorded answer by answer in exactly the order the
+    sequential dispatcher would have produced, which keeps per-prover
+    attempted/proved/time identical between backends.
+    """
+    for outcome in outcomes:
+        result.outcomes.append(outcome)
+        for answer in outcome.answers:
+            _record_answer(result, answer, cache_enabled)
+        if stop_on_failure and not outcome.proved:
+            break
+
+
+class Dispatcher:
+    """Runs the prover portfolio over sequents sequentially, in order."""
+
+    def __init__(
+        self,
+        provers: Sequence[Prover],
+        stop_on_failure: bool = False,
+        cache: Optional[SequentCache] = None,
+        sequent_budget: Optional[float] = None,
+    ) -> None:
         self.provers = list(provers)
         self.stop_on_failure = stop_on_failure
+        self.cache = cache
+        self.sequent_budget = sequent_budget
 
     @classmethod
     def from_names(cls, names: Sequence[str] = DEFAULT_ORDER, **options) -> "Dispatcher":
         return cls(make_provers(names, **options))
 
     def prove_sequent(self, sequent: Sequent, result: DispatchResult) -> SequentOutcome:
-        outcome = SequentOutcome(sequent=sequent, proved=False)
-        for prover in self.provers:
-            answer = prover.prove(sequent)
-            outcome.answers.append(answer)
-            stats = result.stats.setdefault(prover.name, ProverStats())
-            stats.record(answer)
-            if answer.proved:
-                outcome.proved = True
-                outcome.prover = prover.name
-                break
+        """Prove one sequent, recording stats into ``result`` (legacy API)."""
+        outcome = _run_prover_chain(self.provers, sequent, self.cache, self.sequent_budget)
+        for answer in outcome.answers:
+            _record_answer(result, answer, self.cache is not None)
         return outcome
 
     def prove_all(self, sequents: Sequence[Sequent]) -> DispatchResult:
         result = DispatchResult()
         start = time.perf_counter()
+        outcomes = []
         for sequent in sequents:
-            outcome = self.prove_sequent(sequent, result)
-            result.outcomes.append(outcome)
+            outcome = _run_prover_chain(self.provers, sequent, self.cache, self.sequent_budget)
+            outcomes.append(outcome)
             if self.stop_on_failure and not outcome.proved:
                 break
+        _merge_outcomes(result, outcomes, self.stop_on_failure, self.cache is not None)
         result.total_time = time.perf_counter() - start
+        result.wall_time = result.total_time
         return result
+
+
+# ---------------------------------------------------------------------------
+# Parallel dispatch
+# ---------------------------------------------------------------------------
+
+
+#: Per-worker-process portfolio cache: building provers once per process
+#: instead of once per sequent task keeps per-task overhead negligible for
+#: fine-grained sequents.
+_PROCESS_PORTFOLIOS: Dict[Tuple, List[Prover]] = {}
+
+
+def _process_worker_chain(
+    payload: Tuple[Sequence[str], dict, Optional[float], Sequent, int]
+) -> SequentOutcome:
+    """Top-level function (picklable) executed inside process-pool workers.
+
+    ``start`` skips the provers whose verdicts the parent already replayed
+    from its cache (the cached prefix of the chain).
+    """
+    names, options, sequent_budget, sequent, start = payload
+    key = (tuple(names), repr(sorted(options.items())))
+    provers = _PROCESS_PORTFOLIOS.get(key)
+    if provers is None:
+        provers = make_provers(names, **options)
+        _PROCESS_PORTFOLIOS[key] = provers
+    return _run_prover_chain(
+        provers[start:], sequent, cache=None, sequent_budget=sequent_budget
+    )
+
+
+class ParallelDispatcher:
+    """Fans sequents out to a worker pool; the merge is deterministic.
+
+    ``backend="thread"`` (the default) shares one process: each worker thread
+    instantiates its own prover portfolio (provers may carry mutable state,
+    e.g. the interactive lemma store) and consults the shared, lock-protected
+    :class:`SequentCache` directly.  Note that the bundled provers are pure
+    Python, so under the GIL the thread backend overlaps little CPU-bound
+    prover work — it buys cache sharing, deterministic structure and cheap
+    workers, not wall-clock speedup.  For true multi-core scaling use
+    ``backend="process"``.
+
+    ``backend="process"`` runs each sequent's prover chain in a separate
+    process (requires construction via :meth:`from_names` so the portfolio
+    can be rebuilt inside workers).  The cache then lives in the parent:
+    sequents whose whole chain is answered by the cache are never submitted,
+    and worker results are stored back on merge.
+
+    Whatever the backend, outcomes are merged in the original sequent order
+    and per-prover statistics are recorded in the sequence the sequential
+    :class:`Dispatcher` would use, so results (and, for ``workers=1``,
+    statistics) are reproducible.
+    """
+
+    def __init__(
+        self,
+        prover_factory: Callable[[], List[Prover]],
+        workers: Optional[int] = None,
+        backend: str = "thread",
+        stop_on_failure: bool = False,
+        cache: Optional[SequentCache] = None,
+        sequent_budget: Optional[float] = None,
+        _names: Optional[List[str]] = None,
+        _options: Optional[dict] = None,
+    ) -> None:
+        import os
+
+        if backend not in ("thread", "process"):
+            raise ValueError(f"unknown backend {backend!r}; use 'thread' or 'process'")
+        if backend == "process" and _names is None:
+            raise ValueError("backend='process' requires ParallelDispatcher.from_names(...)")
+        self._factory = prover_factory
+        self.workers = max(1, workers if workers is not None else (os.cpu_count() or 1))
+        self.backend = backend
+        self.stop_on_failure = stop_on_failure
+        self.cache = cache
+        self.sequent_budget = sequent_budget
+        self._names = list(_names) if _names is not None else None
+        self._options = dict(_options) if _options is not None else {}
+
+    @classmethod
+    def from_names(
+        cls,
+        names: Sequence[str] = DEFAULT_ORDER,
+        workers: Optional[int] = None,
+        backend: str = "thread",
+        stop_on_failure: bool = False,
+        cache: Optional[SequentCache] = None,
+        sequent_budget: Optional[float] = None,
+        **options,
+    ) -> "ParallelDispatcher":
+        resolved = resolve_prover_names(names)
+        return cls(
+            lambda: make_provers(resolved, **options),
+            workers=workers,
+            backend=backend,
+            stop_on_failure=stop_on_failure,
+            cache=cache,
+            sequent_budget=sequent_budget,
+            _names=resolved,
+            _options=options,
+        )
+
+    # -- main entry point ------------------------------------------------------
+
+    def prove_all(self, sequents: Sequence[Sequent]) -> DispatchResult:
+        result = DispatchResult()
+        result.workers = self.workers
+        start = time.perf_counter()
+        if self.backend == "thread":
+            outcomes, busy = self._prove_all_threads(sequents)
+        else:
+            outcomes, busy = self._prove_all_processes(sequents)
+        _merge_outcomes(result, outcomes, self.stop_on_failure, self.cache is not None)
+        result.total_time = time.perf_counter() - start
+        result.wall_time = result.total_time
+        if result.wall_time > 0:
+            result.worker_utilization = {
+                worker: elapsed / result.wall_time for worker, elapsed in sorted(busy.items())
+            }
+        return result
+
+    # -- thread backend --------------------------------------------------------
+
+    def _prove_all_threads(
+        self, sequents: Sequence[Sequent]
+    ) -> Tuple[List[SequentOutcome], Dict[str, float]]:
+        local = threading.local()
+        busy: Dict[str, float] = {}
+        busy_lock = threading.Lock()
+
+        def task(sequent: Sequent) -> SequentOutcome:
+            provers = getattr(local, "provers", None)
+            if provers is None:
+                provers = self._factory()
+                local.provers = provers
+            started = time.perf_counter()
+            outcome = _run_prover_chain(provers, sequent, self.cache, self.sequent_budget)
+            elapsed = time.perf_counter() - started
+            name = threading.current_thread().name
+            with busy_lock:
+                busy[name] = busy.get(name, 0.0) + elapsed
+            return outcome
+
+        outcomes: List[SequentOutcome] = []
+        with ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="prover-worker"
+        ) as pool:
+            futures = [pool.submit(task, sequent) for sequent in sequents]
+            for index, future in enumerate(futures):
+                outcome = future.result()
+                outcomes.append(outcome)
+                if self.stop_on_failure and not outcome.proved:
+                    for pending in futures[index + 1:]:
+                        pending.cancel()
+                    break
+        return outcomes, busy
+
+    # -- process backend -------------------------------------------------------
+
+    def _cached_chain_prefix(
+        self, sequent: Sequent, signatures: List[Tuple[str, str]]
+    ) -> Tuple[List[ProverAnswer], bool]:
+        """Replay the chain's cached prefix; ``complete`` means no live run
+        is needed (a cached PROVED was found or every prover is cached)."""
+        answers: List[ProverAnswer] = []
+        if self.cache is None:
+            return answers, False
+        for prover_name, signature in signatures:
+            entry = self.cache.lookup(sequent, prover_name, signature)
+            if entry is None:
+                return answers, False
+            answers.append(entry.to_answer(prover_name))
+            if entry.verdict is Verdict.PROVED:
+                return answers, True
+        return answers, True
+
+    def _prove_all_processes(
+        self, sequents: Sequence[Sequent]
+    ) -> Tuple[List[SequentOutcome], Dict[str, float]]:
+        probe = self._factory()
+        signatures = [(p.name, p.options_signature()) for p in probe]
+        by_prover = {p.name: p for p in probe}
+
+        def finish(sequent: Sequent, prefix: List[ProverAnswer], tail: SequentOutcome):
+            """Splice the cached prefix and the worker's live tail, storing
+            the freshly computed verdicts back into the parent's cache."""
+            for answer in tail.answers:
+                prover = by_prover.get(answer.prover)
+                if self.cache is not None and prover is not None:
+                    self.cache.store(
+                        sequent, answer.prover, answer, prover.options_signature()
+                    )
+            outcome = SequentOutcome(
+                sequent=sequent,
+                proved=tail.proved,
+                prover=tail.prover,
+                answers=prefix + tail.answers,
+                budget_exhausted=tail.budget_exhausted,
+            )
+            return outcome
+
+        prefixes: List[Tuple[List[ProverAnswer], bool]] = [
+            self._cached_chain_prefix(sequent, signatures) for sequent in sequents
+        ]
+
+        busy: Dict[str, float] = {}
+        outcomes: List[SequentOutcome] = []
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = []
+            for sequent, (prefix, complete) in zip(sequents, prefixes):
+                if complete:
+                    futures.append(None)
+                    continue
+                payload = (
+                    self._names, self._options, self.sequent_budget, sequent, len(prefix)
+                )
+                futures.append(pool.submit(_process_worker_chain, payload))
+            for index, (sequent, (prefix, complete)) in enumerate(zip(sequents, prefixes)):
+                if complete:
+                    outcome = SequentOutcome(sequent=sequent, proved=False, answers=prefix)
+                    if prefix and prefix[-1].proved:
+                        outcome.proved = True
+                        outcome.prover = prefix[-1].prover
+                else:
+                    tail = futures[index].result()
+                    outcome = finish(sequent, prefix, tail)
+                    # The pool does not reveal which process ran the task, so
+                    # report the *average* per-worker busy fraction: total
+                    # prover CPU spread across the pool (keeps the documented
+                    # "fraction of wall-time" semantics, never exceeding ~1).
+                    busy["process-pool-avg"] = busy.get("process-pool-avg", 0.0) + (
+                        sum(a.time for a in tail.answers) / self.workers
+                    )
+                outcomes.append(outcome)
+                if self.stop_on_failure and not outcome.proved:
+                    for pending in futures[index + 1:]:
+                        if pending is not None:
+                            pending.cancel()
+                    break
+        return outcomes, busy

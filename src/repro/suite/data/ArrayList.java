@@ -1,0 +1,47 @@
+/* Array-backed list implementing a map from a dense integer range
+ * (paper Figure 15, "Array List").  The abstract state is the relation
+ * `content` between indices and stored objects; `size` is the number of
+ * used slots, and every key lies in the dense range [0, size).
+ */
+class ArrayList {
+    private static Object[] elems;
+    private static int size;
+
+    /*: public static ghost specvar content :: "(int * obj) set" = "{}";
+        invariant SizeInv: "size = card content";
+        invariant SizeNonNeg: "0 <= size";
+        invariant ArrayInv: "elems ~= null & size <= arrayLength elems";
+        invariant KeyRange: "ALL i v. (i, v) : content --> (0 <= i & i < size)";
+    */
+
+    public static int size()
+    /*: requires "True"
+        ensures "result = card content" */
+    {
+        return size;
+    }
+
+    public static boolean isEmpty()
+    /*: requires "True"
+        ensures "(result = true) --> (size = 0)" */
+    {
+        return size == 0;
+    }
+
+    public static Object get(int i)
+    /*: requires "0 <= i & i < size & (EX v. (i, v) : content)"
+        ensures "True" */
+    {
+        return elems[i];
+    }
+
+    public static void add(Object v)
+    /*: requires "v ~= null & size < arrayLength elems & (ALL w. (size, w) ~: content)"
+        modifies content
+        ensures "content = old content Un {(old size, v)}" */
+    {
+        elems[size] = v;
+        //: content := "content Un {(size, v)}";
+        size = size + 1;
+    }
+}

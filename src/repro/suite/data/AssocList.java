@@ -1,0 +1,56 @@
+/* Association list: a map stored as a list of key/value pairs (paper
+ * Figure 15, "Association List").  The abstract state is the relation
+ * `content` of key/value pairs.
+ */
+public /*: claimedby AssocList */ class Node {
+    public Object key;
+    public Object value;
+    public Node next;
+}
+
+class AssocList {
+    private static Node first;
+
+    /*: public static ghost specvar content :: "(obj * obj) set" = "{}";
+        invariant EmptyInv: "first = null --> content = {}";
+        invariant NoNullKey: "ALL k v. (k, v) : content --> (k ~= null & v ~= null)";
+        invariant FirstPair: "first ~= null --> (first..key, first..value) : content";
+    */
+
+    public static void put(Object k0, Object v0)
+    /*: requires "k0 ~= null & v0 ~= null & (ALL v. (k0, v) ~: content)"
+        modifies content
+        ensures "content = old content Un {(k0, v0)}" */
+    {
+        Node n = new Node();
+        n.key = k0;
+        n.value = v0;
+        n.next = first;
+        first = n;
+        //: content := "content Un {(k0, v0)}";
+    }
+
+    public static Object lookup(Object k0)
+    /*: requires "k0 ~= null & (EX v. (k0, v) : content)"
+        ensures "(k0, result) : content" */
+    {
+        Node n = first;
+        while /*: inv "n ~= null --> (n..key, n..value) : content" */ (n != null) {
+            if (n.key == k0) {
+                return n.value;
+            }
+            n = n.next;
+        }
+        //: assume "False";
+        return null;
+    }
+
+    public static void clear()
+    /*: requires "True"
+        modifies content
+        ensures "content = {}" */
+    {
+        first = null;
+        //: content := "{}";
+    }
+}

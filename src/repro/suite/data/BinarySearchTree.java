@@ -1,0 +1,86 @@
+/* Binary search tree implementing a set of integer keys (paper Figure 15,
+ * "Binary Search Tree").  The abstract state is the ghost set `content` of
+ * keys stored in the tree.
+ */
+public /*: claimedby BinarySearchTree */ class Node {
+    public int key;
+    public Node left;
+    public Node right;
+}
+
+class BinarySearchTree {
+    private static Node root;
+
+    /*: public static ghost specvar content :: "int set" = "{}";
+        invariant EmptyInv: "root = null --> content = {}";
+        invariant RootKey: "root ~= null --> root..key : content";
+    */
+
+    public static void clear()
+    /*: requires "True"
+        modifies content
+        ensures "content = {}" */
+    {
+        root = null;
+        //: content := "{}";
+    }
+
+    public static boolean isEmpty()
+    /*: requires "True"
+        ensures "(result = true) --> content = {}" */
+    {
+        return root == null;
+    }
+
+    public static boolean contains(int k)
+    /*: requires "True"
+        ensures "(result = true) --> k : content" */
+    {
+        Node p = root;
+        while /*: inv "p ~= null --> p..key : content" */ (p != null) {
+            if (p.key == k) {
+                return true;
+            }
+            if (k < p.key) {
+                p = p.left;
+            } else {
+                p = p.right;
+            }
+        }
+        return false;
+    }
+
+    public static void insert(int k)
+    /*: requires "k ~: content"
+        modifies content
+        ensures "content = old content Un {k}" */
+    {
+        Node n = new Node();
+        n.key = k;
+        if (root == null) {
+            root = n;
+            //: content := "content Un {k}";
+            return;
+        }
+        Node p = root;
+        boolean placed = false;
+        while /*: inv "p ~= null" */ (!placed) {
+            if (k < p.key) {
+                if (p.left == null) {
+                    p.left = n;
+                    placed = true;
+                } else {
+                    p = p.left;
+                }
+            } else {
+                if (p.right == null) {
+                    p.right = n;
+                    placed = true;
+                } else {
+                    p = p.right;
+                }
+            }
+        }
+        //: content := "content Un {k}";
+    }
+}

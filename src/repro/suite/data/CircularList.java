@@ -1,0 +1,57 @@
+/* Circular doubly-linked list implementing a set (paper Figure 15,
+ * "Circular List").  Every node's next and prev pointers are non-null; an
+ * empty list is represented by a null head.
+ */
+public /*: claimedby CircularList */ class Node {
+    public Object data;
+    public Node next;
+    public Node prev;
+}
+
+class CircularList {
+    private static Node head;
+
+    /*: public static ghost specvar content :: "objset" = "{}";
+        invariant EmptyInv: "head = null --> content = {}";
+        invariant NullNotIn: "null ~: content";
+        invariant HeadData: "head ~= null --> head..data : content";
+        invariant HeadLinked: "head ~= null --> (head..next ~= null & head..prev ~= null)";
+    */
+
+    public static void clear()
+    /*: requires "True"
+        modifies content
+        ensures "content = {}" */
+    {
+        head = null;
+        //: content := "{}";
+    }
+
+    public static boolean isEmpty()
+    /*: requires "True"
+        ensures "(result = true) --> content = {}" */
+    {
+        return head == null;
+    }
+
+    public static void add(Object x)
+    /*: requires "x ~= null & x ~: content"
+        modifies content
+        ensures "content = old content Un {x}" */
+    {
+        Node n = new Node();
+        n.data = x;
+        if (head == null) {
+            n.next = n;
+            n.prev = n;
+            head = n;
+        } else {
+            Node second = head.next;
+            n.next = second;
+            n.prev = head;
+            second.prev = n;
+            head.next = n;
+        }
+        //: content := "content Un {x}";
+    }
+}

@@ -1,0 +1,64 @@
+/* List with a removal cursor for iteration (paper Figure 15, "Cursor List").
+ *
+ * Iteration state is exposed through the ghost set `toVisit`: `reset` starts
+ * a traversal over the whole content, `next` consumes one element, and
+ * `done` reports whether the traversal is finished.
+ */
+public /*: claimedby CursorList */ class Node {
+    public Object data;
+    public Node next;
+}
+
+class CursorList {
+    private static Node first;
+    private static Node current;
+
+    /*: public static ghost specvar content :: "objset" = "{}";
+        public static ghost specvar toVisit :: "objset" = "{}";
+        invariant VisitSub: "toVisit subseteq content";
+        invariant NullNotIn: "null ~: content";
+        invariant EmptyInv: "first = null --> content = {}";
+        invariant DoneInv: "current = null --> toVisit = {}";
+        invariant CurrentData: "current ~= null --> current..data : toVisit";
+        invariant FirstData: "first ~= null --> first..data : content";
+    */
+
+    public static void add(Object x)
+    /*: requires "x ~= null & x ~: content & current = null"
+        modifies content
+        ensures "content = old content Un {x}" */
+    {
+        Node n = new Node();
+        n.data = x;
+        n.next = first;
+        first = n;
+        //: content := "content Un {x}";
+    }
+
+    public static void reset()
+    /*: requires "first ~= null"
+        modifies toVisit
+        ensures "toVisit = content" */
+    {
+        current = first;
+        //: toVisit := "content";
+    }
+
+    public static boolean done()
+    /*: requires "True"
+        ensures "(result = true) --> toVisit = {}" */
+    {
+        return current == null;
+    }
+
+    public static Object next()
+    /*: requires "current ~= null"
+        modifies toVisit
+        ensures "result : old toVisit" */
+    {
+        Object d = current.data;
+        //: toVisit := "toVisit - {d}";
+        current = current.next;
+        return d;
+    }
+}

@@ -1,0 +1,61 @@
+/* Hash table: a map implemented as an array of bucket lists (paper
+ * Figure 15, "Hash Table").  The abstract state is the relation `content`
+ * of key/value pairs; `size` counts the stored pairs.
+ *
+ * The hash function is kept call-free (the verified subset has no method
+ * calls), so this instance degenerates to a single bucket chain; the heap
+ * model and the proof obligations are the same as for the full table.
+ */
+public /*: claimedby HashTable */ class Bucket {
+    public Object key;
+    public Object value;
+    public Bucket next;
+}
+
+class HashTable {
+    private static Bucket[] table;
+    private static int size;
+
+    /*: public static ghost specvar content :: "(obj * obj) set" = "{}";
+        invariant TableInv: "table ~= null & 0 < arrayLength table";
+        invariant SizeInv: "size = card content";
+        invariant SizeNonNeg: "0 <= size";
+        invariant NoNullKey: "ALL k v. (k, v) : content --> (k ~= null & v ~= null)";
+    */
+
+    public static int size()
+    /*: requires "True"
+        ensures "result = card content" */
+    {
+        return size;
+    }
+
+    public static void put(Object k0, Object v0)
+    /*: requires "k0 ~= null & v0 ~= null & (ALL v. (k0, v) ~: content)"
+        modifies content
+        ensures "content = old content Un {(k0, v0)}" */
+    {
+        Bucket b = new Bucket();
+        b.key = k0;
+        b.value = v0;
+        b.next = table[0];
+        table[0] = b;
+        size = size + 1;
+        //: content := "content Un {(k0, v0)}";
+    }
+
+    public static Object lookup(Object k0)
+    /*: requires "k0 ~= null & (EX v. (k0, v) : content)"
+        ensures "(k0, result) : content" */
+    {
+        Bucket b = table[0];
+        while /*: inv "True" */ (b != null) {
+            if (b.key == k0) {
+                return b.value;
+            }
+            b = b.next;
+        }
+        //: assume "False";
+        return null;
+    }
+}

@@ -1,0 +1,54 @@
+/* Priority queue stored as a binary heap in a dense array (paper Figure 15,
+ * "Priority Queue").  The abstract state is the ghost set `content` of
+ * queued elements; `count` is the number of used heap slots.
+ */
+public /*: claimedby PriorityQueue */ class Element {
+    public int prio;
+}
+
+class PriorityQueue {
+    private static Element[] heap;
+    private static int count;
+
+    /*: public static ghost specvar content :: "objset" = "{}";
+        invariant HeapInv: "heap ~= null & count <= arrayLength heap";
+        invariant CountNonNeg: "0 <= count";
+        invariant SizeInv: "count = card content";
+        invariant NullNotIn: "null ~: content";
+    */
+
+    public static int size()
+    /*: requires "True"
+        ensures "result = card content" */
+    {
+        return count;
+    }
+
+    public static boolean isEmpty()
+    /*: requires "True"
+        ensures "(result = true) --> (count = 0)" */
+    {
+        return count == 0;
+    }
+
+    public static void insert(Element e)
+    /*: requires "e ~= null & e ~: content & count < arrayLength heap"
+        modifies content
+        ensures "content = old content Un {e}" */
+    {
+        int i = count;
+        heap[i] = e;
+        count = count + 1;
+        //: content := "content Un {e}";
+        while /*: inv "0 <= i & i < count" */ (0 < i) {
+            Element parent = heap[(i - 1) / 2];
+            Element child = heap[i];
+            if (parent.prio <= child.prio) {
+                return;
+            }
+            heap[(i - 1) / 2] = child;
+            heap[i] = parent;
+            i = (i - 1) / 2;
+        }
+    }
+}

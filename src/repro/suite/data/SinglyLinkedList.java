@@ -1,0 +1,62 @@
+/* Null-terminated singly-linked list implementing a set (paper Figure 15).
+ *
+ * The abstract state is the ghost set `content` of stored objects; the
+ * invariants tie it to the concrete first/next backbone.
+ */
+public /*: claimedby SinglyLinkedList */ class Node {
+    public Object data;
+    public Node next;
+}
+
+class SinglyLinkedList {
+    private static Node first;
+
+    /*: public static ghost specvar content :: "objset" = "{}";
+        invariant EmptyInv: "first = null --> content = {}";
+        invariant NullNotIn: "null ~: content";
+        invariant FirstData: "first ~= null --> first..data : content";
+    */
+
+    public static void clear()
+    /*: requires "True"
+        modifies content
+        ensures "content = {}" */
+    {
+        first = null;
+        //: content := "{}";
+    }
+
+    public static void add(Object x)
+    /*: requires "x ~= null & x ~: content"
+        modifies content
+        ensures "content = old content Un {x}" */
+    {
+        Node n = new Node();
+        n.data = x;
+        n.next = first;
+        first = n;
+        //: content := "content Un {x}";
+    }
+
+    public static boolean isEmpty()
+    /*: requires "True"
+        ensures "(result = true) --> (first = null)" */
+    {
+        return first == null;
+    }
+
+    public static boolean member(Object x)
+    /*: requires "x ~= null"
+        ensures "(result = true) --> x : content" */
+    {
+        Node current = first;
+        while /*: inv "current ~= null --> current : Node" */ (current != null) {
+            if (current.data == x) {
+                //: note Found: "current..data : content" by FirstData, pre;
+                return true;
+            }
+            current = current.next;
+        }
+        return false;
+    }
+}

@@ -1,0 +1,58 @@
+/* The sized list of paper Section 2.2 (Figure 6): a singly-linked list that
+ * maintains an explicit size field.  Verifying it combines first-order
+ * reasoning about the backbone, MONA-style reachability, and BAPA
+ * cardinality reasoning (size = card content).
+ */
+public /*: claimedby SizedList */ class Node {
+    public Object data;
+    public Node next;
+}
+
+class SizedList {
+    private static Node first;
+    private static int size;
+
+    /*: public static ghost specvar content :: "objset" = "{}";
+        invariant SizeInv: "size = card content";
+        invariant EmptyInv: "first = null --> content = {}";
+        invariant NullNotIn: "null ~: content";
+        invariant SizeNonNeg: "0 <= size";
+    */
+
+    public static int size()
+    /*: requires "True"
+        ensures "result = card content" */
+    {
+        return size;
+    }
+
+    public static boolean isEmpty()
+    /*: requires "True"
+        ensures "(result = true) --> (first = null)" */
+    {
+        return size == 0;
+    }
+
+    public static void addNew(Object x)
+    /*: requires "x ~= null & x ~: content"
+        modifies content
+        ensures "content = old content Un {x} & card content = card (old content) + 1" */
+    {
+        Node n = new Node();
+        n.data = x;
+        n.next = first;
+        first = n;
+        size = size + 1;
+        //: content := "content Un {x}";
+    }
+
+    public static void clear()
+    /*: requires "True"
+        modifies content
+        ensures "content = {} & card content = 0" */
+    {
+        first = null;
+        size = 0;
+        //: content := "{}";
+    }
+}

@@ -1,0 +1,52 @@
+/* Three-dimensional space subdivision tree with eight-element child arrays
+ * (paper Figure 15, "Space Subdivision Tree"; the paper's instance comes
+ * from a Barnes-Hut n-body simulation).  The abstract state is the ghost
+ * set `bodies` of objects stored in the tree.
+ */
+public /*: claimedby SpaceSubdivisionTree */ class OctNode {
+    public Object[] children;
+    public Object body;
+}
+
+class SpaceSubdivisionTree {
+    private static OctNode root;
+
+    /*: public static ghost specvar bodies :: "objset" = "{}";
+        invariant EmptyInv: "root = null --> bodies = {}";
+        invariant NullNotIn: "null ~: bodies";
+        invariant RootBody: "root ~= null --> root..body : bodies";
+        invariant RootChildren: "root ~= null --> (root..children ~= null & arrayLength (root..children) = 8)";
+    */
+
+    public static void clear()
+    /*: requires "True"
+        modifies bodies
+        ensures "bodies = {}" */
+    {
+        root = null;
+        //: bodies := "{}";
+    }
+
+    public static boolean isEmpty()
+    /*: requires "True"
+        ensures "(result = true) --> bodies = {}" */
+    {
+        return root == null;
+    }
+
+    public static void insert(Object b)
+    /*: requires "b ~= null & b ~: bodies"
+        modifies bodies
+        ensures "bodies = old bodies Un {b}" */
+    {
+        OctNode n = new OctNode();
+        n.children = new Object[8];
+        n.body = b;
+        if (root != null) {
+            Object[] cs = n.children;
+            cs[0] = root;
+        }
+        root = n;
+        //: bodies := "bodies Un {b}";
+    }
+}

@@ -1,0 +1,52 @@
+/* Spanning tree of a graph (paper Figure 15, "Spanning Tree").  The tree is
+ * grown one edge at a time; the abstract state is the vertex set and the
+ * set of tree edges, which always connect a tree vertex to a new vertex.
+ */
+public /*: claimedby SpanningTree */ class Vertex {
+    public Vertex parent;
+    public boolean visited;
+}
+
+class SpanningTree {
+    private static Vertex root;
+
+    /*: public static ghost specvar vertices :: "objset" = "{}";
+        public static ghost specvar treeEdges :: "(obj * obj) set" = "{}";
+        invariant NullNotIn: "null ~: vertices";
+        invariant RootInv: "root ~= null --> root : vertices";
+        invariant EmptyInv: "root = null --> vertices = {}";
+        invariant EdgeEnds: "ALL u w. (u, w) : treeEdges --> (u : vertices & w : vertices)";
+    */
+
+    public static void init(Vertex r)
+    /*: requires "r ~= null & treeEdges = {}"
+        modifies vertices
+        ensures "root = r & vertices = {r}" */
+    {
+        root = r;
+        r.parent = null;
+        r.visited = true;
+        //: vertices := "{r}";
+    }
+
+    public static void addEdge(Vertex u, Vertex w)
+    /*: requires "u : vertices & w ~= null & w ~: vertices"
+        modifies vertices, treeEdges
+        ensures "vertices = old vertices Un {w} & treeEdges = old treeEdges Un {(u, w)}" */
+    {
+        w.parent = u;
+        w.visited = true;
+        //: vertices := "vertices Un {w}";
+        //: treeEdges := "treeEdges Un {(u, w)}";
+    }
+
+    public static boolean inTree(Vertex v)
+    /*: requires "v ~= null"
+        ensures "(result = true) --> (v = root | v..parent ~= null)" */
+    {
+        if (v == root) {
+            return true;
+        }
+        return v.parent != null;
+    }
+}

@@ -116,6 +116,18 @@ def verify_structure(name: str, provers: Optional[Sequence[str]] = None, **optio
     """Verify every contracted method of a bundled structure.
 
     Returns a :class:`repro.core.report.ClassReport` (one Figure 15 row).
+
+    Mirrors the paper's Figure 7 command line and adds the dispatch-scaling
+    flags of :func:`repro.core.verifier.verify_class`::
+
+        jahob List.java -method List.add -usedp spass mona bapa
+        ==> verify_structure("SizedList", provers=["spass", "mona", "bapa"],
+        ...                  workers=8, cache=SequentCache())
+
+    ``workers=N`` proves the split sequents on a worker pool;
+    ``cache=SequentCache(...)`` memoises verdicts per normalized sequent, so
+    re-running a row (or the whole Figure 15 table) replays prior proofs
+    instead of recomputing them.  See ``benchmarks/bench_parallel_dispatch.py``.
     """
     from ..core.verifier import verify_class
 

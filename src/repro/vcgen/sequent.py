@@ -13,12 +13,18 @@ selection (the ``by`` clause of Section 3.5) and error reporting.
 from __future__ import annotations
 
 import hashlib
+import re
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..form import ast as F
 from ..form.printer import to_str
 from ..form.typecheck import TypeEnv
+
+
+#: Names produced by the splitter (``x$3``) and the VC generator's havoc
+#: incarnations (``first#2``); both are alpha-renamed away in :meth:`Sequent.digest`.
+_GENERATED_NAME = re.compile(r"[A-Za-z_][A-Za-z0-9_.']*[$#][0-9]+")
 
 
 @dataclass(frozen=True)
@@ -104,6 +110,74 @@ class Sequent:
     def goal_fingerprint(self) -> str:
         """A fingerprint of the goal alone (used for hint-matching lemmas)."""
         return hashlib.sha256(to_str(self.goal.formula).encode()).hexdigest()[:16]
+
+    def digest(self) -> str:
+        """A structural digest stable across runs, workers and processes.
+
+        Used as the sequent part of prover-cache keys.  Two sequents that
+        differ only in the numbering of generated variables — the splitter's
+        ``x$n`` fresh names and the VC generator's ``v#n`` havoc
+        incarnations — hash identically: generated names are alpha-renamed
+        into canonical indices assigned by each variable's *occurrence
+        signature* (the number-masked formulas it appears in), which is
+        itself independent of the numbering; the assumption set is sorted so
+        that assumption order does not matter either.  Variables whose
+        occurrence signatures are fully symmetric may still digest apart
+        under renumbering — a conservative (sound) false miss, never a
+        collision.  Hints are part of the digest because they change which
+        assumptions provers may use.
+
+        The digest is memoised per instance (sequents are treated as
+        immutable once built), so repeated cache lookups along a prover
+        chain pay the pretty-printing cost only once.
+        """
+        memo = getattr(self, "_digest_memo", None)
+        if memo is not None:
+            return memo
+
+        goal = to_str(self.goal.formula)
+        raw_assumptions = [to_str(a.formula) for a in self.assumptions]
+
+        def masked(text: str) -> str:
+            return _GENERATED_NAME.sub(
+                lambda m: re.split(r"[$#]", m.group(0), maxsplit=1)[0] + "$", text
+            )
+
+        # Canonical variable order: each generated variable is characterised
+        # by the sorted multiset of number-masked formulas it occurs in (with
+        # occurrence counts), plus its base name.  This signature does not
+        # mention any generated number, so renumbering cannot reorder it —
+        # unlike sorting on the raw printed text.
+        texts = [goal] + raw_assumptions
+        signatures: Dict[str, List[str]] = {}
+        for text in texts:
+            masked_text = masked(text)
+            for name in _GENERATED_NAME.findall(text):
+                signatures.setdefault(name, []).append(masked_text)
+        mapping: Dict[str, str] = {}
+        for name in sorted(
+            signatures,
+            key=lambda n: (
+                re.split(r"[$#]", n, maxsplit=1)[0],
+                sorted(signatures[n]),
+                len(signatures[n]),
+            ),
+        ):
+            base = re.split(r"[$#]", name, maxsplit=1)[0]
+            mapping[name] = f"{base}${len(mapping)}"
+
+        def rename(text: str) -> str:
+            return _GENERATED_NAME.sub(lambda m: mapping[m.group(0)], text)
+
+        canonical_goal = rename(goal)
+        canonical_assumptions = sorted(rename(a) for a in raw_assumptions)
+        payload = "\n".join(
+            canonical_assumptions
+            + ["|-", canonical_goal, "hints:" + ",".join(sorted(self.hints))]
+        )
+        digest = hashlib.sha256(payload.encode()).hexdigest()
+        self._digest_memo = digest
+        return digest
 
     def size(self) -> int:
         return sum(F.term_size(a.formula) for a in self.assumptions) + F.term_size(

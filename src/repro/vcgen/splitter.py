@@ -25,13 +25,21 @@ from ..form.typecheck import TypeEnv
 from ..form.types import OBJ
 from .sequent import Labeled, Sequent
 
-_fresh_counter = itertools.count(1)
-
-
 @dataclass
 class SplitResult:
+    """Accumulator threaded through one splitting run.
+
+    The fresh-variable counter lives here rather than at module level so
+    fresh names are deterministic per verification condition: two runs over
+    the same VC (or the same run executed on different workers) produce
+    byte-identical sequents, which keeps test output reproducible and makes
+    the structural sequent digests of :meth:`repro.vcgen.sequent.Sequent.digest`
+    stable cache keys.
+    """
+
     sequents: List[Sequent] = field(default_factory=list)
     proved_during_splitting: int = 0
+    _fresh_counter: "itertools.count" = field(default_factory=lambda: itertools.count(1))
 
 
 def _label_conjuncts(formula: F.Term, labels: Tuple[str, ...]) -> List[Labeled]:
@@ -72,7 +80,7 @@ def split_goal(
         renaming = {}
         new_env = env.copy() if env is not None else None
         for name, typ in formula.params:
-            fresh = f"{name}${next(_fresh_counter)}"
+            fresh = f"{name}${next(result._fresh_counter)}"
             renaming[name] = F.Var(fresh)
             if new_env is not None:
                 new_env.bind(fresh, typ if typ is not None else OBJ)

@@ -1,0 +1,68 @@
+"""Parser -> printer -> parser roundtrip on the suite's specification formulas.
+
+The printer documents itself as the inverse of the parser; this property is
+load-bearing for the dispatch subsystem, whose sequent digests and cache
+keys are computed over printed formulas.
+"""
+
+import pytest
+
+from repro import suite
+from repro.form.parser import parse_formula
+from repro.form.printer import to_str
+from repro.java.resolver import parse_program
+
+
+def _suite_formulas():
+    """Every invariant, precondition and postcondition of the bundled suite."""
+    formulas = []
+    for name in suite.names():
+        program = parse_program(suite.source(name))
+        for inv_name, formula in program.invariants:
+            formulas.append((f"{name}:inv:{inv_name}", formula))
+        for (owner, method_name), info in program.methods.items():
+            contract = info.contract
+            formulas.append(
+                (f"{owner}.{method_name}:requires", program.parse(contract.requires_text))
+            )
+            formulas.append(
+                (f"{owner}.{method_name}:ensures", program.parse(contract.ensures_text))
+            )
+    return formulas
+
+
+_FORMULAS = _suite_formulas()
+
+
+@pytest.mark.parametrize(
+    "label, formula", _FORMULAS, ids=[label for label, _ in _FORMULAS]
+)
+def test_print_parse_roundtrip_is_identity(label, formula):
+    printed = to_str(formula)
+    reparsed = parse_formula(printed)
+    assert reparsed == formula, f"{label}: {printed!r} reparsed as {to_str(reparsed)!r}"
+
+
+def test_roundtrip_covers_every_structure():
+    covered = {label.split(":")[0].split(".")[0] for label, _ in _FORMULAS}
+    assert set(suite.names()) <= covered
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "x ~= null & x ~: content",
+        "content = old content Un {x}",
+        "size = card content",
+        "ALL i v. (i, v) : content --> (0 <= i & i < size)",
+        "toVisit subseteq content",
+        "{x. x ~= null & rtrancl_pt (% v w. v..next = w) first x} = content",
+        "tree [left, right]",
+        "arrayLength (root..children) = 8",
+        "(k0, result) : content",
+        "card content = card (old content) + 1",
+    ],
+)
+def test_roundtrip_on_paper_style_formulas(text):
+    formula = parse_formula(text)
+    assert parse_formula(to_str(formula)) == formula

@@ -1,0 +1,105 @@
+"""Splitter invariants: label preservation, exactly-once counting of
+sequents proved during splitting, and deterministic fresh-variable naming
+(the property that makes sequent digests stable cache keys)."""
+
+from repro.form.parser import parse_formula as parse
+from repro.vcgen.sequent import Labeled
+from repro.vcgen.splitter import SplitResult, split_goal
+
+
+def _split(assumption_texts, goal_text, goal_labels=("post",)):
+    assumptions = tuple(Labeled(parse(text), ("ctx",)) for text in assumption_texts)
+    return split_goal(assumptions, Labeled(parse(goal_text), goal_labels))
+
+
+# -- label preservation -------------------------------------------------------------
+
+
+def test_conjunction_split_preserves_goal_labels():
+    result = _split(["p"], "a = b & c = d & e = f")
+    assert len(result.sequents) == 3
+    for seq in result.sequents:
+        assert seq.goal.labels == ("post",)
+        assert all(a.labels == ("ctx",) for a in seq.assumptions)
+
+
+def test_implication_split_labels_hypotheses():
+    result = _split([], "p --> q")
+    (seq,) = result.sequents
+    assert seq.goal.labels == ("post",)
+    # The moved hypothesis keeps the goal labels plus the "hyp" marker.
+    assert seq.assumptions[-1].labels == ("post", "hyp")
+    assert seq.assumptions[-1].formula == parse("p")
+
+
+def test_forall_split_preserves_labels_and_renames():
+    result = _split([], "ALL x. x : S")
+    (seq,) = result.sequents
+    assert seq.goal.labels == ("post",)
+    # The bound variable was renamed to a fresh x$n.
+    printed = str(seq.goal)
+    assert "x$" in printed
+
+
+# -- proved_during_splitting counted exactly once -----------------------------------
+
+
+def test_true_goal_counted_once():
+    result = _split([], "True")
+    assert result.proved_during_splitting == 1
+    assert result.sequents == []
+
+
+def test_goal_in_assumptions_counted_once():
+    result = _split(["p"], "p")
+    assert result.proved_during_splitting == 1
+    assert result.sequents == []
+
+
+def test_conjunction_counts_each_trivial_conjunct_once():
+    # p is assumed; q is not.  Of the three conjuncts (p, True, q) exactly
+    # two are discharged during splitting and one survives as a sequent.
+    result = _split(["p"], "p & True & q")
+    assert result.proved_during_splitting == 2
+    assert len(result.sequents) == 1
+    assert result.sequents[0].goal.formula == parse("q")
+
+
+def test_total_obligations_conserved():
+    # Every conjunct is either discharged during splitting or becomes a
+    # sequent: nothing is dropped, nothing is counted twice.
+    result = _split(["p"], "p & (q --> q2) & True & r & (ALL x. x : S)")
+    assert result.proved_during_splitting + len(result.sequents) == 5
+    # (the p conjunct and True are discharged; q-->q2, r and the ALL each
+    # yield one sequent: 2 discharged + 3 sequents)
+    assert result.proved_during_splitting == 2
+    assert len(result.sequents) == 3
+
+
+def test_shared_result_accumulates_without_double_counting():
+    result = SplitResult()
+    split_goal((), Labeled(parse("True")), result=result)
+    split_goal((Labeled(parse("p")),), Labeled(parse("p")), result=result)
+    split_goal((), Labeled(parse("q")), result=result)
+    assert result.proved_during_splitting == 2
+    assert len(result.sequents) == 1
+
+
+# -- deterministic fresh names ------------------------------------------------------
+
+
+def test_fresh_names_deterministic_per_split():
+    goal = "ALL x. ALL y. (x, y) : R --> (y, x) : S"
+    first = _split([], goal)
+    second = _split([], goal)
+    assert [str(s.goal) for s in first.sequents] == [str(s.goal) for s in second.sequents]
+    assert [s.digest() for s in first.sequents] == [s.digest() for s in second.sequents]
+
+
+def test_fresh_counter_scoped_per_result():
+    # Two independent SplitResults restart numbering: no global counter leaks
+    # between verification conditions.
+    one = _split([], "ALL x. x : S")
+    two = _split([], "ALL x. x : S")
+    assert str(one.sequents[0].goal) == str(two.sequents[0].goal)
+    assert "x$1" in str(one.sequents[0].goal)
