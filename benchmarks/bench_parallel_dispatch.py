@@ -14,6 +14,8 @@ measures the two scaling levers of the dispatch subsystem:
 
 from __future__ import annotations
 
+import os
+
 from repro import suite, verify_class
 from repro.java.resolver import parse_program
 from repro.provers.cache import SequentCache
@@ -106,3 +108,39 @@ def test_cached_reverification_is_near_free(benchmark):
     assert second.cache_hit_rate == 1.0
     assert second.proved_from_cache == second.proved_sequents
     assert sum(s.attempted for s in second.methods[0].prover_stats.values()) == 0
+
+
+def test_tight_budget_dispatch_never_overruns(benchmark):
+    """Timeout-stress smoke (run by CI with DISPATCH_SEQUENT_BUDGET tightened):
+    dispatch the full portfolio over one class's sequents under an enforced
+    per-sequent budget; no sequent's live prover time may overrun it by more
+    than the 0.25s epsilon."""
+    budget = float(os.environ.get("DISPATCH_SEQUENT_BUDGET", "0.5"))
+    epsilon = 0.25
+    sequents = _sequent_batch()
+    dispatcher = Dispatcher(
+        make_provers(["syntactic", "smt", "fol", "mona", "bapa"]),
+        sequent_budget=budget,
+    )
+
+    result = run_once(benchmark, lambda: dispatcher.prove_all(sequents))
+    overruns = []
+    for outcome in result.outcomes:
+        live = sum(a.time for a in outcome.answers if not a.cached)
+        if live > budget + epsilon:
+            overruns.append((outcome.sequent.origin, round(live, 3)))
+    benchmark.extra_info.update(
+        {
+            "sequents": result.total,
+            "proved": result.proved,
+            "budget_s": budget,
+            "max_live_s": round(
+                max(
+                    (sum(a.time for a in o.answers if not a.cached) for o in result.outcomes),
+                    default=0.0,
+                ),
+                3,
+            ),
+        }
+    )
+    assert not overruns, f"sequents overran the enforced budget: {overruns}"

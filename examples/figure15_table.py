@@ -6,21 +6,51 @@ contracted method is verified with the structure's prover order, and one row
 of the table is printed: how many sequents each prover proved, the total
 verification time, and whether every obligation was discharged.
 
+The whole table shares one on-disk sequent cache (``--cache-dir``) and the
+dedup pre-pass: obligations that recur across methods and structures —
+invariant re-establishment, frame conjuncts, recurring null checks — are
+proved once and replayed everywhere else, so a full table run reports fewer
+live proofs than sequents dispatched, and a *re*-run replays almost
+everything.  Per-sequent budgets (``--budget``) are enforced inside every
+prover (see the Deadline contract in ``repro.provers.base``), so a stuck
+decision procedure is cut off instead of stalling its row.
+
 This is the full reproduction run and takes several minutes; pass a subset
-of structure names as command-line arguments to restrict it, e.g.::
+of structure names to restrict it, e.g.::
 
     python examples/figure15_table.py SinglyLinkedList SizedList
+    python examples/figure15_table.py --workers 4 --budget 10
 """
 
-import sys
+import argparse
 
 from repro import suite
 from repro.core.report import format_table
+from repro.provers.cache import SequentCache
 
 
 def main() -> None:
-    names = sys.argv[1:] or list(suite.FIGURE15_NAMES)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("names", nargs="*", help="suite structures to verify (default: all)")
+    parser.add_argument(
+        "--cache-dir", default=".figure15-cache",
+        help="on-disk sequent cache shared by the whole table (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the shared disk cache"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="worker pool size per method (default: 1)"
+    )
+    parser.add_argument(
+        "--budget", type=float, default=None,
+        help="enforced per-sequent time budget in seconds (default: none)",
+    )
+    args = parser.parse_args()
+
+    names = args.names or list(suite.FIGURE15_NAMES)
     provers = ["smt", "fol", "mona", "bapa"]
+    cache = None if args.no_cache else SequentCache(cache_dir=args.cache_dir)
     reports = []
     for name in names:
         print(f"verifying {name} ...", flush=True)
@@ -28,12 +58,31 @@ def main() -> None:
             name,
             provers=provers,
             prover_options={"smt": {"timeout": 3.0}, "fol": {"timeout": 1.5}},
+            cache=cache,
+            dedup=True,
+            workers=args.workers,
+            sequent_budget=args.budget,
         )
         reports.append(report)
         row = report.row(provers)
         print("  ", {k: v for k, v in row.items() if v})
     print()
     print(format_table(reports, provers))
+
+    dispatched = sum(r.total_sequents for r in reports)
+    live = sum(r.proved_live for r in reports)
+    replayed = sum(r.proved_from_cache for r in reports)
+    print()
+    print(
+        f"{dispatched} sequents dispatched: {live} proved live, "
+        f"{replayed} replayed (shared cache + dedup pre-pass)."
+    )
+    if cache is not None:
+        print(
+            f"Cache: {cache.stats.hits} hits / {cache.stats.lookups} lookups "
+            f"({cache.stats.hit_rate:.0%}), {cache.stats.stores} stores, "
+            f"disk tier at {args.cache_dir!r}."
+        )
 
 
 if __name__ == "__main__":

@@ -10,13 +10,13 @@ algebra) can discharge alone.
 
 from __future__ import annotations
 
-from typing import List, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from ..form import ast as F
 from ..form.rewrite import expand_field_writes, nnf, simplify
 from ..form.subst import beta_reduce
 from ..provers.approximation import approximate, relevant_assumptions
-from ..provers.base import Prover, ProverAnswer, Verdict
+from ..provers.base import Deadline, Prover, ProverAnswer, Verdict
 from ..vcgen.sequent import Sequent
 from .venn import BapaError, conjunction_satisfiable
 
@@ -137,7 +137,8 @@ class BapaProver(Prover):
 
     name = "bapa"
 
-    def attempt(self, sequent: Sequent) -> ProverAnswer:
+    def attempt(self, sequent: Sequent, deadline: Optional[Deadline] = None) -> ProverAnswer:
+        deadline = deadline or Deadline.after(self.timeout)
         prepared = relevant_assumptions(sequent.restricted(), rounds=2)
         assumptions = [
             simplify(expand_field_writes(beta_reduce(a.formula))) for a in prepared.assumptions
@@ -164,13 +165,20 @@ class BapaProver(Prover):
         refutation = _split_integer_disequalities(nnf(refutation))
 
         set_vars = _collect_set_vars(assumptions + [goal])
+        closed = 0
         try:
             disjuncts = _to_dnf(refutation)
             for literals in disjuncts:
-                if conjunction_satisfiable(literals, set_vars):
+                deadline.checkpoint(
+                    detail=lambda: (
+                        f"{closed} of {len(disjuncts)} refutation branches closed"
+                    )
+                )
+                if conjunction_satisfiable(literals, set_vars, deadline):
                     return ProverAnswer(
                         Verdict.UNKNOWN, self.name, detail="refutation branch is satisfiable"
                     )
+                closed += 1
         except BapaError as exc:
             return ProverAnswer(Verdict.UNSUPPORTED, self.name, detail=str(exc))
         detail = f"all {max(len(disjuncts), 1)} refutation branches closed"

@@ -29,6 +29,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..form import ast as F
 from ..form.printer import to_str
+from ..provers.base import Deadline
 from ..smt.lia import Constraint, fourier_motzkin_consistent
 
 
@@ -320,11 +321,18 @@ def add_literal(atom: F.Term, positive: bool, problem: BapaProblem, set_vars: Se
     raise BapaError(f"literal outside the BAPA fragment: {to_str(atom)}")
 
 
-def conjunction_satisfiable(literals: Sequence[Tuple[F.Term, bool]], set_vars: Set[str]) -> bool:
+def conjunction_satisfiable(
+    literals: Sequence[Tuple[F.Term, bool]],
+    set_vars: Set[str],
+    deadline: Optional[Deadline] = None,
+) -> bool:
     """Decide (soundly refute) satisfiability of a conjunction of BAPA literals.
 
     Returns False only when the conjunction is definitely unsatisfiable.
     Raises :class:`BapaError` when a literal is outside the fragment.
+    ``deadline`` is polled per literal translated (each translation
+    enumerates up to ``2**dimension`` Venn regions) and per elimination step
+    of the underlying rational solver.
     """
     # First pass: discover every set variable and singleton so that region
     # indices are stable (the Venn space must not grow while constraints are
@@ -332,6 +340,13 @@ def conjunction_satisfiable(literals: Sequence[Tuple[F.Term, bool]], set_vars: S
     # a smaller space).
     discovery = BapaProblem()
     for atom, positive in literals:
+        if deadline is not None:
+            deadline.checkpoint(
+                detail=lambda: (
+                    f"Venn discovery interrupted: {1 << discovery.space.dimension} "
+                    f"regions over {discovery.space.dimension} set variables"
+                )
+            )
         add_literal(atom, positive, discovery, set_vars)
     if discovery.space.dimension > 6:
         raise BapaError("too many set variables for Venn-region reduction")
@@ -340,5 +355,12 @@ def conjunction_satisfiable(literals: Sequence[Tuple[F.Term, bool]], set_vars: S
     problem.space.variables = list(discovery.space.variables)
     problem.singletons = dict(discovery.singletons)
     for atom, positive in literals:
+        if deadline is not None:
+            deadline.checkpoint(
+                detail=lambda: (
+                    f"Venn translation interrupted: {1 << problem.space.dimension} "
+                    f"regions, {len(problem.constraints)} constraints emitted"
+                )
+            )
         add_literal(atom, positive, problem, set_vars)
-    return fourier_motzkin_consistent(problem.finalize())
+    return fourier_motzkin_consistent(problem.finalize(), deadline=deadline)

@@ -8,7 +8,28 @@ Figure 15 aggregates the same numbers per data structure.
 On top of the paper's numbers, the reports surface the dispatch
 instrumentation of the parallel cached dispatcher: sequent-cache hit rates
 (``cache_hits`` / ``cache_misses`` / ``proved_from_cache``), wall versus
-CPU time, and per-worker utilization when ``workers > 1``.
+CPU time, per-worker utilization when ``workers > 1``, and the number of
+sequents answered by the dedup pre-pass (``dedup_replayed``).
+
+Time and budget semantics
+-------------------------
+
+Three distinct clocks appear in a report; do not conflate them:
+
+* **wall time** (``wall_time`` / ``total_time``): elapsed real time of the
+  dispatch.  With ``workers > 1`` many provers run inside one wall-second.
+* **CPU time in provers** (``cpu_time``, and per-prover
+  ``ProverStats.time``): the summed durations of live prover attempts —
+  cache replays and dedup fan-outs cost zero.  ``ProverStats.time`` is also
+  the *budget consumed* by that prover: deadlines are enforced inside the
+  engines (see :mod:`repro.provers.base`), so a prover's recorded time never
+  exceeds its configured ``timeout`` (nor the per-sequent budget) by more
+  than one checkpoint interval.
+* **per-sequent budget** (``sequent_budget=``): the enforced ceiling on the
+  sum of one sequent's live attempt times.  A ``TIMEOUT`` answer's ``time``
+  tells how much of the budget that prover burned before being cut off; its
+  ``detail`` records the partial work done (states built, regions
+  enumerated, clauses processed).
 """
 
 from __future__ import annotations
@@ -40,6 +61,11 @@ class MethodReport:
     cpu_time: float = 0.0
     workers: int = 1
     worker_utilization: Dict[str, float] = field(default_factory=dict)
+    #: Sequents answered by the dedup pre-pass (duplicates of an earlier
+    #: sequent in the batch, replayed instead of proved live).  Not printed
+    #: by :meth:`format` so that dedup and warm-cache runs produce identical
+    #: reports; inspect it programmatically.
+    dedup_replayed: int = 0
 
     @property
     def succeeded(self) -> bool:
@@ -153,6 +179,14 @@ class ClassReport:
     @property
     def proved_from_cache(self) -> int:
         return sum(method.proved_from_cache for method in self.methods)
+
+    @property
+    def proved_live(self) -> int:
+        return sum(method.proved_live for method in self.methods)
+
+    @property
+    def dedup_replayed(self) -> int:
+        return sum(method.dedup_replayed for method in self.methods)
 
     @property
     def cache_hit_rate(self) -> float:

@@ -25,6 +25,13 @@ Scaling knobs (mapped onto the Figure 7 command line, see ROADMAP):
   refuted) sequents are memoised under their structural digest, so
   re-verifying a method, a class, or the whole suite replays prior verdicts
   instead of re-proving them.  Share one cache across calls to benefit.
+* ``sequent_budget=T`` bounds the time the portfolio may spend on any one
+  sequent — and the bound is *enforced*: every prover polls the budget's
+  deadline on its hot loop and answers ``TIMEOUT`` when its slice runs out
+  (see the Deadline contract in :mod:`repro.provers.base`).
+* ``dedup=True`` groups the split sequents by structural digest before
+  dispatch, proves one representative per group and replays its verdict for
+  the duplicates (reported like cache replays, never as live proofs).
 """
 
 from __future__ import annotations
@@ -76,6 +83,7 @@ def verify(
     cache: Optional[SequentCache] = None,
     backend: str = "thread",
     sequent_budget: Optional[float] = None,
+    dedup: bool = False,
 ) -> MethodReport:
     """Verify one method and return its report (Figure 7).
 
@@ -86,7 +94,9 @@ def verify(
 
     ``workers`` > 1 proves the split sequents in parallel; ``cache``
     memoises prover verdicts per normalized sequent; ``sequent_budget``
-    bounds the time the whole portfolio may spend on any one sequent.
+    bounds (and enforces) the time the whole portfolio may spend on any one
+    sequent; ``dedup`` proves one representative per group of structurally
+    identical sequents and replays its verdict for the rest.
     """
     program = _as_program(source)
     if class_name is None:
@@ -102,11 +112,12 @@ def verify(
     if workers > 1:
         dispatcher = ParallelDispatcher.from_names(
             names, workers=workers, backend=backend, cache=cache,
-            sequent_budget=sequent_budget, **options,
+            sequent_budget=sequent_budget, dedup=dedup, **options,
         )
     else:
         dispatcher = Dispatcher(
-            make_provers(names, **options), cache=cache, sequent_budget=sequent_budget
+            make_provers(names, **options), cache=cache,
+            sequent_budget=sequent_budget, dedup=dedup,
         )
     dispatch = dispatcher.prove_all(method_vc.sequents)
 
@@ -127,6 +138,7 @@ def verify(
         cpu_time=dispatch.cpu_time,
         workers=dispatch.workers,
         worker_utilization=dict(dispatch.worker_utilization),
+        dedup_replayed=dispatch.dedup_replayed,
     )
     return report
 
@@ -142,12 +154,15 @@ def verify_class(
     cache: Optional[SequentCache] = None,
     backend: str = "thread",
     sequent_budget: Optional[float] = None,
+    dedup: bool = False,
 ) -> ClassReport:
     """Verify every contracted method of a class (one Figure 15 row).
 
-    ``workers`` and ``cache`` are forwarded to :func:`verify` for each
-    method; sharing one cache across the class lets invariant obligations
-    that repeat between methods be proved once and replayed.
+    ``workers``, ``cache``, ``sequent_budget`` and ``dedup`` are forwarded
+    to :func:`verify` for each method; sharing one cache across the class
+    lets invariant obligations that repeat between methods be proved once
+    and replayed, and ``dedup`` additionally collapses duplicates within
+    each method's batch before any prover runs.
     """
     program = _as_program(source)
     if class_name is None:
@@ -173,6 +188,7 @@ def verify_class(
                 cache=cache,
                 backend=backend,
                 sequent_budget=sequent_budget,
+                dedup=dedup,
             )
         )
     return report

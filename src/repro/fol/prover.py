@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from ..provers.base import Prover, ProverAnswer, Verdict
+from typing import Optional
+
+from ..provers.base import Deadline, Prover, ProverAnswer, Verdict
 from ..vcgen.sequent import Sequent
 from .hol2fol import translate_sequent
 from .resolution import ResolutionProver
@@ -18,17 +20,23 @@ class FirstOrderProver(Prover):
 
     name = "fol"
 
+    #: With deadlines enforced inside the saturation loop, wall time is
+    #: bounded by ``timeout`` alone, so the clause-count limits are safety
+    #: nets against memory blow-up rather than the de-facto time budget;
+    #: they default high enough for the backbone-reachability proofs of the
+    #: suite's invariant-exit obligations (~100k generated clauses).
     def __init__(
         self,
         timeout: float = 5.0,
-        max_processed: int = 1500,
-        max_generated: int = 20000,
+        max_processed: int = 6000,
+        max_generated: int = 200000,
     ) -> None:
         super().__init__(timeout=timeout)
         self.max_processed = max_processed
         self.max_generated = max_generated
 
-    def attempt(self, sequent: Sequent) -> ProverAnswer:
+    def attempt(self, sequent: Sequent, deadline: Optional[Deadline] = None) -> ProverAnswer:
+        deadline = deadline or Deadline.after(self.timeout)
         translation = translate_sequent(sequent)
         if not translation.clauses:
             # Everything was approximated away; the remaining goal is True.
@@ -38,11 +46,17 @@ class FirstOrderProver(Prover):
             max_processed=self.max_processed,
             max_generated=self.max_generated,
         )
-        result = engine.refute(translation.clauses)
+        result = engine.refute(translation.clauses, deadline)
         if result.refuted:
             detail = (
                 f"refutation found ({result.processed} processed, "
                 f"{result.generated} generated clauses)"
             )
             return ProverAnswer(Verdict.PROVED, self.name, detail=detail)
+        if result.reason == "timeout":
+            detail = (
+                f"saturation interrupted: {result.processed} clauses processed, "
+                f"{result.generated} generated"
+            )
+            return ProverAnswer(Verdict.TIMEOUT, self.name, detail=detail)
         return ProverAnswer(Verdict.UNKNOWN, self.name, detail=result.reason)

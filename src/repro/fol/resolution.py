@@ -11,8 +11,12 @@ is a classic given-clause saturation loop:
   sequents produced by splitting;
 * *redundancy elimination*: tautology deletion and (bounded) forward
   subsumption;
-* *fairness / termination*: clause-weight priority queue with limits on the
-  number of processed clauses, generated clauses and wall-clock time.
+* *fairness / termination*: an age/weight clause-selection queue (every
+  ``age_weight_ratio``-th given clause is the *oldest* passive clause rather
+  than the lightest, so heavy input clauses — quantified invariants, long
+  negated goals — cannot starve behind light resolvents) with limits on the
+  number of processed clauses, generated clauses and the enforced
+  :class:`repro.provers.base.Deadline`.
 
 The prover is refutation based: the caller passes the clauses of
 ``assumptions ∧ ¬goal`` and the prover searches for the empty clause.
@@ -23,9 +27,11 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from ..provers.base import Deadline
 from .terms import (
     Clause,
     FApp,
@@ -61,31 +67,82 @@ class ResolutionProver:
     max_processed: int = 2000
     max_generated: int = 30000
     max_clause_size: int = 12
+    #: Every n-th given clause is selected by age (FIFO) instead of weight,
+    #: the classic fairness device of saturation provers: without it, heavy
+    #: input clauses (quantified loop invariants, wide negated goals) starve
+    #: behind the stream of light resolvents and short proofs through them
+    #: are never found.
+    age_weight_ratio: int = 4
 
-    def refute(self, clauses: Iterable[Clause]) -> SaturationResult:
+    def refute(
+        self, clauses: Iterable[Clause], deadline: Optional[Deadline] = None
+    ) -> SaturationResult:
+        """Search for the empty clause.
+
+        ``deadline`` replaces the legacy wall-clock bound: when omitted, a
+        fresh deadline of ``max_seconds`` applies.  The loop polls it once
+        per given clause, so on expiry it returns a ``"timeout"`` result
+        recording the clauses processed and generated so far.
+        """
         start = time.perf_counter()
+        if deadline is None:
+            deadline = Deadline.after(self.max_seconds)
+        #: Weight-ordered tier (heap) and age-ordered tier (FIFO) over one
+        #: logical passive set; entries are tombstoned via ``consumed`` when
+        #: popped from the other tier.
         passive: List[Tuple[int, int, Clause]] = []
+        by_age: deque = deque()
+        consumed: Set[int] = set()
         counter = itertools.count()
+
+        def push(clause: Clause) -> None:
+            age = next(counter)
+            heapq.heappush(passive, (clause_weight(clause), age, clause))
+            by_age.append((age, clause))
+
+        def pop(picks: int) -> Optional[Clause]:
+            if picks % self.age_weight_ratio == 0:
+                while by_age:
+                    age, clause = by_age.popleft()
+                    if age not in consumed:
+                        consumed.add(age)
+                        return clause
+            while passive:
+                _, age, clause = heapq.heappop(passive)
+                if age not in consumed:
+                    consumed.add(age)
+                    return clause
+            while by_age:
+                age, clause = by_age.popleft()
+                if age not in consumed:
+                    consumed.add(age)
+                    return clause
+            return None
+
         initial = [c for c in clauses if not c.is_tautology()]
         signature = _collect_signature(initial)
         for clause in initial + list(_equality_axioms(signature)):
             if clause.is_empty:
                 return SaturationResult(True, 0, 0, time.perf_counter() - start, "empty input clause")
-            heapq.heappush(passive, (clause_weight(clause), next(counter), clause))
+            push(clause)
 
         active: List[Clause] = []
         generated = 0
         processed = 0
         rename_counter = itertools.count()
+        picks = 0
 
-        while passive:
+        while True:
             elapsed = time.perf_counter() - start
-            if elapsed > self.max_seconds:
+            if deadline.expired():
                 return SaturationResult(False, generated, processed, elapsed, "timeout")
             if processed > self.max_processed or generated > self.max_generated:
                 return SaturationResult(False, generated, processed, elapsed, "limit reached")
 
-            _, _, given = heapq.heappop(passive)
+            picks += 1
+            given = pop(picks)
+            if given is None:
+                break
             if any(subsumes(existing, given) for existing in active):
                 continue
             given = rename_clause(given, f"_g{next(rename_counter)}")
@@ -96,6 +153,14 @@ class ResolutionProver:
             new_clauses.extend(_factors(given))
             for other in active:
                 new_clauses.extend(_resolvents(given, other))
+                if deadline.expired():
+                    return SaturationResult(
+                        False,
+                        generated + len(new_clauses),
+                        processed,
+                        time.perf_counter() - start,
+                        "timeout",
+                    )
 
             for clause in new_clauses:
                 generated += 1
@@ -105,7 +170,7 @@ class ResolutionProver:
                     )
                 if clause.is_tautology() or len(clause) > self.max_clause_size:
                     continue
-                heapq.heappush(passive, (clause_weight(clause), next(counter), clause))
+                push(clause)
 
         return SaturationResult(
             False, generated, processed, time.perf_counter() - start, "saturated without refutation"

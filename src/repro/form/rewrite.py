@@ -107,6 +107,20 @@ def _simplify_node(term: Term) -> Term:
     if isinstance(term, F.Eq):
         if isinstance(term.lhs, F.IntLit) and isinstance(term.rhs, F.IntLit):
             return F.BoolLit(term.lhs.value == term.rhs.value)
+        # Tuples are a free constructor: equality decomposes component-wise.
+        # (Set-literal expansion produces `(k, v) = (k0, v0)` atoms that
+        # would otherwise be opaque to every prover.)
+        if (
+            isinstance(term.lhs, F.TupleTerm)
+            and isinstance(term.rhs, F.TupleTerm)
+            and len(term.lhs.items) == len(term.rhs.items)
+        ):
+            return F.mk_and(
+                tuple(
+                    _simplify_node(F.Eq(a, b))
+                    for a, b in zip(term.lhs.items, term.rhs.items)
+                )
+            )
         # Equality at the boolean sort is an equivalence; unwrap constants.
         formula_like = (F.And, F.Or, F.Not, F.Implies, F.Iff, F.Eq, F.Quant, F.BoolLit)
         if isinstance(term.lhs, F.BoolLit):

@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..form import ast as F
 from ..form.parser import parse_formula
 from ..form.subst import substitute
+from ..provers.base import Deadline, DeadlineExpired, Verdict
 from ..vcgen.sequent import Labeled, Sequent
 
 
@@ -74,10 +75,25 @@ class Kernel:
 
             automatic_provers = [SyntacticProver(), SmtProver(timeout=3.0), FirstOrderProver(timeout=3.0)]
         self.automatic_provers = list(automatic_provers)
+        #: The deadline of the replay in progress; every proof-search node
+        #: (tactic application) polls it, and ``auto`` passes it down to the
+        #: automated provers so they cannot overrun the budget either.
+        self._deadline: Deadline = Deadline.never()
 
     # -- tactics ---------------------------------------------------------------
 
-    def apply(self, state: ProofState, tactic: str, argument: str = "") -> ProofState:
+    def apply(
+        self,
+        state: ProofState,
+        tactic: str,
+        argument: str = "",
+        deadline: Optional[Deadline] = None,
+    ) -> ProofState:
+        if deadline is not None:
+            self._deadline = deadline
+        self._deadline.checkpoint(
+            detail=lambda: f"proof search interrupted with {len(state.goals)} open goals"
+        )
         handler = getattr(self, f"tac_{tactic}", None)
         if handler is None:
             raise ProofError(f"unknown tactic {tactic!r}")
@@ -166,9 +182,15 @@ class Kernel:
         for prover in self.automatic_provers:
             if argument and prover.name != argument:
                 continue
-            answer = prover.prove(goal_sequent)
+            answer = prover.prove(goal_sequent, deadline=self._deadline)
             if answer.proved:
                 return state.replace_first([])
+            if answer.verdict is Verdict.TIMEOUT and self._deadline.expired():
+                # The replay budget itself ran out mid-prover: surface it as
+                # a timeout, not as a script that merely failed to apply.
+                raise DeadlineExpired(
+                    f"auto interrupted while running {prover.name}: {answer.detail}"
+                )
         raise ProofError("auto failed to close the goal")
 
     def tac_assumption(self, state: ProofState, argument: str) -> ProofState:
@@ -182,12 +204,24 @@ class Kernel:
 
     # -- script replay -----------------------------------------------------------
 
-    def replay(self, sequent: Sequent, script: ProofScript) -> bool:
-        """Replay a script on a sequent; True iff it closes every goal."""
+    def replay(
+        self, sequent: Sequent, script: ProofScript, deadline: Optional[Deadline] = None
+    ) -> bool:
+        """Replay a script on a sequent; True iff it closes every goal.
+
+        ``deadline`` bounds the whole replay; expiry propagates as
+        :class:`repro.provers.base.DeadlineExpired` (never swallowed as a
+        mere failed script, so the caller reports ``TIMEOUT``, not
+        ``UNKNOWN``).
+        """
         state = ProofState([sequent])
+        previous = self._deadline
+        self._deadline = deadline or Deadline.never()
         try:
             for tactic, argument in script.steps:
                 state = self.apply(state, tactic, argument)
         except ProofError:
             return False
+        finally:
+            self._deadline = previous
         return state.finished

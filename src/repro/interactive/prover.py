@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..form import ast as F
-from ..provers.base import Prover, ProverAnswer, Verdict
+from ..provers.base import Deadline, Prover, ProverAnswer, Verdict
 from ..vcgen.sequent import Sequent
 from .kernel import Kernel, ProofScript, ProofState
 from .lemma_store import LemmaStore
@@ -56,15 +56,16 @@ class InteractiveProver(Prover):
         store_hash = hashlib.sha256(payload.encode()).hexdigest()[:16]
         return super().options_signature() + f";lemmas={store_hash}"
 
-    def attempt(self, sequent: Sequent) -> ProverAnswer:
+    def attempt(self, sequent: Sequent, deadline: Optional[Deadline] = None) -> ProverAnswer:
+        deadline = deadline or Deadline.after(self.timeout)
         script = self.store.lookup(sequent)
-        if script is not None and self.kernel.replay(sequent, script):
+        if script is not None and self.kernel.replay(sequent, script, deadline):
             return ProverAnswer(
                 Verdict.PROVED, self.name, detail=f"replayed stored script {script.name!r}"
             )
         if self.use_default_script:
             default = self._default_script(sequent)
-            if self.kernel.replay(sequent, default):
+            if self.kernel.replay(sequent, default, deadline):
                 return ProverAnswer(
                     Verdict.PROVED, self.name, detail="default intro/split/auto script"
                 )

@@ -19,6 +19,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..provers.base import Deadline
+
 #: A letter: one bit per track, in track order.
 Letter = Tuple[int, ...]
 
@@ -90,8 +92,13 @@ class DFA:
         accepting = frozenset(s for s in self.transitions if s not in self.accepting)
         return DFA(self.tracks, self.initial, accepting, self.transitions)
 
-    def product(self, other: "DFA", mode: str = "and") -> "DFA":
-        """Product automaton; ``mode`` is ``"and"`` or ``"or"``."""
+    def product(self, other: "DFA", mode: str = "and", deadline: Optional[Deadline] = None) -> "DFA":
+        """Product automaton; ``mode`` is ``"and"`` or ``"or"``.
+
+        Polls ``deadline`` once per product state expanded, so a blowing-up
+        construction unwinds with :class:`DeadlineExpired` within one state's
+        worth of work of the budget.
+        """
         tracks = self.tracks
         if other.tracks != tracks:
             raise ValueError("product requires identical track lists; cylindrify first")
@@ -109,6 +116,10 @@ class DFA:
         frontier = [(self.initial, other.initial)]
         visited = {(self.initial, other.initial)}
         while frontier:
+            if deadline is not None:
+                deadline.checkpoint(
+                    detail=lambda: f"automaton product interrupted: {len(state_ids)} states built"
+                )
             pair = frontier.pop()
             source = intern(pair)
             transitions[source] = {}
@@ -130,7 +141,7 @@ class DFA:
 
     # -- track manipulation -----------------------------------------------------
 
-    def cylindrify(self, new_tracks: Sequence[str]) -> "DFA":
+    def cylindrify(self, new_tracks: Sequence[str], deadline: Optional[Deadline] = None) -> "DFA":
         """Extend the automaton to a larger track list (new tracks are don't-care)."""
         new_tracks = tuple(new_tracks)
         positions = []
@@ -139,13 +150,18 @@ class DFA:
         transitions: Dict[int, Dict[Letter, int]] = {}
         alphabet = [tuple(bits) for bits in itertools.product((0, 1), repeat=len(new_tracks))]
         for state, outgoing in self.transitions.items():
+            if deadline is not None:
+                deadline.checkpoint(
+                    every=16,
+                    detail=lambda: f"cylindrification interrupted: {len(transitions)} of {self.num_states} states widened",
+                )
             transitions[state] = {}
             for letter in alphabet:
                 old_letter = tuple(letter[p] for p in positions)
                 transitions[state][letter] = outgoing[old_letter]
         return DFA(new_tracks, self.initial, self.accepting, transitions)
 
-    def project(self, track: str) -> "DFA":
+    def project(self, track: str, deadline: Optional[Deadline] = None) -> "DFA":
         """Existentially quantify one track (WS1S semantics).
 
         The projection produces an NFA (the quantified track may be 0 or 1 on
@@ -153,6 +169,8 @@ class DFA:
         acceptance is closed under trailing all-zero letters: the witness set
         for the quantified variable may contain positions beyond the length
         of the remaining word, which corresponds to appending zero letters.
+
+        Polls ``deadline`` once per subset expanded during determinisation.
         """
         index = self.tracks.index(track)
         remaining = tuple(t for i, t in enumerate(self.tracks) if i != index)
@@ -169,6 +187,10 @@ class DFA:
         transitions: Dict[int, Dict[Letter, int]] = {}
         frontier = [initial_set]
         while frontier:
+            if deadline is not None:
+                deadline.checkpoint(
+                    detail=lambda: f"subset construction interrupted: {len(state_ids)} states built"
+                )
             subset = frontier.pop()
             source = state_ids[subset]
             transitions[source] = {}
@@ -233,7 +255,7 @@ class DFA:
 
     # -- normalisation ----------------------------------------------------------
 
-    def minimize(self) -> "DFA":
+    def minimize(self, deadline: Optional[Deadline] = None) -> "DFA":
         """Hopcroft-style minimisation (simple partition refinement)."""
         states = list(self.transitions)
         alphabet = self.alphabet()
@@ -245,6 +267,11 @@ class DFA:
             changed = False
             signature: Dict[int, Tuple] = {}
             for state in states:
+                if deadline is not None:
+                    deadline.checkpoint(
+                        every=64,
+                        detail=lambda: f"minimisation interrupted at {len(states)} states",
+                    )
                 signature[state] = (
                     partition[state],
                     tuple(partition[self.transitions[state][letter]] for letter in alphabet),

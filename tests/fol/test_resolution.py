@@ -77,6 +77,109 @@ def test_reachability_not_assumed_invalid():
     assert not _refutes([], "(x, y) : {(u, v). u..next = v}^*", timeout=2.0)
 
 
+def test_union_backbone_reachability_step():
+    """Reachability through the left|right tree backbone: the union axioms
+    discharge the traversal-invariant preservation shape of BST.contains."""
+    rel = "{(u, v). u..left = v | u..right = v}"
+    assert _refutes(
+        [f"ALL m. m ~= null & (p, m) : {rel}^* --> m..key : content",
+         "p ~= null", "m2 ~= null", f"(p..left, m2) : {rel}^*"],
+        "m2..key : content",
+    )
+    assert _refutes(
+        [f"ALL m. m ~= null & (p, m) : {rel}^* --> m..key : content",
+         "p ~= null", "m2 ~= null", f"(p..right, m2) : {rel}^*"],
+        "m2..key : content",
+    )
+
+
+def test_union_backbone_not_unsound():
+    rel = "{(u, v). u..left = v | u..right = v}"
+    assert not _refutes([], f"(x, y) : {rel}^*", timeout=2.0)
+
+
+def test_union_backbone_incarnation_fields_translate():
+    """Havocked field incarnations (left#2) appear in loop-exit obligations;
+    the axiom instantiation must survive names the parser cannot read."""
+    from repro.form import ast as F
+    from repro.vcgen.sequent import Labeled, Sequent
+
+    def rel_elem(fld_a, fld_b, x, y):
+        params = (("u", None), ("v", None))
+        body = F.Or((
+            F.Eq(F.App(F.Var(fld_a), (F.Var("u"),)), F.Var("v")),
+            F.Eq(F.App(F.Var(fld_b), (F.Var("u"),)), F.Var("v")),
+        ))
+        rel = F.app("rtrancl", F.SetCompr(params, body))
+        return F.app("elem", F.TupleTerm((F.Var(x), F.Var(y))), rel)
+
+    inv = F.Quant(
+        "ALL", (("m", None),),
+        F.mk_implies(
+            F.mk_and((F.Not(F.Eq(F.Var("m"), F.NULL)), rel_elem("left#2", "right#5", "root", "m"))),
+            F.app("elem", F.Var("m"), F.Var("alloc")),
+        ),
+    )
+    seq = Sequent(
+        assumptions=(
+            Labeled(inv),
+            Labeled(F.Not(F.Eq(F.Var("w"), F.NULL))),
+            Labeled(rel_elem("left#2", "right#5", "root", "w")),
+        ),
+        goal=Labeled(F.app("elem", F.Var("w"), F.Var("alloc"))),
+    )
+    translation = translate_sequent(seq)
+    assert translation.used_reachability
+    assert FirstOrderProver(timeout=8.0).prove(seq).proved
+
+
+def test_written_backbone_escape_and_suffix():
+    """Reachability through a fieldWrite-updated backbone: the escape/suffix
+    bridge axioms discharge the put/insert invariant-exit shape."""
+    wrel = "{(u, v). (fieldWrite next fresh first) u = v}"
+    rel = "{(u, v). u..next = v}"
+    common = [
+        f"ALL m. m ~= null & (first, m) : {rel}^* --> m : alloc",
+        "fresh ~= null", "fresh ~: alloc", "m2 ~= null",
+        f"(fresh, m2) : {wrel}^*",
+    ]
+    # Everything reachable from the fresh head is the head itself or an old
+    # (allocated) node.
+    assert _refutes(common, "m2 : alloc Un {fresh}", timeout=30.0)
+
+
+def test_unrecognised_relations_get_distinct_predicates():
+    """Reachability over one unrecognised relation must never prove
+    reachability over a different one (they are reified as *distinct*
+    uninterpreted predicates)."""
+    assert not _refutes(
+        ["(x, y) : {(u, v). u..next = v..prev}^*"],
+        "(x, y) : {(u, v). P u v}^*",
+        timeout=2.0,
+    )
+    # Strictness is part of the identity: R^+ and R^* must not collapse.
+    assert not _refutes(
+        ["(x, y) : {(u, v). u..next = v..prev}^*"],
+        "(x, y) : {(u, v). u..next = v..prev}^+",
+        timeout=2.0,
+    )
+    # The same unrecognised relation still unifies with itself.
+    assert _refutes(
+        ["(x, y) : {(u, v). u..next = v..prev}^*"],
+        "(x, y) : {(u, v). u..next = v..prev}^*",
+    )
+
+
+def test_written_backbone_not_unsound():
+    wrel = "{(u, v). (fieldWrite next a b) u = v}"
+    assert not _refutes([], f"(x, y) : {wrel}^*", timeout=2.0)
+    # The written closure must not collapse to the base closure.
+    rel = "{(u, v). u..next = v}"
+    assert not _refutes(
+        [f"(x, y) : {wrel}^*"], f"(x, y) : {rel}^*", timeout=2.0
+    )
+
+
 def test_translation_produces_clauses():
     seq = sequent(
         [parse("ALL x. x : S --> x..next : S"), parse("a : S")],

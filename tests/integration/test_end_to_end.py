@@ -184,6 +184,34 @@ def test_easy_suite_methods_verify(structure, method, provers):
 @pytest.mark.parametrize(
     "structure, method",
     [
+        ("AssocList", "lookup"),
+        ("BinarySearchTree", "contains"),
+        ("BinarySearchTree", "insert"),
+        ("BinarySearchTree", "clear"),
+        ("AssocList", "clear"),
+    ],
+)
+def test_strengthened_traversal_invariants_fully_discharge(structure, method):
+    """The ReachPairs/ReachKeys backbone invariants (plus the union- and
+    fieldWrite-backbone reachability axioms) let the traversal obligations of
+    AssocList.lookup and BinarySearchTree.contains discharge completely —
+    the previously weak loop invariants left their preservation obligations
+    open.  (AssocList.put also fully verifies, but its written-backbone
+    proofs take ~20s; the unit tests in tests/fol cover that machinery.)"""
+    report = verify(
+        suite.source(structure),
+        class_name=structure,
+        method=method,
+        provers=["smt", "fol", "mona", "bapa"],
+        prover_options={"smt": {"timeout": 2.0}, "fol": {"timeout": 10.0}},
+        sequent_budget=20.0,
+    )
+    assert report.succeeded, report.format()
+
+
+@pytest.mark.parametrize(
+    "structure, method",
+    [
         ("SinglyLinkedList", "add"),
         ("SinglyLinkedList", "isEmpty"),
         ("SizedList", "addNew"),

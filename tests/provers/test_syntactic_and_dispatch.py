@@ -63,6 +63,57 @@ def test_syntactic_does_not_overreach(assumptions, goal):
     assert not _syntactic(assumptions, goal).proved
 
 
+# -- guarded modus ponens (quantified-assumption instances) --------------------------
+
+
+@pytest.mark.parametrize(
+    "assumptions, goal",
+    [
+        # Plain instance of a guarded universal with both antecedents assumed.
+        (
+            ["ALL m. m ~= null & m : S --> m..key : content", "a ~= null", "a : S"],
+            "a..key : content",
+        ),
+        # Conjunction consequent: the goal matches one conjunct.
+        (
+            ["ALL m. m : S --> m : alloc & m..key : content", "a : S"],
+            "a..key : content",
+        ),
+        # Unguarded universal instance.
+        (["ALL x. x..f : T", "unrelated"], "c..f : T"),
+        # Instantiation at a complex term.
+        (
+            ["ALL m. m ~= null & (root, m) : {(u, v). u..next = v}^* --> m : alloc",
+             "b..next ~= null",
+             "(root, b..next) : {(u, v). u..next = v}^*"],
+            "b..next : alloc",
+        ),
+    ],
+)
+def test_syntactic_modus_ponens_on_quantified_assumptions(assumptions, goal):
+    assert _syntactic(assumptions, goal).proved
+
+
+@pytest.mark.parametrize(
+    "assumptions, goal",
+    [
+        # Antecedent not assumed: must not conclude the instance.
+        (["ALL m. m ~= null & m : S --> m..key : content", "a : S"], "a..key : content"),
+        # Wrong instance shape.
+        (["ALL m. m : S --> m..key : content", "a : S"], "b..key : content"),
+        # Existential assumption gives no instances.
+        (["EX m. m : S & m..key : content", "a : S"], "a..key : content"),
+        # Variable capture: binding the hole y to the target's bound x would
+        # turn `ALL y. EX x. P x y` into the invalid `EX x. P x x`.
+        (["ALL y. EX x. P x y"], "EX x. P x x"),
+        # Same capture shape through a nested universal.
+        (["ALL y. ALL x. R x --> Q x y"], "ALL x. R x --> Q x x"),
+    ],
+)
+def test_syntactic_modus_ponens_stays_sound(assumptions, goal):
+    assert not _syntactic(assumptions, goal).proved
+
+
 # -- approximation (Figure 14) ----------------------------------------------------------
 
 
