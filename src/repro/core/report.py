@@ -66,10 +66,20 @@ class MethodReport:
     #: by :meth:`format` so that dedup and warm-cache runs produce identical
     #: reports; inspect it programmatically.
     dedup_replayed: int = 0
+    #: User-written ``assume`` statements in the method body.  Each is a
+    #: *trusted* step the provers never check; the paper's headline claim
+    #: (and this reproduction's, since the set-of-support engine landed) is
+    #: full verification with ``trusted_assumes == 0``.
+    trusted_assumes: int = 0
 
     @property
     def succeeded(self) -> bool:
         return self.proved_sequents == self.total_sequents
+
+    @property
+    def fully_verified(self) -> bool:
+        """Succeeded *and* free of trusted ``assume`` steps."""
+        return self.succeeded and self.trusted_assumes == 0
 
     @property
     def cache_lookups(self) -> int:
@@ -127,6 +137,10 @@ class MethodReport:
             f"A total of {self.proved_sequents} sequents out of {self.total_sequents} proved."
         )
         lines.append(f":{self.class_name}.{self.method_name}]")
+        if self.trusted_assumes:
+            lines.append(
+                f"WARNING: {self.trusted_assumes} trusted assume statement(s) in the body."
+            )
         if self.succeeded:
             lines.append("0=== Verification SUCCEEDED.")
         else:
@@ -187,6 +201,15 @@ class ClassReport:
     @property
     def dedup_replayed(self) -> int:
         return sum(method.dedup_replayed for method in self.methods)
+
+    @property
+    def trusted_assumes(self) -> int:
+        return sum(method.trusted_assumes for method in self.methods)
+
+    @property
+    def fully_verified(self) -> bool:
+        """Every method succeeded with zero trusted ``assume`` steps."""
+        return all(method.fully_verified for method in self.methods)
 
     @property
     def cache_hit_rate(self) -> float:

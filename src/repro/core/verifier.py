@@ -139,6 +139,7 @@ def verify(
         workers=dispatch.workers,
         worker_utilization=dict(dispatch.worker_utilization),
         dedup_replayed=dispatch.dedup_replayed,
+        trusted_assumes=method_vc.trusted_assumes,
     )
     return report
 

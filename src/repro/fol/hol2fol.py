@@ -32,9 +32,16 @@ from .terms import Clause
 
 @dataclass
 class Translation:
-    """The result of translating a sequent: clauses for refutation."""
+    """The result of translating a sequent: clauses for refutation.
+
+    ``goal_clauses`` are the clauses of the *negated goal* — the natural
+    initial set of support for the resolution engine's ``strategy="sos"``
+    (they are also the tail of ``clauses``; provenance is kept separately so
+    the prover does not have to reverse-engineer it).
+    """
 
     clauses: List[Clause]
+    goal_clauses: List[Clause] = field(default_factory=list)
     used_reachability: bool = False
     used_arithmetic: bool = False
 
@@ -475,9 +482,11 @@ def translate_sequent(sequent: Sequent, max_clauses: int = 4000) -> Translation:
             continue
     # The goal is negated for refutation; failure to clausify it is fatal for
     # this prover (but only means "unknown", never unsoundness).
-    clauses.extend(clausifier.clausify(F.Not(goal_formula)))
+    goal_clauses = clausifier.clausify(F.Not(goal_formula))
+    clauses.extend(goal_clauses)
     return Translation(
         clauses=clauses,
+        goal_clauses=goal_clauses,
         used_reachability=bool(uses.fields or uses.unions or uses.written),
         used_arithmetic=used_arith,
     )

@@ -1,0 +1,215 @@
+"""Indexed clause store for the saturation engine.
+
+The PR-2 engine found resolution partners, forward-subsumption candidates
+and simplifying units by scanning *every* active clause (all-pairs).  This
+module replaces those scans with three cheap indexes, all keyed on the one
+piece of structure unification can never ignore — the predicate symbol and
+the top symbols of its argument terms:
+
+* :class:`LiteralIndex` — resolution-partner retrieval.  Every literal of an
+  active clause is filed under ``(pred, polarity)`` together with its
+  *fingerprint*: the tuple of top symbols of its arguments (``None`` for a
+  variable position).  Two literals can only unify when their fingerprints
+  are compatible (equal symbol, or a variable on either side, at every
+  position), so incompatible candidates are rejected without building a
+  substitution.  The filter is *complete*: it never rejects a pair the
+  all-pairs scan would have resolved (see ``tests/fol/test_strategy_properties.py``).
+
+* :class:`SubsumptionIndex` — forward subsumption.  Candidate subsumers of a
+  clause ``D`` must (a) be at most as long as ``D`` and (b) use only
+  ``(pred, polarity)`` pairs occurring in ``D``; clauses are bucketed by that
+  feature set so the expensive theta-subsumption test runs on a short
+  prefiltered list.  Only clauses within the ``subsumes`` literal bound are
+  stored at all (longer clauses can never act as subsumers).
+
+* :class:`UnitIndex` — unit simplification.  Unit clauses are filed like
+  literals; ``simplify_clause`` deletes literals whose complement is an
+  instance of a stored unit (unit deletion — the deleted literal is false in
+  every model of the unit) and reports clauses one of whose literals is an
+  instance of a stored unit (unit subsumption — the clause is redundant).
+
+The indexes only ever *restrict* which pairs are attempted; they add no
+inferences, so they cannot affect soundness — only speed (and, if a filter
+were too strong, completeness; the property tests pin exactness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .terms import (
+    MAX_SUBSUMER_LITERALS,
+    Clause,
+    FApp,
+    Literal,
+    _match_literal,
+    subsumes,
+)
+
+#: A literal fingerprint: per argument position, the top function symbol or
+#: ``None`` for a variable (which can unify with anything).
+Fingerprint = Tuple[Optional[str], ...]
+
+
+def literal_fingerprint(literal: Literal) -> Fingerprint:
+    """Top-symbol fingerprint of a literal's argument vector."""
+    return tuple(
+        arg.func if isinstance(arg, FApp) else None for arg in literal.args
+    )
+
+
+def fingerprints_compatible(a: Fingerprint, b: Fingerprint) -> bool:
+    """Necessary condition for unifiability of two same-predicate literals.
+
+    A position blocks unification only when *both* sides carry a function
+    symbol and the symbols differ; a variable on either side is a wildcard.
+    """
+    for x, y in zip(a, b):
+        if x is not None and y is not None and x != y:
+            return False
+    return True
+
+
+@dataclass
+class _LiteralEntry:
+    clause_id: int
+    clause: Clause
+    literal_index: int
+    fingerprint: Fingerprint
+
+
+class LiteralIndex:
+    """Maps ``(pred, polarity)`` to the literal occurrences of active clauses."""
+
+    def __init__(self) -> None:
+        self._buckets: Dict[Tuple[str, bool], List[_LiteralEntry]] = {}
+
+    def add(
+        self, clause_id: int, clause: Clause, indices: Optional[Tuple[int, ...]] = None
+    ) -> None:
+        """File the clause's literals (all of them, or just ``indices``).
+
+        The engine passes its *eligible* literal indices so that the
+        ordering/selection restriction on the partner side is enforced by
+        retrieval itself; passing nothing indexes every literal (the exact
+        all-pairs-equivalent mode the property tests exercise).
+        """
+        for index in range(len(clause.literals)) if indices is None else indices:
+            literal = clause.literals[index]
+            entry = _LiteralEntry(clause_id, clause, index, literal_fingerprint(literal))
+            self._buckets.setdefault((literal.pred, literal.positive), []).append(entry)
+
+    def resolution_candidates(
+        self, literal: Literal
+    ) -> Iterator[Tuple[int, Clause, int]]:
+        """Occurrences of complementary literals that may unify with ``literal``.
+
+        Yields ``(clause_id, clause, literal_index)`` for every stored literal
+        with the same predicate, opposite polarity and a compatible
+        fingerprint.  Equality fingerprints are checked in the stored
+        orientation only: the engine resolves literally, not modulo symmetry
+        (unification itself is orientation-sensitive), and the symmetry
+        axiom makes the swapped orientation reachable as its own inference.
+        """
+        bucket = self._buckets.get((literal.pred, not literal.positive))
+        if not bucket:
+            return
+        fingerprint = literal_fingerprint(literal)
+        for entry in bucket:
+            if fingerprints_compatible(fingerprint, entry.fingerprint):
+                yield entry.clause_id, entry.clause, entry.literal_index
+
+
+class SubsumptionIndex:
+    """Feature-vector prefilter for forward subsumption.
+
+    Stores only clauses short enough to act as subsumers (the theta-subsumption
+    test in :func:`repro.fol.terms.subsumes` gives up beyond
+    ``MAX_SUBSUMER_LITERALS``, so longer clauses never subsume anything and
+    are not stored).
+    """
+
+    #: The literal bound shared with :func:`repro.fol.terms.subsumes`.
+    MAX_SUBSUMER_LITERALS = MAX_SUBSUMER_LITERALS
+
+    def __init__(self) -> None:
+        #: (frozen feature set, clause) pairs, shortest clauses first is not
+        #: required for correctness; insertion order keeps units early in
+        #: practice because units are produced (and activated) eagerly.
+        self._entries: List[Tuple[frozenset, Clause]] = []
+
+    @staticmethod
+    def features(clause: Clause) -> frozenset:
+        return frozenset((lit.pred, lit.positive) for lit in clause.literals)
+
+    def add(self, clause: Clause) -> None:
+        if 0 < len(clause) <= self.MAX_SUBSUMER_LITERALS:
+            self._entries.append((self.features(clause), clause))
+
+    def subsumed(self, clause: Clause) -> bool:
+        """Is ``clause`` theta-subsumed by any stored clause?"""
+        clause_features = self.features(clause)
+        clause_len = len(clause)
+        for features, candidate in self._entries:
+            if len(candidate) > clause_len:
+                continue
+            if not features <= clause_features:
+                continue
+            if subsumes(candidate, clause):
+                return True
+        return False
+
+
+class UnitIndex:
+    """Unit clauses keyed like literals, for unit deletion and subsumption."""
+
+    def __init__(self) -> None:
+        self._buckets: Dict[Tuple[str, bool], List[Tuple[Literal, Fingerprint]]] = {}
+
+    def add(self, clause: Clause) -> None:
+        if len(clause) != 1:
+            return
+        literal = clause.literals[0]
+        self._buckets.setdefault((literal.pred, literal.positive), []).append(
+            (literal, literal_fingerprint(literal))
+        )
+
+    def _matching(self, literal: Literal, positive: bool) -> Optional[Literal]:
+        """A stored unit (of the given polarity) whose literal *matches onto*
+        ``literal`` — i.e. ``literal`` is an instance of the unit."""
+        bucket = self._buckets.get((literal.pred, positive))
+        if not bucket:
+            return None
+        fingerprint = literal_fingerprint(literal)
+        for unit, unit_fingerprint in bucket:
+            # One-way matching: the unit's variables bind, the literal's stay.
+            if not fingerprints_compatible(unit_fingerprint, fingerprint):
+                continue
+            if _match_literal(unit, literal, {}) is not None:
+                return unit
+        return None
+
+    def simplify_clause(self, clause: Clause) -> Optional[Clause]:
+        """Apply unit subsumption and unit deletion to ``clause``.
+
+        Returns ``None`` when the clause is redundant (some literal is an
+        instance of a stored unit: the whole clause is implied by the unit);
+        otherwise returns the clause with every literal whose *complement* is
+        an instance of a stored unit deleted (that literal is false in every
+        model of the unit, so the shortened clause is entailed).  Deleting the
+        last literal yields the empty clause — a refutation found during
+        simplification.
+        """
+        kept: List[Literal] = []
+        changed = False
+        for literal in clause.literals:
+            if self._matching(literal, literal.positive) is not None:
+                return None
+            if self._matching(literal.negate(), not literal.positive) is not None:
+                changed = True
+                continue
+            kept.append(literal)
+        if not changed:
+            return clause
+        return Clause(tuple(kept))

@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Set
 
 from ..provers.base import Deadline, Prover, ProverAnswer, Verdict
 from ..vcgen.sequent import Sequent
 from .hol2fol import translate_sequent
 from .resolution import ResolutionProver
+from .terms import Clause
 
 
 class FirstOrderProver(Prover):
@@ -16,6 +17,33 @@ class FirstOrderProver(Prover):
     The sequent is first translated to clauses by :mod:`repro.fol.hol2fol`
     (which applies the sound approximation rewrites), then the saturation
     loop searches for the empty clause within the configured limits.
+
+    Search strategy (see :mod:`repro.fol.resolution` for the semantics):
+
+    * ``strategy="sos"`` (default) seeds the set of support with the negated
+      goal's clauses, so every inference descends from the goal and
+      axiom–axiom saturation is structurally blocked; ``"fair"`` is the
+      undirected given-clause loop.
+    * ``sos_seed`` picks the initial support.  ``"negative"`` (default)
+      seeds the negated-goal clauses plus every input clause without a
+      positive literal — the *semantic* set of support induced by the
+      all-atoms-true interpretation, which satisfies the non-support side
+      and therefore keeps the SOS restriction refutationally complete.
+      This matters for split sequents: the splitter moves the goal's
+      hypotheses into the assumptions, so vacuous-path obligations are
+      refuted entirely inside the assumption set, which a goal-only
+      support never touches.  ``"goal"`` supports only the negated-goal
+      clauses (maximally directed, incomplete on inconsistent
+      assumptions); ``"goal+mentioned"`` additionally seeds every
+      assumption clause sharing a (non-equality) predicate symbol with
+      the goal clauses.
+    * ``ordering``/``selection`` restrict resolution to KBO-maximal or
+      selected-negative literals.
+
+    All four knobs can flip a verdict between PROVED and UNKNOWN, so they
+    are scalar instance attributes and therefore part of
+    :meth:`Prover.options_signature` — cached verdicts computed under one
+    strategy are never replayed for another.
     """
 
     name = "fol"
@@ -30,10 +58,54 @@ class FirstOrderProver(Prover):
         timeout: float = 5.0,
         max_processed: int = 6000,
         max_generated: int = 200000,
+        strategy: str = "sos",
+        sos_seed: str = "negative",
+        ordering: str = "kbo",
+        selection: str = "negative",
     ) -> None:
         super().__init__(timeout=timeout)
+        # Every knob silently changes search behaviour (and keys the verdict
+        # cache), so a typo'd value must fail loudly, not degrade to "fair".
+        for name, value, allowed in (
+            ("strategy", strategy, ("sos", "fair")),
+            ("sos_seed", sos_seed, ("negative", "goal", "goal+mentioned")),
+            ("ordering", ordering, ("kbo", "none")),
+            ("selection", selection, ("negative", "none")),
+        ):
+            if value not in allowed:
+                raise ValueError(f"unknown {name} {value!r}; expected one of {allowed}")
         self.max_processed = max_processed
         self.max_generated = max_generated
+        self.strategy = strategy
+        self.sos_seed = sos_seed
+        self.ordering = ordering
+        self.selection = selection
+
+    def _support(self, translation) -> Optional[List[Clause]]:
+        """The initial set of support, per ``strategy``/``sos_seed``."""
+        if self.strategy != "sos" or not translation.goal_clauses:
+            return None
+        support = list(translation.goal_clauses)
+        goal_set = set(support)
+        if self.sos_seed == "negative":
+            for clause in translation.clauses:
+                if clause in goal_set:
+                    continue
+                if all(not lit.positive for lit in clause.literals):
+                    support.append(clause)
+        elif self.sos_seed == "goal+mentioned":
+            goal_predicates: Set[str] = {
+                lit.pred
+                for clause in translation.goal_clauses
+                for lit in clause.literals
+                if lit.pred != "="
+            }
+            for clause in translation.clauses:
+                if clause in goal_set:
+                    continue
+                if any(lit.pred in goal_predicates for lit in clause.literals):
+                    support.append(clause)
+        return support
 
     def attempt(self, sequent: Sequent, deadline: Optional[Deadline] = None) -> ProverAnswer:
         deadline = deadline or Deadline.after(self.timeout)
@@ -45,12 +117,17 @@ class FirstOrderProver(Prover):
             max_seconds=self.timeout,
             max_processed=self.max_processed,
             max_generated=self.max_generated,
+            strategy=self.strategy,
+            ordering=self.ordering,
+            selection=self.selection,
         )
-        result = engine.refute(translation.clauses, deadline)
+        result = engine.refute(
+            translation.clauses, deadline, support=self._support(translation)
+        )
         if result.refuted:
             detail = (
                 f"refutation found ({result.processed} processed, "
-                f"{result.generated} generated clauses)"
+                f"{result.generated} generated clauses, strategy={self.strategy})"
             )
             return ProverAnswer(Verdict.PROVED, self.name, detail=detail)
         if result.reason == "timeout":

@@ -1,25 +1,63 @@
 """A resolution/saturation theorem prover for first-order logic with equality.
 
 This engine plays the role of SPASS and E in the original Jahob system.  It
-is a classic given-clause saturation loop:
+is a given-clause saturation loop in the Otter style, with three search
+strategies layered on top of the basic calculus:
 
-* *inference rules*: binary resolution and positive factoring;
-* *equality*: handled by automatically generated equality axioms
-  (reflexivity, symmetry, transitivity and congruence for every function and
-  predicate symbol in the problem) plus demodulation with ground unit
-  equations — simpler than superposition, adequate for the moderately sized
-  sequents produced by splitting;
-* *redundancy elimination*: tautology deletion and (bounded) forward
-  subsumption;
-* *fairness / termination*: an age/weight clause-selection queue (every
-  ``age_weight_ratio``-th given clause is the *oldest* passive clause rather
-  than the lightest, so heavy input clauses — quantified invariants, long
-  negated goals — cannot starve behind light resolvents) with limits on the
-  number of processed clauses, generated clauses and the enforced
-  :class:`repro.provers.base.Deadline`.
+The given-clause loop
+    Clauses live in two sets: *passive* (waiting to be processed) and
+    *active* (processed, eligible as inference partners).  Each iteration
+    pops one *given* clause from the passive queue, simplifies it against
+    the active units, discards it if an active clause subsumes it, activates
+    it, and generates every inference between the given clause and the
+    active set (plus its own factors).  New clauses are simplified and
+    pushed back into the passive queue.  The loop ends when the empty clause
+    is derived (refutation), the passive queue drains (saturation), or a
+    limit/deadline fires.
+
+Set of support (``strategy="sos"``)
+    The classic goal-directedness device (Wos et al.): the caller marks the
+    clauses descending from the *negated goal* as the initial set of
+    support.  Only SOS clauses ever enter the passive queue — axiom and
+    assumption clauses are activated directly at start-up — so every given
+    clause descends from the goal and **axiom–axiom resolution is
+    structurally impossible**.  Every inference has the given clause as one
+    premise, hence at least one SOS premise, and its conclusion joins the
+    SOS.  This is complete when the non-support clauses are satisfiable
+    (true here: assumptions + sound axioms have the intended model) and
+    prunes exactly the inferences that made the invariant-exit obligations
+    drown: saturating the axiom closure of the backbone-reachability
+    theory.  ``strategy="fair"`` restores the undirected loop (every input
+    clause starts passive).
+
+Ordered resolution with literal selection (``ordering``, ``selection``)
+    With ``ordering="kbo"`` a Knuth–Bendix ordering (uniform symbol weight
+    1, name precedence) orients the search: a clause resolves only on its
+    *eligible* literals — the selected negative literal if
+    ``selection="negative"`` and the clause has one, otherwise its
+    KBO-maximal literals.  Eligibility is computed before unification; since
+    KBO is stable under substitution this admits a superset of the
+    post-unification calculus, so refutational completeness is preserved
+    while the quadratic literal-pair fan-out of wide clauses collapses to
+    (usually) one literal per clause.  ``ordering="none"`` /
+    ``selection="none"`` disable either restriction — together with
+    ``strategy="fair"`` this is exactly the PR-2 engine, kept as the
+    trusted baseline for the property tests.
+
+The remaining machinery is unchanged in spirit: equality is handled by
+automatically generated equality axioms (reflexivity, symmetry,
+transitivity, per-position congruence); redundancy elimination is tautology
+deletion, unit simplification and forward subsumption — now served by the
+indexed clause store of :mod:`repro.fol.index` instead of all-pairs scans;
+fairness within the passive queue is the age/weight two-tier selection
+(every ``age_weight_ratio``-th given clause is the *oldest* passive clause
+rather than the lightest); and the enforced
+:class:`repro.provers.base.Deadline` is polled via ``checkpoint`` on every
+hot loop (per given clause, per partner batch, per generated batch).
 
 The prover is refutation based: the caller passes the clauses of
-``assumptions ∧ ¬goal`` and the prover searches for the empty clause.
+``assumptions ∧ ¬goal`` (optionally marking the ¬goal clauses as the set of
+support) and the prover searches for the empty clause.
 """
 
 from __future__ import annotations
@@ -28,10 +66,11 @@ import heapq
 import itertools
 import time
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from ..provers.base import Deadline
+from ..provers.base import Deadline, DeadlineExpired
+from .index import LiteralIndex, SubsumptionIndex, UnitIndex
 from .terms import (
     Clause,
     FApp,
@@ -39,11 +78,9 @@ from .terms import (
     FVar,
     Literal,
     apply_subst_clause,
-    clause_vars,
     clause_weight,
     rename_clause,
-    subsumes,
-    unify,
+    term_size,
     unify_literals,
 )
 
@@ -59,9 +96,115 @@ class SaturationResult:
     reason: str = ""
 
 
+# ---------------------------------------------------------------------------
+# Knuth–Bendix ordering (uniform weight 1, name precedence)
+# ---------------------------------------------------------------------------
+
+
+def _var_counts(term: FTerm, counts: Dict[str, int]) -> None:
+    if isinstance(term, FVar):
+        counts[term.name] = counts.get(term.name, 0) + 1
+        return
+    assert isinstance(term, FApp)
+    for arg in term.args:
+        _var_counts(arg, counts)
+
+
+def kbo_greater(s: FTerm, t: FTerm) -> bool:
+    """``s >_kbo t`` with every symbol and variable weighing 1.
+
+    Total on ground terms, stable under substitution, well-founded — the
+    three properties ordered resolution needs.  Precedence between distinct
+    head symbols is arity-then-name (ties impossible: symbols are names).
+    """
+    if s == t:
+        return False
+    if isinstance(s, FVar):
+        return False  # a variable is minimal among terms containing it
+    if isinstance(t, FVar):
+        # s > x iff x occurs in s.
+        counts: Dict[str, int] = {}
+        _var_counts(s, counts)
+        return t.name in counts
+    # Variable condition: every variable of t occurs at least as often in s.
+    s_counts: Dict[str, int] = {}
+    t_counts: Dict[str, int] = {}
+    _var_counts(s, s_counts)
+    _var_counts(t, t_counts)
+    for name, count in t_counts.items():
+        if s_counts.get(name, 0) < count:
+            return False
+    s_weight, t_weight = term_size(s), term_size(t)
+    if s_weight != t_weight:
+        return s_weight > t_weight
+    if s.func != t.func:
+        return (len(s.args), s.func) > (len(t.args), t.func)
+    for s_arg, t_arg in zip(s.args, t.args):
+        if s_arg != t_arg:
+            return kbo_greater(s_arg, t_arg)
+    return False
+
+
+def _literal_atom(literal: Literal) -> FTerm:
+    """The atom of a literal as a term, for KBO comparison."""
+    return FApp(literal.pred, literal.args)
+
+
+# ---------------------------------------------------------------------------
+# Passive queue (weight/age two-tier, as in PR 2)
+# ---------------------------------------------------------------------------
+
+
+class _PassiveQueue:
+    """Weight-ordered heap and age-ordered FIFO over one logical passive set;
+    entries are tombstoned via ``consumed`` when popped from the other tier."""
+
+    def __init__(self, age_weight_ratio: int) -> None:
+        self.age_weight_ratio = max(1, age_weight_ratio)
+        self._heap: List[Tuple[int, int, Clause]] = []
+        self._by_age: deque = deque()
+        self._consumed: Set[int] = set()
+        self._counter = itertools.count()
+
+    def push(self, clause: Clause) -> None:
+        age = next(self._counter)
+        heapq.heappush(self._heap, (clause_weight(clause), age, clause))
+        self._by_age.append((age, clause))
+
+    def pop(self, picks: int) -> Optional[Clause]:
+        if picks % self.age_weight_ratio == 0:
+            while self._by_age:
+                age, clause = self._by_age.popleft()
+                if age not in self._consumed:
+                    self._consumed.add(age)
+                    return clause
+        while self._heap:
+            _, age, clause = heapq.heappop(self._heap)
+            if age not in self._consumed:
+                self._consumed.add(age)
+                return clause
+        while self._by_age:
+            age, clause = self._by_age.popleft()
+            if age not in self._consumed:
+                self._consumed.add(age)
+                return clause
+        return None
+
+
+# ---------------------------------------------------------------------------
+# The saturation engine
+# ---------------------------------------------------------------------------
+
+
 @dataclass
 class ResolutionProver:
-    """The saturation engine; one instance per proof attempt."""
+    """The saturation engine; one instance per proof attempt.
+
+    ``strategy``, ``ordering`` and ``selection`` are the search-strategy
+    knobs documented in the module docstring; they restrict which inferences
+    are *attempted* and therefore can only affect completeness and speed,
+    never soundness (every generated clause is a resolvent or factor).
+    """
 
     max_seconds: float = 5.0
     max_processed: int = 2000
@@ -73,107 +216,211 @@ class ResolutionProver:
     #: behind the stream of light resolvents and short proofs through them
     #: are never found.
     age_weight_ratio: int = 4
+    #: ``"sos"`` restricts given clauses to descendants of the ``support``
+    #: clauses passed to :meth:`refute` (falling back to ``"fair"`` when no
+    #: support is given); ``"fair"`` is the undirected loop.
+    strategy: str = "sos"
+    #: ``"kbo"`` or ``"none"`` — restrict resolution to maximal literals.
+    ordering: str = "kbo"
+    #: ``"negative"`` or ``"none"`` — resolve clauses with negative literals
+    #: only on one selected (heaviest) negative literal.
+    selection: str = "negative"
+
+    # -- eligibility -----------------------------------------------------------
+
+    def _eligible_indices(self, clause: Clause) -> Tuple[int, ...]:
+        """Indices of the literals this clause may resolve/factor on:
+        the selected negative literal if any, else the KBO-maximal ones."""
+        literals = clause.literals
+        if len(literals) <= 1:
+            return tuple(range(len(literals)))
+        if self.selection == "negative":
+            negatives = [i for i, lit in enumerate(literals) if not lit.positive]
+            if negatives:
+                best = max(negatives, key=lambda i: (term_size(_literal_atom(literals[i])), -i))
+                return (best,)
+        if self.ordering == "kbo":
+            atoms = [_literal_atom(lit) for lit in literals]
+            maximal = tuple(
+                i
+                for i in range(len(atoms))
+                if not any(j != i and kbo_greater(atoms[j], atoms[i]) for j in range(len(atoms)))
+            )
+            if maximal:
+                return maximal
+        return tuple(range(len(literals)))
+
+    # -- main loop -------------------------------------------------------------
 
     def refute(
-        self, clauses: Iterable[Clause], deadline: Optional[Deadline] = None
+        self,
+        clauses: Iterable[Clause],
+        deadline: Optional[Deadline] = None,
+        support: Optional[Sequence[Clause]] = None,
     ) -> SaturationResult:
         """Search for the empty clause.
 
-        ``deadline`` replaces the legacy wall-clock bound: when omitted, a
-        fresh deadline of ``max_seconds`` applies.  The loop polls it once
-        per given clause, so on expiry it returns a ``"timeout"`` result
-        recording the clauses processed and generated so far.
+        ``support`` marks the initial set of support (by clause value;
+        normally the clauses of the negated goal).  Under
+        ``strategy="sos"`` only these clauses and their descendants become
+        given clauses; the rest of the input is activated immediately and
+        never initiates an inference.  ``deadline`` bounds the run (a fresh
+        deadline of ``max_seconds`` applies when omitted); the loop polls it
+        via ``checkpoint`` on every hot path, so on expiry it returns a
+        ``"timeout"`` result recording the work done so far.
         """
         start = time.perf_counter()
         if deadline is None:
             deadline = Deadline.after(self.max_seconds)
-        #: Weight-ordered tier (heap) and age-ordered tier (FIFO) over one
-        #: logical passive set; entries are tombstoned via ``consumed`` when
-        #: popped from the other tier.
-        passive: List[Tuple[int, int, Clause]] = []
-        by_age: deque = deque()
-        consumed: Set[int] = set()
-        counter = itertools.count()
-
-        def push(clause: Clause) -> None:
-            age = next(counter)
-            heapq.heappush(passive, (clause_weight(clause), age, clause))
-            by_age.append((age, clause))
-
-        def pop(picks: int) -> Optional[Clause]:
-            if picks % self.age_weight_ratio == 0:
-                while by_age:
-                    age, clause = by_age.popleft()
-                    if age not in consumed:
-                        consumed.add(age)
-                        return clause
-            while passive:
-                _, age, clause = heapq.heappop(passive)
-                if age not in consumed:
-                    consumed.add(age)
-                    return clause
-            while by_age:
-                age, clause = by_age.popleft()
-                if age not in consumed:
-                    consumed.add(age)
-                    return clause
-            return None
 
         initial = [c for c in clauses if not c.is_tautology()]
-        signature = _collect_signature(initial)
-        for clause in initial + list(_equality_axioms(signature)):
+        for clause in initial:
             if clause.is_empty:
                 return SaturationResult(True, 0, 0, time.perf_counter() - start, "empty input clause")
-            push(clause)
+        # Note: the reflexivity axiom x = x *is* a tautology by the clause
+        # test, but it is also load-bearing (¬(t = t) subgoals, congruence
+        # chains), so the equality axioms are deliberately not filtered.
+        equality_axioms = list(_equality_axioms(_collect_signature(initial)))
 
-        active: List[Clause] = []
+        support_set = frozenset(support) if support else frozenset()
+        sos = self.strategy == "sos" and bool(support_set)
+
+        passive = _PassiveQueue(self.age_weight_ratio)
+        #: Active clauses by id (ids index the literal store for self-detection).
+        active: Dict[int, Clause] = {}
+        eligible: Dict[int, Tuple[int, ...]] = {}
+        literal_index = LiteralIndex()
+        subsumption_index = SubsumptionIndex()
+        unit_index = UnitIndex()
+        active_counter = itertools.count()
         generated = 0
         processed = 0
-        rename_counter = itertools.count()
-        picks = 0
 
-        while True:
-            elapsed = time.perf_counter() - start
-            if deadline.expired():
-                return SaturationResult(False, generated, processed, elapsed, "timeout")
-            if processed > self.max_processed or generated > self.max_generated:
-                return SaturationResult(False, generated, processed, elapsed, "limit reached")
+        def activate(clause: Clause, restricted: bool = True) -> Tuple[int, Clause]:
+            """Add a clause to the active set and the indexes.
 
-            picks += 1
-            given = pop(picks)
-            if given is None:
-                break
-            if any(subsumes(existing, given) for existing in active):
-                continue
-            given = rename_clause(given, f"_g{next(rename_counter)}")
-            processed += 1
-            active.append(given)
+            ``restricted=False`` (non-support clauses under SOS) indexes
+            *every* literal: the given clause is always goal-descended there,
+            so the ordering restriction applies on the given side only —
+            restricting the axiom side as well would re-create the selection
+            ∕ set-of-support conflict (an axiom whose selected literal faces
+            the wrong way could never be chained through backwards, and the
+            forward inference that selection prescribes is exactly the
+            axiom–axiom resolution SOS blocks).
+            """
+            clause_id = next(active_counter)
+            clause = rename_clause(clause, f"_g{clause_id}")
+            indices = (
+                self._eligible_indices(clause)
+                if restricted
+                else tuple(range(len(clause.literals)))
+            )
+            active[clause_id] = clause
+            eligible[clause_id] = indices
+            # Index only the eligible literals: partner-side eligibility is
+            # then enforced by retrieval itself.
+            literal_index.add(clause_id, clause, indices)
+            subsumption_index.add(clause)
+            unit_index.add(clause)
+            return clause_id, clause
 
-            new_clauses: List[Clause] = []
-            new_clauses.extend(_factors(given))
-            for other in active:
-                new_clauses.extend(_resolvents(given, other))
-                if deadline.expired():
+        def progress() -> str:
+            return f"{processed} clauses processed, {generated} generated"
+
+        try:
+            if sos:
+                for clause in initial:
+                    if clause in support_set:
+                        passive.push(clause)
+                    else:
+                        activate(clause, restricted=False)
+                for clause in equality_axioms:
+                    activate(clause, restricted=False)
+            else:
+                for clause in initial + equality_axioms:
+                    passive.push(clause)
+
+            picks = 0
+            while True:
+                deadline.checkpoint(detail=progress)
+                if processed > self.max_processed or generated > self.max_generated:
                     return SaturationResult(
-                        False,
-                        generated + len(new_clauses),
-                        processed,
-                        time.perf_counter() - start,
-                        "timeout",
+                        False, generated, processed, time.perf_counter() - start, "limit reached"
                     )
 
-            for clause in new_clauses:
-                generated += 1
-                if clause.is_empty:
-                    return SaturationResult(
-                        True, generated, processed, time.perf_counter() - start, "empty clause derived"
-                    )
-                if clause.is_tautology() or len(clause) > self.max_clause_size:
+                picks += 1
+                given = passive.pop(picks)
+                if given is None:
+                    break
+
+                simplified = unit_index.simplify_clause(given)
+                if simplified is None:
                     continue
-                push(clause)
+                if simplified.is_empty:
+                    return SaturationResult(
+                        True, generated, processed, time.perf_counter() - start,
+                        "empty clause by unit simplification",
+                    )
+                if subsumption_index.subsumed(simplified):
+                    continue
 
+                given_id, given = activate(simplified)
+                processed += 1
+
+                new_clauses: List[Clause] = []
+                given_eligible = eligible[given_id]
+                new_clauses.extend(_factors(given, given_eligible))
+                # Gather the index candidates, then unify in (partner, i, j)
+                # order — the order the all-pairs scan used — so the passive
+                # queue evolves deterministically regardless of bucket layout.
+                candidates: List[Tuple[int, int, int]] = []
+                for i in given_eligible:
+                    literal = given.literals[i]
+                    for partner_id, _partner, j in literal_index.resolution_candidates(literal):
+                        deadline.checkpoint(every=256, detail=progress)
+                        candidates.append((partner_id, i, j))
+                candidates.sort()
+                for partner_id, i, j in candidates:
+                    deadline.checkpoint(every=128, detail=progress)
+                    partner = active[partner_id]
+                    if partner_id == given_id:
+                        partner = rename_clause(partner, "_s")
+                    literal = given.literals[i]
+                    other = partner.literals[j]
+                    mgu = unify_literals(literal, other)
+                    if mgu is None:
+                        continue
+                    rest1 = given.literals[:i] + given.literals[i + 1:]
+                    rest2 = partner.literals[:j] + partner.literals[j + 1:]
+                    new_clauses.append(apply_subst_clause(Clause(rest1 + rest2), mgu))
+
+                for clause in new_clauses:
+                    generated += 1
+                    deadline.checkpoint(every=64, detail=progress)
+                    if clause.is_empty:
+                        return SaturationResult(
+                            True, generated, processed, time.perf_counter() - start,
+                            "empty clause derived",
+                        )
+                    clause = unit_index.simplify_clause(clause)
+                    if clause is None:
+                        continue
+                    if clause.is_empty:
+                        return SaturationResult(
+                            True, generated, processed, time.perf_counter() - start,
+                            "empty clause by unit simplification",
+                        )
+                    if clause.is_tautology() or len(clause) > self.max_clause_size:
+                        continue
+                    passive.push(clause)
+        except DeadlineExpired:
+            return SaturationResult(
+                False, generated, processed, time.perf_counter() - start, "timeout"
+            )
+
+        reason = "set of support exhausted" if sos else "saturated without refutation"
         return SaturationResult(
-            False, generated, processed, time.perf_counter() - start, "saturated without refutation"
+            False, generated, processed, time.perf_counter() - start, reason
         )
 
 
@@ -182,8 +429,30 @@ class ResolutionProver:
 # ---------------------------------------------------------------------------
 
 
+def _factors(clause: Clause, eligible: Optional[Tuple[int, ...]] = None) -> List[Clause]:
+    """Binary factors of a clause, on its eligible literals (or all)."""
+    out: List[Clause] = []
+    indices = range(len(clause.literals)) if eligible is None else eligible
+    for i in indices:
+        lit1 = clause.literals[i]
+        for j, lit2 in enumerate(clause.literals):
+            if j == i or lit1.positive != lit2.positive:
+                continue
+            if j < i and (eligible is None or j in eligible):
+                continue  # pair already factored from j's side
+            mgu = unify_literals(lit1, lit2)
+            if mgu is None:
+                continue
+            out.append(apply_subst_clause(clause, mgu))
+    return out
+
+
 def _resolvents(c1: Clause, c2: Clause) -> List[Clause]:
-    """All binary resolvents of two clauses (c2 is standardised apart)."""
+    """All binary resolvents of two clauses (c2 is standardised apart).
+
+    Kept as the *unrestricted, unindexed* reference rule: the property tests
+    compare the indexed engine's partner retrieval against this scan.
+    """
     out: List[Clause] = []
     c2 = rename_clause(c2, "_r")
     for i, lit1 in enumerate(c1.literals):
@@ -197,20 +466,6 @@ def _resolvents(c1: Clause, c2: Clause) -> List[Clause]:
             rest2 = c2.literals[:j] + c2.literals[j + 1:]
             resolvent = apply_subst_clause(Clause(rest1 + rest2), mgu)
             out.append(resolvent)
-    return out
-
-
-def _factors(clause: Clause) -> List[Clause]:
-    """All (binary) factors of a clause."""
-    out: List[Clause] = []
-    for i, lit1 in enumerate(clause.literals):
-        for lit2 in clause.literals[i + 1:]:
-            if lit1.positive != lit2.positive:
-                continue
-            mgu = unify_literals(lit1, lit2)
-            if mgu is None:
-                continue
-            out.append(apply_subst_clause(clause, mgu))
     return out
 
 

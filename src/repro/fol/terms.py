@@ -254,13 +254,20 @@ def clause_weight(clause: Clause) -> int:
     return sum(1 + sum(term_size(a) for a in lit.args) for lit in clause.literals)
 
 
+#: Theta-subsumption is only attempted for subsumers of at most this many
+#: literals (exponential matching is kept cheap); the subsumption index of
+#: :mod:`repro.fol.index` stores candidate subsumers under the same bound.
+MAX_SUBSUMER_LITERALS = 4
+
+
 def subsumes(general: Clause, specific: Clause) -> bool:
     """True when ``general`` subsumes ``specific`` (theta-subsumption, small clauses).
 
-    The check is restricted to clauses of at most 4 literals to keep it
-    cheap; larger clauses are simply never considered subsumed.
+    The check is restricted to clauses of at most ``MAX_SUBSUMER_LITERALS``
+    literals to keep it cheap; larger clauses are simply never considered
+    subsumed.
     """
-    if len(general) > len(specific) or len(general) > 4:
+    if len(general) > len(specific) or len(general) > MAX_SUBSUMER_LITERALS:
         return False
     return _match_literals(list(general.literals), list(specific.literals), {})
 

@@ -19,9 +19,15 @@ finite universe (a second-order variable ``$U``) is valid, and the latter is
 exactly what the WS1S decision procedure checks.
 
 Reachability along backbones (the part of MONA's role that needs the
-structure-exposing encodings of field constraint analysis) is delegated to
-the first-order prover's reachability axioms in this reproduction; see
-DESIGN.md for the documented deviation.
+structure-exposing encodings of field constraint analysis) is mostly
+delegated to the first-order prover's reachability axioms in this
+reproduction (see DESIGN.md for the documented deviation) — but the sound
+monadic abstraction of :mod:`repro.mona.reach` is applied first: base
+backbone closures with ground sources become uninterpreted reach-*sets*,
+and closures through one ``fieldWrite`` are unfolded by the escape/suffix
+path decomposition at assumption-like polarity, so obligations whose
+reachability content is set-shaped (the alloc/backbone invariants) can be
+*decided* here instead of searched for by resolution.
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ from ..provers.approximation import relevant_assumptions, rewrite_sequent
 from ..provers.base import Deadline, Prover, ProverAnswer, Verdict
 from ..vcgen.sequent import Sequent
 from . import ws1s
+from .reach import decompose_reachability
 from .ws1s import CompilationLimit, Compiler
 
 
@@ -207,14 +214,23 @@ class MonaProver(Prover):
     def options_signature(self) -> str:
         # The compiler caps bound the automaton search and therefore decide
         # between PROVED and UNKNOWN; they must invalidate cached verdicts.
+        # The reach tag versions the repro.mona.reach preprocessing: adding
+        # (or changing) the decomposition changes which sequents MONA can
+        # decide, so cached UNKNOWNs from other versions must not replay.
         return (
             super().options_signature()
             + f";max_states={self.compiler.max_states}"
             + f";max_tracks={self.compiler.max_tracks}"
+            + ";reach=escape-suffix-v1"
         )
 
     def attempt(self, sequent: Sequent, deadline: Optional[Deadline] = None) -> ProverAnswer:
         deadline = deadline or Deadline.after(self.timeout)
+        # Backbone reachability must be abstracted *before* the standard
+        # rewrites: expanding fieldWrite reads would dissolve the written
+        # backbones into Ite case splits no decomposition matches (the same
+        # ordering constraint as in repro.fol.hol2fol).
+        sequent = decompose_reachability(sequent)
         prepared = rewrite_sequent(relevant_assumptions(sequent.restricted(), rounds=2))
         formulas = [a.formula for a in prepared.assumptions] + [prepared.goal.formula]
 

@@ -1,0 +1,230 @@
+"""Backbone reachability for the MONA path: escape/suffix decomposition.
+
+The WS1S prover decides the *monadic* fragment, so the binary reachability
+atoms produced by the suite's backbone invariants — ``(s, m) : R^*`` for a
+single-field, union, or fieldWrite-updated backbone ``R`` — fall outside its
+language and used to be dropped wholesale.  The sound decomposition that
+PR 2 taught the FOL translation (:mod:`repro.fol.hol2fol`) applies here
+too, in a shape the monadic fragment *can* express:
+
+Reification of base backbones
+    A reflexive-transitive-closure atom ``(s, m) : B^*`` whose source ``s``
+    is ground (no quantified variables) is an assertion about membership of
+    ``m`` in the *reach set* of ``s`` — a plain set!  Each distinct
+    ``(backbone, source)`` pair is reified as a fresh uninterpreted set
+    constant ``reach$i`` and the atom becomes ``m : reach$i``.  Consistent
+    reification at every polarity is sound: under the intended
+    interpretation (``reach$i`` = the true reach set) the rewritten sequent
+    is equivalent to the original, so validity of the abstraction over
+    *all* interpretations implies validity of the original.  A reflexivity
+    axiom ``s : reach$i`` — true in the intended interpretation — is added
+    per reach set.
+
+Escape/suffix decomposition of written backbones
+    A closure through one functional update, ``W = B with the f-edge of a
+    rewritten to b``, satisfies the path decomposition (same argument as
+    :func:`repro.fol.hol2fol.written_backbone_axioms`): a ``W``-path from
+    ``u`` to ``v`` is trivial, or never uses the rewritten edge (prefix
+    argument: it is a ``B``-path), or uses it — then its prefix up to the
+    first use is a ``B``-path to ``a`` and its suffix after the last use is
+    a ``B``-path from ``b``.  Hence the *implication*
+
+        ``(u, v) : W^*  -->  u = v  |  ((u, a) : B^* & (b, v) : B^*)  |  (u, v) : B^*``
+
+    Because only the left-to-right direction holds, the rewrite is applied
+    only at *assumption-like* polarity — positive positions of assumptions
+    and negative positions of the goal (the hypothesis of an
+    invariant-preservation obligation, exactly where the suite's
+    post-write reachability atoms sit).  Replacing a subformula by a weaker
+    one at such a position weakens the sequent, so provability of the
+    result implies provability of the original.  Goal-like occurrences are
+    reified as an opaque set constant instead (consistent naming, sound as
+    above, and never provable by accident).
+
+The decomposition never *invents* facts: it only rewrites reachability
+atoms into monadic ones, after which the WS1S decision procedure's verdict
+on the abstraction transfers to the original sequent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..fol.hol2fol import _backbone_components
+from ..form import ast as F
+from ..form.printer import to_str
+from ..form.subst import free_vars
+from ..vcgen.sequent import Labeled, Sequent
+
+#: Polarities: +1 assumption-like, -1 goal-like, 0 mixed (under an Iff).
+_ASSUMPTION, _GOAL, _BOTH = 1, -1, 0
+
+
+def _mentions_reachability(term: F.Term) -> bool:
+    for sub in F.subterms(term):
+        if isinstance(sub, F.Var) and sub.name in ("rtrancl", "trancl", "rtrancl_pt"):
+            return True
+    return False
+
+
+class _ReachSets:
+    """Fresh set constants per distinct ``(relation, source)`` pair."""
+
+    def __init__(self) -> None:
+        self._names: Dict[Tuple[str, str], str] = {}
+        #: (set name, source term) pairs needing a reflexivity axiom.
+        self.reflexive: List[Tuple[str, F.Term]] = []
+
+    def set_for(self, relation_key: str, source: F.Term) -> F.Term:
+        key = (relation_key, to_str(source))
+        name = self._names.get(key)
+        if name is None:
+            name = f"reach${len(self._names)}"
+            self._names[key] = name
+            self.reflexive.append((name, source))
+        return F.Var(name)
+
+
+class _Decomposer:
+    def __init__(self) -> None:
+        self.sets = _ReachSets()
+
+    # -- atom-level rewrites ---------------------------------------------------
+
+    def _reify_base(self, components, u: F.Term, v: F.Term, bound: Set[str]) -> Optional[F.Term]:
+        """``(u, v) : B^*`` as ``v : reach$i`` (``u`` must be ground)."""
+        if free_vars(u) & bound:
+            return None
+        fields = ",".join(sorted(field for _, field in components))
+        return F.app("elem", v, self.sets.set_for(f"rtc:{fields}", u))
+
+    def _rewrite_closure(
+        self, relation: F.Term, u: F.Term, v: F.Term, polarity: int, bound: Set[str]
+    ) -> Optional[F.Term]:
+        """Rewrite one ``(u, v) : relation^*`` atom, or ``None`` to keep it."""
+        components = _backbone_components(relation)
+        if components is None:
+            return None
+        plain = [c for c in components if c[0] == "field"]
+        written = [c for c in components if c[0] == "written"]
+        if not written:
+            return self._reify_base(plain, u, v, bound)
+        if len(written) > 1:
+            return None  # two simultaneous updates: out of scope
+        _, wfield, addr, value = written[0]
+        if (free_vars(addr) | free_vars(value)) & bound:
+            return None  # the update must be ground under the binders
+        relation_key = (
+            "rtcw:" + ",".join(sorted(field for _, field in plain))
+            + f"|{wfield}|{to_str(addr)}|{to_str(value)}"
+        )
+        if free_vars(u) & bound:
+            opaque: Optional[F.Term] = None
+        else:
+            opaque = F.app("elem", v, self.sets.set_for(relation_key, u))
+        if polarity != _ASSUMPTION:
+            # Only the W -> decomposition direction is sound; at goal-like or
+            # mixed polarity, fall back to the opaque (consistent) reach set.
+            return opaque
+        base = plain + [("field", wfield)]
+        parts: List[Optional[F.Term]] = [
+            self._reify_base(base, u, addr, bound),
+            self._reify_base(base, value, v, bound),
+            self._reify_base(base, u, v, bound),
+        ]
+        if any(p is None for p in parts):
+            return opaque
+        to_addr, from_value, direct = parts
+        decomposed = F.mk_or((F.Eq(u, v), F.mk_and((to_addr, from_value)), direct))
+        if opaque is None:
+            return decomposed
+        # Keep the opaque membership alongside the decomposition: both are
+        # consequences of the atom under the intended interpretation, and
+        # the conjunction lets an identical goal-side occurrence (reified
+        # opaquely) still be discharged.
+        return F.mk_and((opaque, decomposed))
+
+    def _rewrite_atom(self, atom: F.Term, polarity: int, bound: Set[str]) -> F.Term:
+        if (
+            F.is_app_of(atom, "elem")
+            and len(atom.args) == 2
+            and isinstance(atom.args[0], F.TupleTerm)
+            and len(atom.args[0].items) == 2
+            and F.is_app_of(atom.args[1], "rtrancl")
+        ):
+            pair, target = atom.args
+            rewritten = self._rewrite_closure(
+                target.args[0], pair.items[0], pair.items[1], polarity, bound
+            )
+            if rewritten is not None:
+                return rewritten
+        if F.is_app_of(atom, "rtrancl_pt") and len(atom.args) == 3:
+            predicate = atom.args[0]
+            if isinstance(predicate, F.Lambda) and len(predicate.params) == 2:
+                relation = F.SetCompr(predicate.params, predicate.body)
+                rewritten = self._rewrite_closure(
+                    relation, atom.args[1], atom.args[2], polarity, bound
+                )
+                if rewritten is not None:
+                    return rewritten
+        return atom
+
+    # -- polarity-aware traversal ----------------------------------------------
+
+    def transform(self, term: F.Term, polarity: int, bound: Set[str]) -> F.Term:
+        if isinstance(term, F.Not):
+            return F.mk_not(self.transform(term.arg, -polarity, bound))
+        if isinstance(term, F.And):
+            return F.mk_and(tuple(self.transform(a, polarity, bound) for a in term.args))
+        if isinstance(term, F.Or):
+            return F.mk_or(tuple(self.transform(a, polarity, bound) for a in term.args))
+        if isinstance(term, F.Implies):
+            return F.mk_implies(
+                self.transform(term.lhs, -polarity, bound),
+                self.transform(term.rhs, polarity, bound),
+            )
+        if isinstance(term, F.Iff):
+            return F.mk_iff(
+                self.transform(term.lhs, _BOTH, bound),
+                self.transform(term.rhs, _BOTH, bound),
+            )
+        if isinstance(term, F.Quant):
+            inner = set(bound)
+            inner.update(name for name, _typ in term.params)
+            return F.Quant(term.kind, term.params, self.transform(term.body, polarity, inner))
+        return self._rewrite_atom(term, polarity, bound)
+
+
+def decompose_reachability(sequent: Sequent) -> Sequent:
+    """Rewrite a sequent's backbone reachability atoms into monadic form.
+
+    Assumptions are assumption-like, the goal is goal-like (so the
+    hypotheses of a quantified goal — sitting at negative polarity — get
+    the escape/suffix decomposition).  A reflexivity assumption
+    ``s : reach$i`` is appended per reified reach set.  Sequents without
+    reachability constructs are returned untouched.
+    """
+    if not (
+        any(_mentions_reachability(a.formula) for a in sequent.assumptions)
+        or _mentions_reachability(sequent.goal.formula)
+    ):
+        return sequent
+    decomposer = _Decomposer()
+    assumptions = [
+        Labeled(decomposer.transform(a.formula, _ASSUMPTION, set()), a.labels)
+        for a in sequent.assumptions
+    ]
+    goal = Labeled(
+        decomposer.transform(sequent.goal.formula, _GOAL, set()), sequent.goal.labels
+    )
+    for name, source in decomposer.sets.reflexive:
+        assumptions.append(
+            Labeled(F.app("elem", source, F.Var(name)), ("reach-reflexive",))
+        )
+    return Sequent(
+        assumptions=tuple(assumptions),
+        goal=goal,
+        hints=sequent.hints,
+        origin=sequent.origin,
+        env=sequent.env,
+    )

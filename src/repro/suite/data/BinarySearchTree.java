@@ -8,6 +8,14 @@
  * entry and fully discharged, and `insert`'s loop invariant re-establish
  * them across the placement write (the union- and fieldWrite-backbone
  * axioms of repro.fol.hol2fol discharge the reachability obligations).
+ *
+ * `insert` carries a placed/not-placed case split through its placement
+ * loop: before the placement write the new node `n` is an unreachable,
+ * allocated leaf and every reachable node keeps its old key in `content`;
+ * after the write everything reachable is an old node or `n` itself
+ * carrying `k`.  With the set-of-support resolution strategy the whole
+ * method verifies with no trusted `assume` (this class used to carry the
+ * portfolio's last one).
  */
 public /*: claimedby BinarySearchTree */ class Node {
     public int key;
@@ -68,16 +76,33 @@ class BinarySearchTree {
         Node n = new Node();
         n.key = k;
         if (root == null) {
-            root = n;
             /* The new root is a fresh leaf: only `n` itself is reachable
-             * (its children are null), it is allocated, and it carries `k`. */
-            //: assume "ALL m. m ~= null & (root, m) : {(u, v). u..left = v | u..right = v}^* --> (m : alloc & m..key : content Un {k})";
+             * (its children are null), it is allocated, and it carries `k`;
+             * the union-backbone unfolding axioms decide the exit
+             * invariants without a trusted step. */
+            root = n;
             //: content := "content Un {k}";
             return;
         }
         Node p = root;
         boolean placed = false;
-        while /*: inv "p ~= null" */ (!placed) {
+        /* The invariant carries the placed/not-placed case split through the
+         * mutating iteration.  While the node is unplaced, `n` is an
+         * allocated, unreachable leaf, the cursor `p` is reachable, and
+         * every reachable node keeps its old key in `content`; once placed,
+         * everything reachable is an old node (allocated, key in `content`)
+         * or `n` itself carrying `k`.  The preservation obligation across
+         * the placement write is discharged by the fieldWrite-backbone
+         * escape/suffix axioms; the set-of-support strategy makes the
+         * resolution search for it tractable. */
+        while /*: inv "p ~= null & n ~= null & n..key = k & n : alloc &
+                       (~placed -->
+                          n..left = null & n..right = null &
+                          (root, p) : {(u, v). u..left = v | u..right = v}^* &
+                          ~((root, n) : {(u, v). u..left = v | u..right = v}^*) &
+                          (ALL m. m ~= null & (root, m) : {(u, v). u..left = v | u..right = v}^* --> (m : alloc & m..key : content))) &
+                       (placed -->
+                          (ALL m. m ~= null & (root, m) : {(u, v). u..left = v | u..right = v}^* --> (m : alloc & m..key : content Un {k})))" */ (!placed) {
             if (k < p.key) {
                 if (p.left == null) {
                     p.left = n;
@@ -94,14 +119,6 @@ class BinarySearchTree {
                 }
             }
         }
-        /* The placement loop links `n` under one leaf and touches nothing
-         * else, so everything reachable afterwards is an old (allocated)
-         * node with its key still in `content`, or `n` itself carrying `k`.
-         * The full inductive proof of this needs a placed/not-placed case
-         * split carried through the mutating iteration; it remains beyond
-         * the automated portfolio (like `AssocList.lookup`'s terminating
-         * `assume False`), so it is the one trusted step of this method. */
-        //: assume "ALL m. m ~= null & (root, m) : {(u, v). u..left = v | u..right = v}^* --> (m : alloc & m..key : content Un {k})";
         //: content := "content Un {k}";
     }
 }

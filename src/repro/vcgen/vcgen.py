@@ -51,6 +51,8 @@ class MethodVC:
     sequents: List[Sequent] = field(default_factory=list)
     proved_during_splitting: int = 0
     paths: int = 0
+    #: User-written ``assume`` statements in the method body (trusted steps).
+    trusted_assumes: int = 0
 
     @property
     def total_obligations(self) -> int:
@@ -324,6 +326,7 @@ def generate_method_vc(
         sequents=explorer.result.sequents,
         proved_during_splitting=explorer.result.proved_during_splitting,
         paths=len(final_states),
+        trusted_assumes=translation.trusted_assumes,
     )
 
 

@@ -49,7 +49,11 @@ def test_never_proves_invalid_monadic_sequents(assumptions, goal):
 
 OUTSIDE_FRAGMENT = [
     (["size = card content"], "size >= 0"),
-    (["(root, x) : {(u, v). u..next = v}^*"], "(x, x) : {(u, v). u..next = v}^*"),
+    # Strict transitive closure has no reach-set abstraction (the
+    # escape/suffix decomposition of repro.mona.reach covers reflexive
+    # closures only); reflexive-closure goals are now *decided* — see
+    # tests/mona/test_reach_decomposition.py.
+    ([], "(x, y) : {(u, v). u..next = v}^+"),
 ]
 
 

@@ -1,0 +1,152 @@
+"""The MONA path on backbone reachability: reach-set reification and the
+fieldWrite escape/suffix decomposition (mirrors the FOL backbone-axiom tests
+in tests/fol/test_resolution.py, decided by WS1S instead of searched for by
+resolution)."""
+
+import pytest
+
+from repro.form import ast as F
+from repro.form.parser import parse_formula as parse
+from repro.mona.prover import MonaProver
+from repro.mona.reach import decompose_reachability
+from repro.provers.base import Verdict
+from repro.vcgen.sequent import Labeled, Sequent, sequent
+
+
+REL = "{(u, v). u..next = v}"
+WREL = "{(u, v). (fieldWrite next fresh first) u = v}"
+TREE = "{(u, v). u..left = v | u..right = v}"
+
+
+def _prove(assumptions, goal, timeout=10.0):
+    seq = sequent([parse(a) for a in assumptions], parse(goal))
+    return MonaProver(timeout=timeout).prove(seq)
+
+
+# -- reach-set reification on plain backbones ---------------------------------------
+
+
+def test_base_backbone_invariant_decides():
+    """The alloc/backbone invariant shape becomes pure set reasoning."""
+    answer = _prove(
+        [f"ALL m. m ~= null & (first, m) : {REL}^* --> m : alloc",
+         "w ~= null", f"(first, w) : {REL}^*"],
+        "w : alloc",
+    )
+    assert answer.verdict is Verdict.PROVED
+
+
+def test_union_backbone_invariant_decides():
+    answer = _prove(
+        [f"ALL m. m ~= null & (root, m) : {TREE}^* --> m : alloc",
+         "w ~= null", f"(root, w) : {TREE}^*"],
+        "w : alloc",
+    )
+    assert answer.verdict is Verdict.PROVED
+
+
+def test_reachability_reflexivity_decides():
+    answer = _prove(["x ~= null", f"ALL m. m ~= null & (x, m) : {REL}^* --> m : S"], "x : S")
+    assert answer.verdict is Verdict.PROVED
+
+
+def test_reachability_not_assumed_invalid():
+    answer = _prove([], f"(x, y) : {REL}^*")
+    assert answer.verdict is not Verdict.PROVED
+
+
+def test_distinct_sources_get_distinct_reach_sets():
+    """Reachability from one source must not prove reachability from another."""
+    answer = _prove([f"(a, w) : {REL}^*"], f"(b, w) : {REL}^*")
+    assert answer.verdict is not Verdict.PROVED
+    # The same source still unifies with itself.
+    answer = _prove([f"(a, w) : {REL}^*"], f"(a, w) : {REL}^*")
+    assert answer.verdict is Verdict.PROVED
+
+
+def test_distinct_backbones_get_distinct_reach_sets():
+    answer = _prove([f"(a, w) : {REL}^*"], f"(a, w) : {TREE}^*")
+    assert answer.verdict is not Verdict.PROVED
+
+
+# -- escape/suffix decomposition of written backbones --------------------------------
+
+
+def test_written_backbone_escape_and_suffix():
+    """The put/insert invariant-exit shape: everything reachable through the
+    updated backbone from the fresh head is the head itself or an old
+    (allocated) node.  Mirrors the FOL test of the same name; here the leaf
+    fact is monadic (nothing base-reachable from fresh but itself) and the
+    WS1S engine decides the decomposed sequent."""
+    answer = _prove(
+        [f"ALL m. m ~= null & (first, m) : {REL}^* --> m : alloc",
+         f"ALL m. m ~= null & (fresh, m) : {REL}^* --> m = fresh",
+         "fresh ~= null", "m2 ~= null", f"(fresh, m2) : {WREL}^*"],
+        "m2 : alloc Un {fresh}",
+    )
+    assert answer.verdict is Verdict.PROVED
+
+
+def test_written_backbone_goal_hypothesis_decomposes():
+    """The decomposition also fires inside a quantified goal's hypothesis
+    (negative polarity — the invariant-preservation shape)."""
+    answer = _prove(
+        [f"ALL m. m ~= null & (first, m) : {REL}^* --> m : alloc",
+         f"ALL m. m ~= null & (fresh, m) : {REL}^* --> m = fresh",
+         "fresh ~= null"],
+        f"ALL m. m ~= null & (fresh, m) : {WREL}^* --> m : alloc Un {{fresh}}",
+    )
+    assert answer.verdict is Verdict.PROVED
+
+
+def test_written_backbone_not_unsound():
+    # Nothing proves an unconstrained written closure.
+    answer = _prove([], f"(x, y) : {WREL}^*")
+    assert answer.verdict is not Verdict.PROVED
+    # The written closure must not collapse to the base closure: the
+    # decomposition is one-directional, so a positive-goal occurrence stays
+    # an opaque reach set distinct from the base one.
+    answer = _prove([f"(x, y) : {WREL}^*"], f"(x, y) : {REL}^*")
+    assert answer.verdict is not Verdict.PROVED
+    # ... and conversely the base closure must not prove the written one.
+    answer = _prove([f"(x, y) : {REL}^*"], f"(x, y) : {WREL}^*")
+    assert answer.verdict is not Verdict.PROVED
+
+
+def test_goal_like_written_atom_matches_opaquely():
+    """A positive-goal written atom is reified opaquely: it matches an
+    identical assumption atom, or follows from reflexivity (``a = w`` does
+    entail ``(a, w) : W^*``) — but never from unrelated reachability."""
+    answer = _prove([f"(a, w) : {WREL}^*"], f"(a, w) : {WREL}^*")
+    assert answer.verdict is Verdict.PROVED
+    answer = _prove(["a = w"], f"(a, w) : {WREL}^*")
+    assert answer.verdict is Verdict.PROVED
+    answer = _prove([f"(first, w) : {WREL}^*"], f"(a, w) : {WREL}^*")
+    assert answer.verdict is not Verdict.PROVED
+
+
+# -- the decomposition itself --------------------------------------------------------
+
+
+def test_decomposition_adds_reflexivity_and_reifies():
+    seq = sequent(
+        [parse(f"(first, w) : {REL}^*")], parse("w : alloc")
+    )
+    decomposed = decompose_reachability(seq)
+    texts = [str(a) for a in decomposed.assumptions]
+    assert any("reach$0" in t for t in texts)
+    assert any("reach-reflexive" in ",".join(a.labels) for a in decomposed.assumptions)
+
+
+def test_decomposition_leaves_reach_free_sequents_alone():
+    seq = sequent([parse("x : S")], parse("x : S"))
+    assert decompose_reachability(seq) is seq
+
+
+def test_decomposition_skips_bound_sources():
+    """A closure whose source is quantified has no ground reach set; the
+    atom must survive untouched (and the fragment check later drops it)."""
+    seq = sequent([parse(f"ALL u. (u, w) : {REL}^* --> u : S")], parse("w : S"))
+    decomposed = decompose_reachability(seq)
+    assert "reach$" not in str(decomposed.assumptions[0])
+    assert "^*" in str(decomposed.assumptions[0])

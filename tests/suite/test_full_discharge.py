@@ -1,0 +1,115 @@
+"""Full-discharge regression expectations for the bundled suite.
+
+These pin the portfolio's headline results after the set-of-support engine
+landed (see ISSUE 4 / CHANGES):
+
+* ``BinarySearchTree.insert`` verifies end-to-end with **zero trusted
+  assume statements** — the placed/not-placed case-split invariant plus the
+  fieldWrite-backbone axioms replaced the method's last trusted step;
+* every method in the full-discharge set below keeps discharging all of
+  its obligations under the default budget (a method regressing to an
+  unproved — UNKNOWN/TIMEOUT — sequent fails its entry here);
+* the terminating ``assume False`` of ``AssocList.lookup`` and
+  ``HashTable.lookup`` are the only remaining trusted steps in the whole
+  suite, and the count is tracked per method.
+"""
+
+import re
+
+import pytest
+
+from repro import suite, verify
+from repro.java.resolver import parse_program
+from repro.vcgen.vcgen import generate_method_vc
+
+PROVERS = ["smt", "fol", "mona", "bapa"]
+OPTIONS = {"smt": {"timeout": 1.5}, "fol": {"timeout": 10.0}}
+BUDGET = 18.0
+
+#: Methods that discharge *every* obligation under the default budget.
+#: (The remaining suite methods — e.g. HashTable.put, PriorityQueue.insert —
+#: still leave sequents open; they are tracked in ROADMAP, not here.)
+FULL_DISCHARGE = [
+    ("ArrayList", "size"),
+    ("ArrayList", "isEmpty"),
+    ("AssocList", "put"),
+    ("AssocList", "lookup"),
+    ("AssocList", "clear"),
+    ("BinarySearchTree", "clear"),
+    ("BinarySearchTree", "isEmpty"),
+    ("BinarySearchTree", "contains"),
+    ("BinarySearchTree", "insert"),
+    ("CircularList", "isEmpty"),
+    ("CircularList", "add"),
+    ("CursorList", "add"),
+    ("CursorList", "reset"),
+    ("CursorList", "done"),
+    ("HashTable", "size"),
+    ("PriorityQueue", "size"),
+    ("PriorityQueue", "isEmpty"),
+    ("SinglyLinkedList", "add"),
+    ("SinglyLinkedList", "isEmpty"),
+    ("SizedList", "size"),
+    ("SizedList", "clear"),
+    ("SpaceSubdivisionTree", "insert"),
+    ("SpanningTree", "init"),
+    ("SpanningTree", "addEdge"),
+    ("SpanningTree", "inTree"),
+]
+
+
+def _verify(structure, method):
+    return verify(
+        suite.source(structure),
+        class_name=structure,
+        method=method,
+        provers=PROVERS,
+        prover_options=OPTIONS,
+        sequent_budget=BUDGET,
+    )
+
+
+def test_bst_insert_verifies_with_zero_trusted_assumes():
+    """The headline regression: the paper's full-verification claim holds
+    for BinarySearchTree.insert with no trusted step."""
+    report = _verify("BinarySearchTree", "insert")
+    assert report.succeeded, report.format()
+    assert report.trusted_assumes == 0
+    assert report.fully_verified
+
+
+def test_bst_insert_source_carries_no_assume():
+    """Belt and braces: the source text itself must not contain an assume
+    pragma anywhere in insert (the report count covers the parsed body)."""
+    source = suite.source("BinarySearchTree")
+    start = source.index("void insert")
+    # Bound the scan at the next method declaration (or EOF) so a later
+    # method carrying a documented assume cannot fail insert's check.
+    next_method = re.search(r"\n\s*(?:public|private|protected)?\s*\w+\s+\w+\s*\(", source[start + 1 :])
+    end = start + 1 + next_method.start() if next_method else len(source)
+    assert not re.search(r"//:\s*assume", source[start:end])
+
+
+@pytest.mark.parametrize("structure, method", FULL_DISCHARGE)
+def test_full_discharge_set_does_not_regress(structure, method):
+    report = _verify(structure, method)
+    assert report.succeeded, (
+        f"{structure}.{method} regressed: "
+        f"{report.proved_sequents}/{report.total_sequents} proved\n" + report.format()
+    )
+
+
+def test_lookup_terminators_are_the_suites_only_trusted_steps():
+    """Counted from the parsed bodies (no prover runs): the whole suite
+    carries exactly two assumes, the terminating ``assume False`` of the
+    two lookup loops (BinarySearchTree.insert's is gone)."""
+    counts = {}
+    for name in suite.names():
+        program = parse_program(suite.source(name))
+        for info in program.methods_of(name):
+            if info.decl.body is None or not info.decl.contract_text:
+                continue
+            vc = generate_method_vc(program, name, info.decl.name)
+            if vc.trusted_assumes:
+                counts[f"{name}.{info.decl.name}"] = vc.trusted_assumes
+    assert counts == {"AssocList.lookup": 1, "HashTable.lookup": 1}
