@@ -82,6 +82,12 @@ class MethodReport:
         return self.succeeded and self.trusted_assumes == 0
 
     @property
+    def instantiations(self) -> int:
+        """Quantifier instances generated across all live prover attempts
+        (the SMT engine's E-matching/grounding work)."""
+        return sum(stats.instances for stats in self.prover_stats.values())
+
+    @property
     def cache_lookups(self) -> int:
         return self.cache_hits + self.cache_misses
 
@@ -113,9 +119,12 @@ class MethodReport:
             stats = self.prover_stats.get(prover)
             if stats is None or stats.attempted == 0:
                 continue
+            instantiated = (
+                f" ({stats.instances} quantifier instances)" if stats.instances else ""
+            )
             lines.append(
                 f"{prover.upper()} proved {stats.proved} out of {stats.attempted} sequents. "
-                f"Total time : {stats.time:.1f} s"
+                f"Total time : {stats.time:.1f} s" + instantiated
             )
         if self.cache_lookups:
             lines.append(
@@ -205,6 +214,10 @@ class ClassReport:
     @property
     def trusted_assumes(self) -> int:
         return sum(method.trusted_assumes for method in self.methods)
+
+    @property
+    def instantiations(self) -> int:
+        return sum(method.instantiations for method in self.methods)
 
     @property
     def fully_verified(self) -> bool:

@@ -127,6 +127,10 @@ class Clausifier:
         raise ClausificationError(f"cannot clausify atom {atom!r}")
 
     def term_to_fol(self, term: F.Term, bound: Dict[str, FTerm]) -> FTerm:
+        # Encoding conventions ($int_N/$true/$false sentinels, $pair tuples,
+        # curried-application flattening) are mirrored by the E-matcher's
+        # translator (repro.smt.instantiate._HolToFol); keep them in lockstep
+        # or congruence classes silently split between matcher and theories.
         if isinstance(term, F.Var):
             if term.name in bound:
                 return bound[term.name]

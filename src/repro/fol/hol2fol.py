@@ -372,6 +372,14 @@ def written_backbone_axioms(
         # Escape and suffix decompositions (see docstring).
         "ALL qx qy. PRD_ qx qy --> BSE_ qx qy | BSE_ qx wa_",
         "ALL qx qy. PRD_ qx qy --> BSE_ qx qy | BSE_ wb_ qy",
+        # Base-path escape, the converse direction: a *base* path either
+        # never steps through the rewritten edge ``wa_ -> wa_..wfd_`` (every
+        # other edge survives the update, so it is a written path too) or
+        # its prefix up to the first use is a base path to ``wa_``.  This is
+        # what lifts pre-state reachability facts (e.g. the reverse content
+        # invariant's witnesses) across a heap mutation when the written
+        # address is known to be off the old backbone.
+        "ALL qx qy. BSE_ qx qy --> PRD_ qx qy | BSE_ qx wa_",
         # One-step unfolding.
         "ALL qx qy. PRD_ qx qy --> qx = qy | (qx = wa_ & PRD_ wb_ qy)"
         " | (qx ~= wa_ & PRD_ (qx..wfd_) qy)" + other_steps,
@@ -420,26 +428,47 @@ def _normalise_comparisons(term: F.Term) -> F.Term:
 # ---------------------------------------------------------------------------
 
 
-def translate_sequent(sequent: Sequent, max_clauses: int = 4000) -> Translation:
-    """Translate a sequent into a clause set whose unsatisfiability proves it."""
-    sequent = relevant_assumptions(sequent.restricted())
+def reify_reachability(sequent: Sequent) -> Tuple[Sequent, List[F.Term]]:
+    """Reify the sequent's reachability constructs into ``rtc_*`` predicate
+    applications and return the matching sound axiom set (un-rewritten HOL
+    formulas).
 
+    Shared by the first-order translation below and by the SMT prover
+    (whose E-matching engine instantiates the same axioms against its
+    congruence closure).  Reachability must be recognised *before* the
+    standard rewrites: expanding fieldWrite reads would dissolve the
+    ``{(x, y). y = (fieldWrite f a b) x}`` backbones into Ite case splits
+    that no axiom set matches.
+    """
     has_tree = any(
         F.is_app_of(sub, "tree") or F.is_app_of(sub, "tree2")
         for labeled in sequent.assumptions
         for sub in F.subterms(labeled.formula)
     )
-
-    # Reachability is recognised *before* the standard rewrites: expanding
-    # fieldWrite reads would dissolve the ``{(x, y). y = (fieldWrite f a b) x}``
-    # backbones into Ite case splits that no axiom set matches.
     uses = ReachabilityUses()
     assumptions = [
         Labeled(rewrite_reachability(a.formula, uses), a.labels)
         for a in sequent.assumptions
     ]
     goal = Labeled(rewrite_reachability(sequent.goal.formula, uses), sequent.goal.labels)
-    sequent = Sequent(tuple(assumptions), goal, (), sequent.origin, sequent.env)
+    reified = Sequent(tuple(assumptions), goal, (), sequent.origin, sequent.env)
+
+    axioms: List[F.Term] = []
+    for field_name in sorted(uses.fields):
+        axioms.extend(reachability_axioms(field_name, has_tree))
+    for union_fields in sorted(uses.unions):
+        axioms.extend(union_backbone_axioms(union_fields, uses.fields))
+    for pred, fields, written_field, addr, value in sorted(
+        uses.written.values(), key=lambda w: w[0]
+    ):
+        axioms.extend(written_backbone_axioms(pred, fields, written_field, addr, value))
+    return reified, axioms
+
+
+def translate_sequent(sequent: Sequent, max_clauses: int = 4000) -> Translation:
+    """Translate a sequent into a clause set whose unsatisfiability proves it."""
+    sequent = relevant_assumptions(sequent.restricted())
+    sequent, reach_axioms = reify_reachability(sequent)
     sequent = rewrite_sequent(sequent)
 
     # Drop atoms outside the first-order fragment (cardinality, tree [...],
@@ -455,20 +484,11 @@ def translate_sequent(sequent: Sequent, max_clauses: int = 4000) -> Translation:
     goal_formula = _normalise_comparisons(sequent.goal.formula)
     used_arith = used_arith or _contains_arith(goal_formula)
 
-    axioms: List[F.Term] = []
-    for field_name in sorted(uses.fields):
-        axioms.extend(reachability_axioms(field_name, has_tree))
-    for union_fields in sorted(uses.unions):
-        axioms.extend(union_backbone_axioms(union_fields, uses.fields))
-    for pred, fields, written_field, addr, value in sorted(
-        uses.written.values(), key=lambda w: w[0]
-    ):
-        axioms.extend(written_backbone_axioms(pred, fields, written_field, addr, value))
     # The axioms may read fields of arbitrary address/value terms; run them
     # through the same rewrite pipeline as the sequent formulas.
     from ..provers.approximation import standard_rewrites
 
-    axioms = [standard_rewrites(a) for a in axioms]
+    axioms = [standard_rewrites(a) for a in reach_axioms]
     if used_arith:
         axioms.extend(parse_formula(a) for a in _ARITH_AXIOMS)
 
@@ -487,6 +507,6 @@ def translate_sequent(sequent: Sequent, max_clauses: int = 4000) -> Translation:
     return Translation(
         clauses=clauses,
         goal_clauses=goal_clauses,
-        used_reachability=bool(uses.fields or uses.unions or uses.written),
+        used_reachability=bool(reach_axioms),
         used_arithmetic=used_arith,
     )

@@ -84,6 +84,7 @@ class LiteralIndex:
 
     def __init__(self) -> None:
         self._buckets: Dict[Tuple[str, bool], List[_LiteralEntry]] = {}
+        self._keys_of: Dict[int, List[Tuple[str, bool]]] = {}
 
     def add(
         self, clause_id: int, clause: Clause, indices: Optional[Tuple[int, ...]] = None
@@ -98,7 +99,21 @@ class LiteralIndex:
         for index in range(len(clause.literals)) if indices is None else indices:
             literal = clause.literals[index]
             entry = _LiteralEntry(clause_id, clause, index, literal_fingerprint(literal))
-            self._buckets.setdefault((literal.pred, literal.positive), []).append(entry)
+            key = (literal.pred, literal.positive)
+            self._buckets.setdefault(key, []).append(entry)
+            self._keys_of.setdefault(clause_id, []).append(key)
+
+    def remove(self, clause_id: int) -> None:
+        """Drop every literal entry of a clause (backward subsumption)."""
+        for key in set(self._keys_of.pop(clause_id, ())):
+            bucket = self._buckets.get(key)
+            if not bucket:
+                continue
+            filtered = [entry for entry in bucket if entry.clause_id != clause_id]
+            if filtered:
+                self._buckets[key] = filtered
+            else:
+                del self._buckets[key]
 
     def resolution_candidates(
         self, literal: Literal

@@ -62,6 +62,7 @@ class FirstOrderProver(Prover):
         sos_seed: str = "negative",
         ordering: str = "kbo",
         selection: str = "negative",
+        backward_subsumption: bool = False,
     ) -> None:
         super().__init__(timeout=timeout)
         # Every knob silently changes search behaviour (and keys the verdict
@@ -80,6 +81,10 @@ class FirstOrderProver(Prover):
         self.sos_seed = sos_seed
         self.ordering = ordering
         self.selection = selection
+        #: Backward subsumption (discard active clauses subsumed by a new
+        #: one).  A scalar instance attribute, so it keys the verdict cache
+        #: like the other strategy knobs.
+        self.backward_subsumption = bool(backward_subsumption)
 
     def _support(self, translation) -> Optional[List[Clause]]:
         """The initial set of support, per ``strategy``/``sos_seed``."""
@@ -120,6 +125,7 @@ class FirstOrderProver(Prover):
             strategy=self.strategy,
             ordering=self.ordering,
             selection=self.selection,
+            backward_subsumption=self.backward_subsumption,
         )
         result = engine.refute(
             translation.clauses, deadline, support=self._support(translation)

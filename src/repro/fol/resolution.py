@@ -80,6 +80,7 @@ from .terms import (
     apply_subst_clause,
     clause_weight,
     rename_clause,
+    subsumes,
     term_size,
     unify_literals,
 )
@@ -225,6 +226,13 @@ class ResolutionProver:
     #: ``"negative"`` or ``"none"`` — resolve clauses with negative literals
     #: only on one selected (heaviest) negative literal.
     selection: str = "negative"
+    #: Discard *active* clauses theta-subsumed by a newly activated clause
+    #: (the ROADMAP follow-up to forward subsumption).  Removing a subsumed
+    #: clause is a pure redundancy deletion — every resolvent through it is
+    #: subsumed by a resolvent through the subsumer — so the flag can only
+    #: shrink the active set, never add inferences; kept off by default
+    #: until the property tests accumulate confidence.
+    backward_subsumption: bool = False
 
     # -- eligibility -----------------------------------------------------------
 
@@ -367,6 +375,18 @@ class ResolutionProver:
                 given_id, given = activate(simplified)
                 processed += 1
 
+                if self.backward_subsumption:
+                    # Discard active clauses the new clause subsumes: they
+                    # (and their would-be resolvents) are redundant now.
+                    for candidate_id, candidate in list(active.items()):
+                        if candidate_id == given_id:
+                            continue
+                        deadline.checkpoint(every=128, detail=progress)
+                        if subsumes(given, candidate):
+                            del active[candidate_id]
+                            del eligible[candidate_id]
+                            literal_index.remove(candidate_id)
+
                 new_clauses: List[Clause] = []
                 given_eligible = eligible[given_id]
                 new_clauses.extend(_factors(given, given_eligible))
@@ -382,7 +402,9 @@ class ResolutionProver:
                 candidates.sort()
                 for partner_id, i, j in candidates:
                     deadline.checkpoint(every=128, detail=progress)
-                    partner = active[partner_id]
+                    partner = active.get(partner_id)
+                    if partner is None:
+                        continue  # backward-subsumed while gathering
                     if partner_id == given_id:
                         partner = rename_clause(partner, "_s")
                     literal = given.literals[i]

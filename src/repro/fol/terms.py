@@ -38,6 +38,16 @@ class FApp(FTerm):
     def __post_init__(self) -> None:
         object.__setattr__(self, "args", tuple(self.args))
 
+    def __hash__(self) -> int:
+        # Terms are interned in congruence-closure and index dictionaries on
+        # every hot path; the generated dataclass hash walks the whole term
+        # each call, so memoise it per instance (immutable after init).
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.func, self.args))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     def __str__(self) -> str:
         if not self.args:
             return self.func
@@ -58,6 +68,13 @@ class Literal:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "args", tuple(self.args))
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.positive, self.pred, self.args))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def negate(self) -> "Literal":
         return Literal(not self.positive, self.pred, self.args)

@@ -318,6 +318,17 @@ def expand_field_writes(term: Term) -> Term:
                 b, j = node.args
                 cond = F.mk_and((F.Eq(b, a), F.Eq(j, i)))
                 return F.Ite(cond, v, F.App(arr, (b, j)))
+        if F.is_app_of(node, "arrayRead") and len(node.args) == 3:
+            # The VC generator reads arrays as ``arrayRead state array index``
+            # and updates ``state`` to ``arrayWrite state a i v``; reads of
+            # an updated state reduce like applied writes do above.
+            state, b, j = node.args
+            if F.is_app_of(state, "arrayWrite") and len(state.args) == 4:
+                inner, a, i, v = state.args
+                if b == a and j == i:
+                    return v
+                cond = F.mk_and((F.Eq(b, a), F.Eq(j, i)))
+                return F.Ite(cond, v, F.app("arrayRead", inner, b, j))
         return node
 
     previous = None

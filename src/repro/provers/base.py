@@ -140,6 +140,11 @@ class ProverAnswer:
     #: True when the answer was replayed from the sequent-result cache rather
     #: than computed; cached answers are never recorded in :class:`ProverStats`.
     cached: bool = False
+    #: Quantifier instances the prover generated during this attempt (the
+    #: SMT engine's E-matching/grounding work; zero for provers that do not
+    #: instantiate).  Aggregated into :class:`ProverStats` and surfaced per
+    #: method in :class:`repro.core.report.MethodReport`.
+    instances: int = 0
 
     @property
     def proved(self) -> bool:
@@ -253,10 +258,15 @@ class ProverStats:
     attempted: int = 0
     proved: int = 0
     time: float = 0.0
+    #: Quantifier instances generated across the recorded attempts (the
+    #: instantiation work behind the verdicts; only the SMT engine reports
+    #: a non-zero count today).
+    instances: int = 0
 
     def record(self, answer: ProverAnswer) -> None:
         self.attempted += 1
         self.time += answer.time
+        self.instances += answer.instances
         if answer.proved:
             self.proved += 1
 

@@ -1,7 +1,14 @@
 """Ground SMT-style prover (the CVC3 / Z3 role in the Jahob portfolio)."""
 
 from .congruence import CongruenceClosure, check_euf  # noqa: F401
-from .instantiate import InstantiationConfig, ground_problem  # noqa: F401
+from .instantiate import (  # noqa: F401
+    EMatchEngine,
+    GroundingResult,
+    InstantiationConfig,
+    Trigger,
+    ground_problem,
+    infer_triggers,
+)
 from .lia import check_lia, fourier_motzkin_consistent  # noqa: F401
 from .prover import SmtProver  # noqa: F401
 from .sat import SatSolver, SatResult  # noqa: F401
@@ -15,5 +22,9 @@ __all__ = [
     "SatSolver",
     "SatResult",
     "ground_problem",
+    "GroundingResult",
     "InstantiationConfig",
+    "EMatchEngine",
+    "Trigger",
+    "infer_triggers",
 ]

@@ -8,6 +8,17 @@ point.  Asserted disequalities are then checked against the final classes.
 Predicate atoms are handled by the standard reification trick: ``p(t)`` is
 treated as the term equation ``p(t) = $tt`` and ``~p(t)`` as ``p(t) = $ff``
 with the additional global disequality ``$tt != $ff``.
+
+Beyond the yes/no check, the closure is *proof-producing* (the
+Nieuwenhuis–Oliveras proof-forest construction): every union records why it
+happened — an input equation (tagged by the caller) or a congruence step —
+and :meth:`CongruenceClosure.conflict_explanation` walks the forest to
+return the exact set of input tags responsible for a violated disequality.
+The SMT prover's DPLL(T) loop turns that set into a minimal blocking
+clause in one closure run, instead of minimizing by repeated subset
+re-checks.  The closure also exposes its term graph (applications by head
+symbol, equivalence-class members) — the structure the E-matching
+instantiation engine matches trigger patterns against.
 """
 
 from __future__ import annotations
@@ -17,6 +28,10 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..fol.terms import FApp, FTerm
 
+#: Why two terms were merged: an input equation (carrying the caller's tag)
+#: or a congruence step between two applications.
+_Reason = Tuple  # ("input", tag) | ("congruence", FApp, FApp)
+
 
 class CongruenceClosure:
     """Incremental-ish congruence closure (rebuilt per check, which is fine
@@ -25,8 +40,17 @@ class CongruenceClosure:
     def __init__(self) -> None:
         self._parent: Dict[FTerm, FTerm] = {}
         self._subterms: List[FApp] = []
-        self._equalities: List[Tuple[FTerm, FTerm]] = []
-        self._disequalities: List[Tuple[FTerm, FTerm]] = []
+        self._equalities: List[Tuple[FTerm, FTerm, object]] = []
+        self._disequalities: List[Tuple[FTerm, FTerm, object]] = []
+        #: Interned applications grouped by ``(head symbol, arity)`` — the
+        #: term-graph view the E-matcher walks (pattern heads retrieve their
+        #: candidate occurrences here instead of scanning every term).
+        self._by_head: Dict[Tuple[str, int], List[FApp]] = {}
+        #: The proof forest: ``term -> (neighbour, reason)`` edges; each
+        #: union links the two *asserted* terms (not their roots).
+        self._proof: Dict[FTerm, Tuple[FTerm, _Reason]] = {}
+        self._closed = False
+        self._explain_incomplete = False
 
     # -- construction ---------------------------------------------------------
 
@@ -35,66 +59,180 @@ class CongruenceClosure:
             return
         self._parent[term] = term
         if isinstance(term, FApp):
+            self._by_head.setdefault((term.func, len(term.args)), []).append(term)
             for arg in term.args:
                 self.intern(arg)
             if term.args:
                 self._subterms.append(term)
 
-    def assert_equal(self, lhs: FTerm, rhs: FTerm) -> None:
+    def assert_equal(self, lhs: FTerm, rhs: FTerm, tag: object = None) -> None:
         self.intern(lhs)
         self.intern(rhs)
-        self._equalities.append((lhs, rhs))
+        self._equalities.append((lhs, rhs, tag))
 
-    def assert_distinct(self, lhs: FTerm, rhs: FTerm) -> None:
+    def assert_distinct(self, lhs: FTerm, rhs: FTerm, tag: object = None) -> None:
         self.intern(lhs)
         self.intern(rhs)
-        self._disequalities.append((lhs, rhs))
+        self._disequalities.append((lhs, rhs, tag))
 
     # -- union-find -----------------------------------------------------------
 
     def find(self, term: FTerm) -> FTerm:
         root = term
-        while self._parent[root] != root:
-            root = self._parent[root]
+        parent = self._parent
+        while parent[root] != root:
+            root = parent[root]
         # Path compression.
-        while self._parent[term] != root:
-            self._parent[term], term = root, self._parent[term]
+        while parent[term] != root:
+            parent[term], term = root, parent[term]
         return root
 
-    def _union(self, a: FTerm, b: FTerm) -> None:
+    def _union(self, a: FTerm, b: FTerm, reason: _Reason) -> None:
         ra, rb = self.find(a), self.find(b)
         if ra != rb:
             self._parent[ra] = rb
+            self._proof_link(a, b, reason)
+
+    # -- proof forest ----------------------------------------------------------
+
+    def _proof_link(self, a: FTerm, b: FTerm, reason: _Reason) -> None:
+        """Add the proof edge ``a — b``: reroot ``a``'s proof tree at ``a``,
+        then hang it under ``b``."""
+        path: List[Tuple[FTerm, FTerm, _Reason]] = []
+        node = a
+        while node in self._proof:
+            neighbour, edge_reason = self._proof[node]
+            path.append((node, neighbour, edge_reason))
+            node = neighbour
+        for child, parent, edge_reason in reversed(path):
+            self._proof[parent] = (child, edge_reason)
+        if path:
+            del self._proof[a]
+        self._proof[a] = (b, reason)
+
+    def _explain_pair(
+        self, a: FTerm, b: FTerm, tags: Set[object], visited: Set[Tuple[FTerm, FTerm]]
+    ) -> None:
+        """Collect the input tags proving ``a = b`` from the proof forest."""
+        if a == b:
+            return
+        key = (a, b)
+        if key in visited or (b, a) in visited:
+            return
+        visited.add(key)
+        # Nearest common ancestor in the proof forest.
+        ancestors: Dict[FTerm, None] = {a: None}
+        node = a
+        while node in self._proof:
+            node = self._proof[node][0]
+            ancestors[node] = None
+        common = b
+        while common not in ancestors and common in self._proof:
+            common = self._proof[common][0]
+        if common not in ancestors:
+            # Defensive: the proof forest should always connect two terms
+            # the union-find merged.  If it ever does not, the explanation
+            # is *incomplete* — an under-explained conflict would become a
+            # too-strong blocking clause (unsound), so flag it and let the
+            # caller degrade to blocking everything.
+            self._explain_incomplete = True
+            return
+
+        def walk(start: FTerm) -> None:
+            node = start
+            while node != common:
+                neighbour, reason = self._proof[node]
+                if reason[0] == "input":
+                    if reason[1] is not None:
+                        tags.add(reason[1])
+                else:
+                    _kind, t1, t2 = reason
+                    for arg1, arg2 in zip(t1.args, t2.args):
+                        self._explain_pair(arg1, arg2, tags, visited)
+                node = neighbour
+
+        walk(a)
+        walk(b)
 
     # -- the closure ------------------------------------------------------------
 
-    def check(self) -> bool:
-        """Return True when the asserted literals are EUF-consistent."""
-        for lhs, rhs in self._equalities:
-            self._union(lhs, rhs)
-        # Propagate congruence to a fixed point.
+    def close(self) -> None:
+        """Merge the asserted equalities and propagate congruence to a fixed
+        point (without consulting the disequalities).  Idempotent; the
+        E-matcher calls this to turn the interned terms into the equivalence-
+        aware term graph it matches patterns against."""
+        for lhs, rhs, tag in self._equalities[:]:
+            self._union(lhs, rhs, ("input", tag))
         changed = True
         while changed:
             changed = False
-            signature: Dict[Tuple[str, Tuple[FTerm, ...]], FTerm] = {}
+            signature: Dict[Tuple[str, Tuple[FTerm, ...]], FApp] = {}
             for term in self._subterms:
                 key = (term.func, tuple(self.find(a) for a in term.args))
                 other = signature.get(key)
                 if other is None:
                     signature[key] = term
                 elif self.find(other) != self.find(term):
-                    self._union(other, term)
+                    self._union(other, term, ("congruence", other, term))
                     changed = True
-        for lhs, rhs in self._disequalities:
+        self._closed = True
+
+    def check(self) -> bool:
+        """Return True when the asserted literals are EUF-consistent."""
+        self.close()
+        for lhs, rhs, _tag in self._disequalities:
             if self.find(lhs) == self.find(rhs):
                 return False
         return True
+
+    def conflict_explanation(self) -> Optional[List[object]]:
+        """The input tags responsible for the first violated disequality
+        (including that disequality's own tag), or ``None`` when consistent.
+
+        Runs :meth:`close` if needed.  The returned set is the exact proof
+        footprint of one conflict — the DPLL(T) loop blocks precisely these
+        literals instead of the whole model.
+        """
+        if not self._closed:
+            self.close()
+        for lhs, rhs, tag in self._disequalities:
+            if self.find(lhs) == self.find(rhs):
+                tags: Set[object] = set()
+                if tag is not None:
+                    tags.add(tag)
+                self._explain_incomplete = False
+                self._explain_pair(lhs, rhs, tags, set())
+                if self._explain_incomplete:
+                    # Incomplete explanation: an under-approximated core
+                    # would block too much.  The empty list tells the
+                    # caller "inconsistent, but block the whole
+                    # assignment" (see SmtProver._theory_conflict).
+                    return []
+                return sorted(tags, key=repr)
+        return None
 
     def equivalence_classes(self) -> List[Set[FTerm]]:
         classes: Dict[FTerm, Set[FTerm]] = {}
         for term in self._parent:
             classes.setdefault(self.find(term), set()).add(term)
         return list(classes.values())
+
+    # -- term-graph queries (the E-matcher's view) ------------------------------
+
+    def apps_with_head(self, func: str, arity: int) -> List[FApp]:
+        """Every interned application ``func(t1, ..., t_arity)`` — the
+        candidate occurrences of a pattern whose head is ``func``."""
+        return self._by_head.get((func, arity), [])
+
+    def members_by_class(self) -> Dict[FTerm, List[FTerm]]:
+        """The full partition: class representative -> interned members."""
+        classes: Dict[FTerm, List[FTerm]] = {}
+        for term in self._parent:
+            classes.setdefault(self.find(term), []).append(term)
+        return classes
+
+    def __contains__(self, term: FTerm) -> bool:
+        return term in self._parent
 
 
 TRUE_TERM = FApp("$tt", ())
@@ -119,3 +257,24 @@ def check_euf(
     for atom in false_atoms:
         cc.assert_equal(atom, FALSE_TERM)
     return cc.check()
+
+
+def euf_conflict_tags(
+    tagged_equalities: Iterable[Tuple[FTerm, FTerm, object]],
+    tagged_disequalities: Iterable[Tuple[FTerm, FTerm, object]],
+    tagged_true_atoms: Iterable[Tuple[FTerm, object]] = (),
+    tagged_false_atoms: Iterable[Tuple[FTerm, object]] = (),
+) -> Optional[List[object]]:
+    """One-shot conflict extraction: the tags of one inconsistent subset of
+    the given EUF literals, or ``None`` when they are consistent."""
+    cc = CongruenceClosure()
+    cc.assert_distinct(TRUE_TERM, FALSE_TERM)
+    for lhs, rhs, tag in tagged_equalities:
+        cc.assert_equal(lhs, rhs, tag)
+    for lhs, rhs, tag in tagged_disequalities:
+        cc.assert_distinct(lhs, rhs, tag)
+    for atom, tag in tagged_true_atoms:
+        cc.assert_equal(atom, TRUE_TERM, tag)
+    for atom, tag in tagged_false_atoms:
+        cc.assert_equal(atom, FALSE_TERM, tag)
+    return cc.conflict_explanation()

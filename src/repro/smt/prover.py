@@ -2,25 +2,32 @@
 
 A lazy SMT loop over ground formulas:
 
-1. the sequent is rewritten and approximated into the ground fragment
+1. the sequent's reachability constructs are reified into ``rtc_*``
+   predicates with their sound axiom sets (shared with the first-order
+   translation, :func:`repro.fol.hol2fol.reify_reachability`), then the
+   sequent is rewritten and approximated into the ground fragment
    (:mod:`repro.provers.approximation`),
-2. quantifiers are removed by Skolemisation and relevance-guided
-   instantiation (:mod:`repro.smt.instantiate`),
+2. quantifiers are handled by the instantiation engine of
+   :mod:`repro.smt.instantiate` — either incremental E-matching against the
+   congruence closure's term graph (``instantiation="ematch"``, the
+   default) or the one-shot ground cross-product (``"ground"``),
 3. the ground refutation problem is Tseitin-encoded into CNF and solved by
    the DPLL core (:mod:`repro.smt.sat`),
 4. every propositional model is checked against the theories — congruence
    closure for equality/uninterpreted functions and Fourier–Motzkin for
    linear integer arithmetic — and refuted models are blocked with a new
-   clause until either the SAT solver reports unsatisfiability (the sequent
-   is proved) or a theory-consistent model survives (the prover gives up).
+   clause; in E-matching mode a theory-consistent model additionally
+   triggers an instantiation round (its equalities refine the term graph),
+   and only when no new instance can be generated does the prover give up.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..fol.clausify import ClausificationError, Clausifier
+from ..fol.hol2fol import reify_reachability
 from ..form import ast as F
 from ..form.printer import to_str
 from ..provers.approximation import (
@@ -28,11 +35,12 @@ from ..provers.approximation import (
     is_ground_smt_atom,
     relevant_assumptions,
     rewrite_sequent,
+    standard_rewrites,
 )
 from ..provers.base import Deadline, Prover, ProverAnswer, Verdict
 from ..vcgen.sequent import Sequent
-from .congruence import check_euf
-from .instantiate import InstantiationConfig, ground_problem
+from .congruence import euf_conflict_tags
+from .instantiate import EMatchEngine, InstantiationConfig, ground_problem
 from .lia import check_lia, is_arith_atom
 from .sat import SatSolver
 
@@ -148,10 +156,21 @@ class SmtStatistics:
     instances: int = 0
     atoms: int = 0
     theory_conflicts: int = 0
+    ematch_rounds: int = 0
+    quantifiers: int = 0
+    dropped: int = 0
 
 
 class SmtProver(Prover):
-    """The ground SMT prover of the portfolio."""
+    """The ground SMT prover of the portfolio.
+
+    ``instantiation`` selects the quantifier-instantiation engine: the
+    string ``"ematch"`` / ``"ground"``, or a full
+    :class:`repro.smt.instantiate.InstantiationConfig` for fine-grained
+    limits.  The configuration (mode included) is part of
+    :meth:`options_signature`, so cached verdicts computed under one
+    instantiation setting are never replayed under another.
+    """
 
     name = "smt"
 
@@ -159,77 +178,184 @@ class SmtProver(Prover):
         self,
         timeout: float = 5.0,
         max_theory_iterations: int = 300,
-        instantiation: Optional[InstantiationConfig] = None,
+        instantiation: Union[str, InstantiationConfig, None] = None,
     ) -> None:
         super().__init__(timeout=timeout)
         self.max_theory_iterations = max_theory_iterations
+        if isinstance(instantiation, str):
+            if instantiation not in ("ematch", "ground"):
+                raise ValueError(
+                    f"unknown instantiation {instantiation!r}; expected 'ematch' or 'ground'"
+                )
+            instantiation = InstantiationConfig(mode=instantiation)
         self.instantiation = instantiation or InstantiationConfig()
 
     # -- main entry point ------------------------------------------------------
 
     def attempt(self, sequent: Sequent, deadline: Optional[Deadline] = None) -> ProverAnswer:
         deadline = deadline or Deadline.after(self.timeout)
-        prepared = rewrite_sequent(relevant_assumptions(sequent.restricted()))
+        prepared = relevant_assumptions(sequent.restricted())
+        # Reify reachability into rtc_* predicates (ground atoms the
+        # congruence closure treats as uninterpreted) and pick up the
+        # matching sound axioms as quantified assumptions for the
+        # instantiation engine.
+        prepared, reach_axioms = reify_reachability(prepared)
+        prepared = rewrite_sequent(prepared)
         prepared = drop_unsupported_assumptions(prepared, is_ground_smt_atom)
 
         goal = prepared.goal.formula
         if isinstance(goal, F.BoolLit) and goal.value:
             return ProverAnswer(Verdict.PROVED, self.name, detail="goal trivial after approximation")
 
-        assertions = [a.formula for a in prepared.assumptions] + [F.Not(goal)]
-        ground = ground_problem(assertions, goal_terms=[F.Not(goal)], config=self.instantiation)
+        axioms = [standard_rewrites(a) for a in reach_axioms]
+        # Sequent formulas before axioms: instantiation rounds process
+        # quantifiers in assertion order, so the goal-relevant invariants
+        # consume the per-round budget before the saturating axiom sets.
+        assertions = [a.formula for a in prepared.assumptions] + [F.Not(goal)] + axioms
+
+        config = self.instantiation
+        stats = SmtStatistics()
+        engine: Optional[EMatchEngine] = None
+        if config.mode == "ematch":
+            engine = EMatchEngine(assertions, config, deadline)
+            # Instantiation is purely model-driven: the first SAT model of
+            # the ground skeleton triggers round 1.  (An eager modelless
+            # round floods the SAT core with unfilterable instances — with
+            # no valuation, nothing counts as satisfied.)
+            ground = list(engine.ground)
+            stats.quantifiers = engine.stats.quantifiers
+        else:
+            grounding = ground_problem(
+                assertions, goal_terms=[F.Not(goal)], config=config
+            )
+            ground = grounding.formulas
+            stats.instances = grounding.instances
+            stats.dropped = grounding.dropped
         if deadline.expired():
-            return ProverAnswer(
-                Verdict.TIMEOUT,
-                self.name,
-                detail=f"timeout during grounding: {len(ground)} ground formulas",
+            return self._answer(
+                Verdict.TIMEOUT, stats, engine,
+                f"timeout during grounding: {len(ground)} ground formulas",
             )
 
         encoder = _TseitinEncoder()
-        ground = [_split_integer_disequalities(g) for g in ground]
         for formula in ground:
-            simplified = formula
+            simplified = _split_integer_disequalities(formula)
             if isinstance(simplified, F.BoolLit) and simplified.value:
                 continue
             encoder.assert_formula(simplified)
 
         if not encoder.clauses:
-            return ProverAnswer(Verdict.UNKNOWN, self.name, detail="nothing to refute")
+            return self._answer(Verdict.UNKNOWN, stats, engine, "nothing to refute")
 
-        stats = SmtStatistics(instances=len(ground), atoms=len(encoder.atom_ids))
         clausifier = Clausifier()
-
+        #: Per-attempt memo of atom -> EUF literal translations (atoms are
+        #: incarnation-renamed per method, so a longer-lived memo would only
+        #: grow; this one shares the clausifier's lifetime).
+        euf_memo: Dict[str, object] = {}
         solver = SatSolver(encoder.num_vars)
         solver.add_clauses(encoder.clauses)
+        encoded_upto = len(encoder.clauses)
 
         for _iteration in range(self.max_theory_iterations):
+            stats.atoms = len(encoder.atom_ids)
             if deadline.expired():
-                return ProverAnswer(
-                    Verdict.TIMEOUT,
-                    self.name,
-                    detail=(
-                        f"timeout in DPLL(T) loop: {_iteration} iterations, "
-                        f"{stats.theory_conflicts} theory conflicts"
-                    ),
+                return self._answer(
+                    Verdict.TIMEOUT, stats, engine,
+                    f"timeout in DPLL(T) loop: {_iteration} iterations, "
+                    f"{stats.theory_conflicts} theory conflicts",
                 )
             result = solver.solve(deadline=deadline)
             if not result.satisfiable:
-                detail = (
-                    f"unsat: {stats.atoms} atoms, {stats.instances} ground formulas, "
-                    f"{stats.theory_conflicts} theory conflicts"
+                return self._answer(
+                    Verdict.PROVED, stats, engine,
+                    f"unsat: {stats.atoms} atoms, "
+                    f"{stats.theory_conflicts} theory conflicts",
                 )
-                return ProverAnswer(Verdict.PROVED, self.name, detail=detail)
-            blocking = self._theory_conflict(result.assignment, encoder, clausifier, deadline)
-            if blocking is None:
-                return ProverAnswer(
-                    Verdict.UNKNOWN,
-                    self.name,
-                    detail="theory-consistent propositional model found",
+            blocking = self._theory_conflict(
+                result.assignment, encoder, clausifier, deadline, euf_memo
+            )
+            if blocking is not None:
+                stats.theory_conflicts += 1
+                solver.add_clause(blocking)
+                continue
+            # Theory-consistent model: in E-matching mode, let the model's
+            # equalities refine the term graph and instantiate once more.
+            if engine is not None and engine.stats.rounds < config.ematch_rounds:
+                pooled_before = len(engine.quantifiers)
+                new_instances = engine.round(
+                    self._model_equalities(result.assignment, encoder),
+                    valuation=self._model_valuation(result.assignment, encoder),
                 )
-            stats.theory_conflicts += 1
-            solver.add_clause(blocking)
+                if new_instances:
+                    for formula in new_instances:
+                        simplified = _split_integer_disequalities(formula)
+                        if isinstance(simplified, F.BoolLit) and simplified.value:
+                            continue
+                        encoder.assert_formula(simplified)
+                    solver.add_clauses(encoder.clauses[encoded_upto:])
+                    encoded_upto = len(encoder.clauses)
+                    continue
+                if len(engine.quantifiers) > pooled_before:
+                    # No ground formula yet, but a nested-universal instance
+                    # was pooled: the next round can match it — that is
+                    # progress, not saturation.
+                    continue
+            return self._answer(
+                Verdict.UNKNOWN, stats, engine,
+                "theory-consistent propositional model found",
+            )
 
-        return ProverAnswer(Verdict.UNKNOWN, self.name, detail="theory conflict limit reached")
+        return self._answer(Verdict.UNKNOWN, stats, engine, "theory conflict limit reached")
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _model_equalities(
+        assignment: Dict[int, bool], encoder: "_TseitinEncoder"
+    ) -> List[Tuple[F.Term, F.Term]]:
+        """The equality atoms the candidate model asserts (true literals)."""
+        equalities = []
+        for var_id, atom in encoder.atoms.items():
+            if assignment.get(var_id) and isinstance(atom, F.Eq):
+                equalities.append((atom.lhs, atom.rhs))
+        return equalities
+
+    @staticmethod
+    def _model_valuation(
+        assignment: Dict[int, bool], encoder: "_TseitinEncoder"
+    ) -> Dict[str, bool]:
+        """Printed-atom truth values of the candidate model (the engine's
+        relevancy filter: instances true under it cannot refute it)."""
+        valuation: Dict[str, bool] = {}
+        for var_id, atom in encoder.atoms.items():
+            value = assignment.get(var_id)
+            if value is not None:
+                valuation[to_str(atom)] = value
+        return valuation
+
+    def _answer(
+        self,
+        verdict: Verdict,
+        stats: SmtStatistics,
+        engine: Optional[EMatchEngine],
+        detail: str,
+    ) -> ProverAnswer:
+        if engine is not None:
+            stats.instances = engine.stats.instances
+            stats.ematch_rounds = engine.stats.rounds
+            stats.quantifiers = engine.stats.quantifiers
+            stats.dropped += engine.stats.dropped
+            detail += (
+                f" [ematch: {stats.instances} instances, "
+                f"{stats.ematch_rounds} rounds, {stats.quantifiers} quantifiers]"
+            )
+        else:
+            detail += f" [ground: {stats.instances} instances]"
+        if stats.dropped:
+            detail += f" ({stats.dropped} instances dropped by limits)"
+        return ProverAnswer(
+            verdict, self.name, detail=detail, instances=stats.instances
+        )
 
     # -- theory checking -------------------------------------------------------
 
@@ -239,36 +365,133 @@ class SmtProver(Prover):
         encoder: _TseitinEncoder,
         clausifier: Clausifier,
         deadline: Optional[Deadline] = None,
+        euf_memo: Optional[Dict[str, object]] = None,
     ) -> Optional[List[int]]:
-        """Check the assigned theory atoms; return a blocking clause or None."""
-        equalities: List[Tuple] = []
-        disequalities: List[Tuple] = []
-        true_atoms: List = []
-        false_atoms: List = []
-        arith_literals: List[Tuple[F.Term, bool]] = []
-        relevant_literals: List[int] = []
+        """Check the assigned theory atoms; return a blocking clause or None.
 
+        The blocking clause is a *minimized* conflict core (greedy deletion
+        filtering within the failing theory), not the whole assignment: a
+        clause over every theory atom excludes a single model from an
+        exponential space, whereas a small core acts as a reusable theory
+        lemma and lets the SAT core's clause learning prune properly.
+        """
+        literals: List[Tuple[int, bool, F.Term]] = []
         for var_id, atom in encoder.atoms.items():
             if var_id not in assignment:
                 continue
-            value = assignment[var_id]
-            relevant_literals.append(var_id if value else -var_id)
-            if is_arith_atom(atom):
-                arith_literals.append((atom, value))
-            try:
-                if isinstance(atom, F.Eq):
-                    lhs = clausifier.term_to_fol(atom.lhs, {})
-                    rhs = clausifier.term_to_fol(atom.rhs, {})
-                    (equalities if value else disequalities).append((lhs, rhs))
-                else:
-                    reified = clausifier.term_to_fol(atom, {})
-                    (true_atoms if value else false_atoms).append(reified)
-            except ClausificationError:
-                continue
+            literals.append((var_id, assignment[var_id], atom))
 
-        euf_ok = check_euf(equalities, disequalities, true_atoms, false_atoms)
-        lia_ok = check_lia(arith_literals, deadline) if euf_ok else True
-        if euf_ok and lia_ok:
-            return None
-        # Block this combination of theory literals.
-        return [-lit for lit in relevant_literals]
+        # EUF: one proof-producing closure run yields the exact conflict
+        # core (the tags are signed literals, so the blocking clause is
+        # their negation directly).
+        equalities, disequalities, true_atoms, false_atoms = [], [], [], []
+        for var_id, value, atom in literals:
+            translated = self._translate_euf(atom, clausifier, euf_memo)
+            if translated is None:
+                continue
+            tag = var_id if value else -var_id
+            if translated[0] == "eq":
+                (equalities if value else disequalities).append(
+                    (translated[1], translated[2], tag)
+                )
+            else:
+                (true_atoms if value else false_atoms).append((translated[1], tag))
+        core_tags = euf_conflict_tags(equalities, disequalities, true_atoms, false_atoms)
+        if core_tags is not None:
+            if core_tags:
+                return [-tag for tag in core_tags]
+            # An empty core means the closure could not produce a complete
+            # explanation (or, impossibly, a conflict from zero tagged
+            # inputs).  A partial core would block too much — degrade to
+            # blocking the whole assignment, which is always sound.
+            return [
+                -(var_id if value else -var_id) for var_id, value, _ in literals
+            ]
+
+        arith_literals = [entry for entry in literals if is_arith_atom(entry[2])]
+        if not self._lia_consistent(arith_literals, deadline):
+            core = self._deletion_filter(
+                arith_literals,
+                lambda subset: self._lia_consistent(subset, deadline),
+                deadline,
+            )
+            return [-(v if value else -v) for v, value, _ in core]
+        return None
+
+    #: Cores larger than this are not minimized (each deletion test is a
+    #: full theory check; past this size just block the conjunction).  An
+    #: unminimized core blocks a single model out of an exponential space —
+    #: effectively a non-terminating enumeration — so the bound sits far
+    #: above the atom counts the instantiation limits allow.
+    _MAX_CORE_MINIMIZATION = 600
+
+    def _translate_euf(
+        self, atom: F.Term, clausifier: Clausifier, memo: Optional[Dict[str, object]]
+    ):
+        """Translate an atom into its EUF literal payload, once per atom.
+
+        Returns ``("eq", lhs, rhs)`` or ``("atom", term)`` (or ``None`` for
+        untranslatable atoms); memoised per printed atom (the caller owns
+        the per-attempt memo) so repeated conflict checks pay no
+        translation cost.
+        """
+        if memo is None:
+            memo = {}
+        key = to_str(atom)
+        if key in memo:
+            return memo[key]
+        try:
+            if isinstance(atom, F.Eq):
+                translated = (
+                    "eq",
+                    clausifier.term_to_fol(atom.lhs, {}),
+                    clausifier.term_to_fol(atom.rhs, {}),
+                )
+            else:
+                translated = ("atom", clausifier.term_to_fol(atom, {}))
+        except ClausificationError:
+            translated = None
+        memo[key] = translated
+        return translated
+
+    @staticmethod
+    def _lia_consistent(
+        literals: List[Tuple[int, bool, F.Term]], deadline: Optional[Deadline]
+    ) -> bool:
+        return check_lia([(atom, value) for _v, value, atom in literals], deadline)
+
+    def _deletion_filter(
+        self,
+        literals: List,
+        consistent,
+        deadline: Optional[Deadline],
+    ) -> List:
+        """Unsat-core minimization: chunked shrinking (halve while a half
+        stays inconsistent) followed by literal-by-literal deletion.  Sound
+        for blocking regardless of how far it gets (any superset of a
+        conflict is a conflict)."""
+        if len(literals) > self._MAX_CORE_MINIMIZATION:
+            return literals
+        core = list(literals)
+        # Chunk phase: real cores are tiny (an equality chain plus one
+        # disequality), so halving typically reaches them in log rounds.
+        while len(core) > 8:
+            if deadline is not None and deadline.expired():
+                return core
+            half = len(core) // 2
+            if not consistent(core[:half]):
+                core = core[:half]
+            elif not consistent(core[half:]):
+                core = core[half:]
+            else:
+                break  # the conflict straddles both halves
+        index = 0
+        while index < len(core):
+            if deadline is not None and deadline.expired():
+                break
+            trial = core[:index] + core[index + 1:]
+            if not consistent(trial):
+                core = trial
+            else:
+                index += 1
+        return core

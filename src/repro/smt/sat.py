@@ -1,17 +1,31 @@
-"""A small CNF SAT solver (DPLL with unit propagation) for the SMT core.
+"""A CNF SAT solver (CDCL: conflict-driven clause learning) for the SMT core.
 
 Clauses are lists of non-zero integers in the DIMACS convention: a positive
 integer is a positive literal of that variable, a negative integer its
-negation.  The solver is deliberately simple — after splitting, the boolean
-structure of a sequent is small, and the expensive work happens in the
-theory solvers — but it supports the incremental addition of blocking
-clauses required by the lazy SMT loop.
+negation.  The solver backs the lazy SMT loop, which needs two things of
+it: incremental addition of blocking clauses and quantifier-instance
+clauses between ``solve`` calls, and enough raw search power that a few
+hundred E-matching instances do not drown the DPLL(T) loop.  The engine is
+therefore a compact but real CDCL solver — assignment trail with decision
+levels, watched-literal propagation, first-UIP conflict analysis with
+clause learning and non-chronological backjumping, and an activity-bumped
+decision heuristic — replacing the naive copy-the-clause-list recursion
+that throttled the prover at a few dozen atoms.
+
+Correctness note on the watch scheme: a clause is re-scanned in full
+whenever one of its watched literals is falsified, and its watches are
+moved to currently-unfalsified literals.  Watches may transiently
+degenerate (both on one literal); that can delay a unit propagation but
+never loses a conflict — the search only answers "satisfiable" once every
+variable is assigned, and the last falsification of a clause always
+triggers its re-scan.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..provers.base import Deadline
 
@@ -23,12 +37,22 @@ class SatResult:
 
 
 class SatSolver:
-    """DPLL with unit propagation and a most-occurring-variable heuristic."""
+    """CDCL with watched literals, 1-UIP learning and activity decisions."""
 
     def __init__(self, num_vars: int) -> None:
         self.num_vars = num_vars
         self.clauses: List[List[int]] = []
-        self._deadline: Optional[Deadline] = None
+        #: Learned clauses persisted across ``solve`` calls.  Sound: a
+        #: learned clause is implied by the clause set it was derived from,
+        #: and the set only ever grows between calls — so the lazy SMT
+        #: loop's repeated solves become incremental instead of starting
+        #: from scratch against every new blocking clause.
+        self._learned: List[List[int]] = []
+        #: Saved decision phases, also persisted across calls.
+        self._saved_phase: Dict[int, bool] = {}
+        #: Cap on the persisted learned-clause store (long clauses are weak
+        #: and slow propagation; beyond the cap the longest are dropped).
+        self._max_learned = 4000
 
     def add_clause(self, clause: Sequence[int]) -> None:
         clause = list(dict.fromkeys(clause))
@@ -41,90 +65,238 @@ class SatSolver:
     def solve(self, max_decisions: int = 200000, deadline: Optional[Deadline] = None) -> SatResult:
         """Solve the current clause set.
 
-        ``deadline`` is polled once per batch of 128 DPLL calls; expiry
-        raises :class:`repro.provers.base.DeadlineExpired` (converted into a
-        ``TIMEOUT`` answer by the calling prover).
+        ``deadline`` is polled once per batch of 128 propagation steps;
+        expiry raises :class:`repro.provers.base.DeadlineExpired` (converted
+        into a ``TIMEOUT`` answer by the calling prover).  Exhausting
+        ``max_decisions`` reports "satisfiable" so the caller answers
+        UNKNOWN rather than looping forever; this can never cause an
+        unsound "proved" answer.  Learned clauses persist across calls
+        (sound: they are implied by the clause set, which only grows
+        between calls), so the lazy SMT loop's repeated solves are
+        effectively incremental.
         """
-        assignment: Dict[int, bool] = {}
-        self._budget = max_decisions
-        self._deadline = deadline
-        if self._dpll(self.clauses, assignment):
-            return SatResult(True, dict(assignment))
-        return SatResult(False)
+        clauses = [list(c) for c in self.clauses]
+        if any(not clause for clause in clauses):
+            return SatResult(False)
+        first_learned = len(clauses)
+        clauses.extend(list(c) for c in self._learned)
 
-    # -- internals ------------------------------------------------------------
+        assign: Dict[int, bool] = {}
+        level_of: Dict[int, int] = {}
+        reason_of: Dict[int, Optional[int]] = {}
+        trail: List[int] = []
+        trail_lim: List[int] = []  # trail indices where each decision level starts
 
-    def _dpll(self, clauses: List[List[int]], assignment: Dict[int, bool]) -> bool:
-        if self._budget <= 0:
-            # Budget exhausted: report "satisfiable" so the caller answers
-            # UNKNOWN rather than looping forever; this cannot cause an
-            # unsound "proved" answer.
+        watches: Dict[int, List[int]] = {}
+
+        def watch_clause(index: int) -> None:
+            clause = clauses[index]
+            watches.setdefault(clause[0], []).append(index)
+            if len(clause) > 1:
+                watches.setdefault(clause[1], []).append(index)
+
+        for index in range(len(clauses)):
+            watch_clause(index)
+
+        activity: Dict[int, float] = {}
+        for clause in clauses:
+            for literal in clause:
+                activity[abs(literal)] = activity.get(abs(literal), 0.0) + 1.0
+        #: Max-heap of (-activity, var) with lazy deletion: bumps push a
+        #: fresh entry, pops skip assigned vars (stale lower-score entries
+        #: surface later and are skipped the same way).
+        heap: List = [(-score, var) for var, score in activity.items()]
+        heapq.heapify(heap)
+        #: Phase saving: last assigned polarity per variable.
+        saved_phase = self._saved_phase
+
+        def current_level() -> int:
+            return len(trail_lim)
+
+        def value(lit: int) -> Optional[bool]:
+            var_value = assign.get(abs(lit))
+            if var_value is None:
+                return None
+            return var_value == (lit > 0)
+
+        def enqueue(lit: int, reason: Optional[int]) -> bool:
+            existing = value(lit)
+            if existing is not None:
+                return existing
+            variable = abs(lit)
+            assign[variable] = lit > 0
+            level_of[variable] = current_level()
+            reason_of[variable] = reason
+            trail.append(lit)
             return True
-        self._budget -= 1
-        if self._deadline is not None:
-            self._deadline.checkpoint(
-                every=128,
-                detail=lambda: f"DPLL interrupted: {len(assignment)} literals assigned",
-            )
 
-        clauses, assignment, conflict = _propagate(clauses, assignment)
-        if conflict:
-            return False
-        if not clauses:
-            return True
-        variable = _pick_variable(clauses)
-        for value in (True, False):
-            trial = dict(assignment)
-            trial[variable] = value
-            reduced = _assign(clauses, variable, value)
-            if reduced is None:
-                continue
-            if self._dpll(reduced, trial):
-                assignment.clear()
-                assignment.update(trial)
-                return True
-        return False
+        ticks = 0
 
-
-def _propagate(clauses: List[List[int]], assignment: Dict[int, bool]):
-    clauses = [list(c) for c in clauses]
-    changed = True
-    while changed:
-        changed = False
-        units = [c[0] for c in clauses if len(c) == 1]
-        if not units:
-            break
-        for literal in units:
-            variable = abs(literal)
-            value = literal > 0
-            if variable in assignment and assignment[variable] != value:
-                return clauses, assignment, True
-            assignment[variable] = value
-            reduced = _assign(clauses, variable, value)
-            if reduced is None:
-                return clauses, assignment, True
-            clauses = reduced
-            changed = True
-    return clauses, assignment, False
-
-
-def _assign(clauses: List[List[int]], variable: int, value: bool) -> Optional[List[List[int]]]:
-    """Simplify clauses under variable := value; None signals a conflict."""
-    out: List[List[int]] = []
-    true_literal = variable if value else -variable
-    for clause in clauses:
-        if true_literal in clause:
-            continue
-        reduced = [l for l in clause if l != -true_literal]
-        if not reduced:
+        def propagate(start: int) -> Optional[int]:
+            """Propagate trail[start:]; returns a conflicting clause index."""
+            nonlocal ticks
+            head = start
+            while head < len(trail):
+                false_lit = -trail[head]
+                head += 1
+                ticks += 1
+                if deadline is not None and ticks % 128 == 0:
+                    deadline.checkpoint(
+                        detail=lambda: f"DPLL interrupted: {len(trail)} literals assigned"
+                    )
+                watching = watches.get(false_lit)
+                if not watching:
+                    continue
+                # Invariant: every processed watch entry ends on a literal
+                # that is not false right now (true satisfier, open literal,
+                # or the just-enqueued unit).  A backjump can then only turn
+                # watched literals *open*, never leave a stale false watch —
+                # which is what guarantees the last falsification of a
+                # clause always triggers its re-scan (no missed conflicts).
+                position = 0
+                while position < len(watching):
+                    clause_index = watching[position]
+                    position += 1
+                    clause = clauses[clause_index]
+                    true_literal = None
+                    open_literals: List[int] = []
+                    for candidate in clause:
+                        candidate_value = value(candidate)
+                        if candidate_value is True:
+                            true_literal = candidate
+                            break
+                        if candidate_value is None:
+                            open_literals.append(candidate)
+                            if len(open_literals) >= 2:
+                                break
+                    if true_literal is not None:
+                        watches.setdefault(true_literal, []).append(clause_index)
+                        continue
+                    if len(open_literals) >= 2:
+                        watches.setdefault(open_literals[0], []).append(clause_index)
+                        continue
+                    if len(open_literals) == 1:
+                        unit = open_literals[0]
+                        watches.setdefault(unit, []).append(clause_index)
+                        enqueue(unit, reason=clause_index)
+                        continue
+                    # Every literal false: conflict.  Keep the unprocessed
+                    # entries here — ``false_lit`` was assigned at the
+                    # current level, so the coming backjump reopens it.
+                    watches[false_lit] = [clause_index] + watching[position:]
+                    return clause_index
+                del watches[false_lit]
             return None
-        out.append(reduced)
-    return out
 
+        def analyze(conflict_index: int) -> (List[int], int):
+            """First-UIP conflict analysis: the learned clause and the
+            backjump level."""
+            learned_tail: List[int] = []
+            seen: Dict[int, bool] = {}
+            counter = 0
+            resolve_lit: Optional[int] = None
+            index = len(trail) - 1
+            reason_clause = clauses[conflict_index]
+            while True:
+                for q in reason_clause:
+                    if resolve_lit is not None and q == resolve_lit:
+                        continue
+                    variable = abs(q)
+                    if seen.get(variable) or level_of.get(variable, 0) == 0:
+                        continue
+                    seen[variable] = True
+                    activity[variable] = activity.get(variable, 0.0) + bump
+                    heapq.heappush(heap, (-activity[variable], variable))
+                    if level_of[variable] == current_level():
+                        counter += 1
+                    else:
+                        learned_tail.append(q)
+                while not seen.get(abs(trail[index])):
+                    index -= 1
+                resolve_lit = trail[index]
+                index -= 1
+                counter -= 1
+                if counter == 0:
+                    break
+                reason_clause = clauses[reason_of[abs(resolve_lit)]]
+            # Put a maximum-level tail literal second: it is the learned
+            # clause's other watch, and sharing the backjump level with the
+            # asserting literal keeps the watch invariant across backjumps.
+            learned_tail.sort(key=lambda q: -level_of[abs(q)])
+            learned = [-resolve_lit] + learned_tail
+            backjump_level = level_of[abs(learned_tail[0])] if learned_tail else 0
+            return learned, backjump_level
 
-def _pick_variable(clauses: List[List[int]]) -> int:
-    counts: Dict[int, int] = {}
-    for clause in clauses:
-        for literal in clause:
-            counts[abs(literal)] = counts.get(abs(literal), 0) + 1
-    return max(counts, key=counts.get)
+        def backjump(target_level: int) -> None:
+            cut = trail_lim[target_level]
+            for lit in trail[cut:]:
+                variable = abs(lit)
+                saved_phase[variable] = assign[variable]
+                del assign[variable]
+                del level_of[variable]
+                del reason_of[variable]
+                heapq.heappush(heap, (-activity.get(variable, 0.0), variable))
+            del trail[cut:]
+            del trail_lim[target_level:]
+
+        def decide() -> Optional[int]:
+            while heap:
+                _score, variable = heapq.heappop(heap)
+                if variable not in assign:
+                    return variable
+            return None
+
+        budget = max_decisions
+        bump = 1.0
+        conflicts_until_restart = 100
+        restart_interval = 100
+        start = 0
+        try:
+            while True:
+                conflict = propagate(start)
+                if conflict is not None:
+                    if current_level() == 0:
+                        return SatResult(False)
+                    learned, backjump_level = analyze(conflict)
+                    bump *= 1.05  # newer conflicts weigh more (VSIDS-style decay)
+                    if bump > 1e100:
+                        for variable in activity:
+                            activity[variable] /= 1e100
+                        bump /= 1e100
+                        heap = [(-activity.get(v, 0.0), v) for v in activity if v not in assign]
+                        heapq.heapify(heap)
+                    conflicts_until_restart -= 1
+                    restart = conflicts_until_restart <= 0 and current_level() > 1
+                    if restart:
+                        # Restart (learned clauses and phases are kept); the
+                        # geometric schedule keeps restarts from starving deep
+                        # searches.
+                        restart_interval = int(restart_interval * 1.5)
+                        conflicts_until_restart = restart_interval
+                    backjump(0 if restart else backjump_level)
+                    clauses.append(learned)
+                    learned_index = len(clauses) - 1
+                    watch_clause(learned_index)
+                    start = len(trail)
+                    if not restart:
+                        # At the backjump level the learned clause is asserting;
+                        # after a restart it need not be unit, so it is only
+                        # watched and left to propagation.
+                        enqueue(learned[0], reason=learned_index)
+                    continue
+                decision = decide()
+                if decision is None:
+                    return SatResult(True, dict(assign))
+                budget -= 1
+                if budget <= 0:
+                    # Budget exhausted: report "satisfiable" so the caller
+                    # answers UNKNOWN rather than looping forever.
+                    return SatResult(True, dict(assign))
+                trail_lim.append(len(trail))
+                start = len(trail)
+                polarity = saved_phase.get(decision, False)
+                enqueue(decision if polarity else -decision, reason=None)
+        finally:
+            learned = clauses[first_learned:]
+            learned.sort(key=len)
+            self._learned = learned[: self._max_learned]

@@ -4,10 +4,16 @@
  *
  * The ReachPairs/BackboneAlloc invariants tie the abstract relation to the
  * concrete list backbone: every node reachable from `first` along `next`
- * stores one of the relation's pairs and is allocated.  They are what lets
- * `lookup`'s traversal invariant be established on entry and fully
- * discharged (the backbone-reachability axioms of repro.fol.hol2fol handle
- * the `next^*` and fieldWrite-updated obligations).
+ * stores one of the relation's pairs and is allocated.  ContentStored is
+ * the *reverse* content invariant: every pair of the relation is stored in
+ * some reachable node.  Together they let `lookup`'s traversal invariant
+ * be established on entry, preserved around the loop, and — crucially —
+ * refuted at the loop exit: when the cursor reaches null, the reverse
+ * invariant plus the precondition's existential contradict `rtc null m`,
+ * so the post-loop path is provably dead and needs no trusted `assume`
+ * (the loop's old `assume False` terminator is gone).  The reachability
+ * obligations discharge via the backbone axioms of repro.fol.hol2fol and
+ * the SMT prover's E-matching instantiation of the same axiom set.
  */
 public /*: claimedby AssocList */ class Node {
     public Object key;
@@ -24,6 +30,7 @@ class AssocList {
         invariant FirstPair: "first ~= null --> (first..key, first..value) : content";
         invariant ReachPairs: "ALL m. m ~= null & (first, m) : {(u, v). u..next = v}^* --> (m..key, m..value) : content";
         invariant BackboneAlloc: "ALL m. m ~= null & (first, m) : {(u, v). u..next = v}^* --> m : alloc";
+        invariant ContentStored: "ALL k v. (k, v) : content --> (EX m. m ~= null & (first, m) : {(u, w). u..next = w}^* & m..key = k & m..value = v)";
     */
 
     public static void put(Object k0, Object v0)
@@ -44,14 +51,19 @@ class AssocList {
         ensures "(k0, result) : content" */
     {
         Node n = first;
+        /* The third conjunct is the loop-localised reverse invariant: every
+         * pair for any key still in `content` lives in the un-scanned
+         * suffix.  On exit (n = null) it contradicts the precondition's
+         * witness through `rtc null m --> m = null`, discharging the
+         * post-loop obligation without the former trusted terminator. */
         while /*: inv "(n ~= null --> (n..key, n..value) : content) &
-                       (ALL m. m ~= null & (n, m) : {(u, v). u..next = v}^* --> (m..key, m..value) : content)" */ (n != null) {
+                       (ALL m. m ~= null & (n, m) : {(u, v). u..next = v}^* --> (m..key, m..value) : content) &
+                       (ALL v. (k0, v) : content --> (EX m. m ~= null & (n, m) : {(u, w). u..next = w}^* & m..key = k0 & m..value = v))" */ (n != null) {
             if (n.key == k0) {
                 return n.value;
             }
             n = n.next;
         }
-        //: assume "False";
         return null;
     }
 

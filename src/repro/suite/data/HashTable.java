@@ -5,6 +5,14 @@
  * The hash function is kept call-free (the verified subset has no method
  * calls), so this instance degenerates to a single bucket chain; the heap
  * model and the proof obligations are the same as for the full table.
+ *
+ * ReachPairs/BucketAlloc/ContentStored tie `content` to the bucket chain
+ * rooted at `table[0]` exactly as AssocList's invariants tie it to
+ * `first`: every chained bucket stores a pair of the relation and is
+ * allocated, and — the reverse direction — every pair of the relation is
+ * stored in some chained bucket.  The reverse invariant is what lets
+ * `lookup` retire its trusted `assume False` terminator: at the loop exit
+ * the precondition's witness contradicts reachability from null.
  */
 public /*: claimedby HashTable */ class Bucket {
     public Object key;
@@ -21,6 +29,9 @@ class HashTable {
         invariant SizeInv: "size = card content";
         invariant SizeNonNeg: "0 <= size";
         invariant NoNullKey: "ALL k v. (k, v) : content --> (k ~= null & v ~= null)";
+        invariant ReachPairs: "ALL m. m ~= null & (arrayRead arrayState table 0, m) : {(u, w). u..next = w}^* --> (m..key, m..value) : content";
+        invariant BucketAlloc: "ALL m. m ~= null & (arrayRead arrayState table 0, m) : {(u, w). u..next = w}^* --> m : alloc";
+        invariant ContentStored: "ALL k v. (k, v) : content --> (EX m. m ~= null & (arrayRead arrayState table 0, m) : {(u, w). u..next = w}^* & m..key = k & m..value = v)";
     */
 
     public static int size()
@@ -49,13 +60,18 @@ class HashTable {
         ensures "(k0, result) : content" */
     {
         Bucket b = table[0];
-        while /*: inv "True" */ (b != null) {
+        /* Forward + reverse chain invariants, as in AssocList.lookup: the
+         * scanned prefix holds no pair for any key still in `content`, so
+         * every such pair lives in the suffix — and an empty suffix
+         * (b = null) contradicts the precondition's witness, making the
+         * post-loop path provably dead with no trusted step. */
+        while /*: inv "(ALL m. m ~= null & (b, m) : {(u, w). u..next = w}^* --> (m..key, m..value) : content) &
+                       (ALL v. (k0, v) : content --> (EX m. m ~= null & (b, m) : {(u, w). u..next = w}^* & m..key = k0 & m..value = v))" */ (b != null) {
             if (b.key == k0) {
                 return b.value;
             }
             b = b.next;
         }
-        //: assume "False";
         return null;
     }
 }

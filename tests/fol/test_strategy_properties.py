@@ -236,6 +236,77 @@ def test_unit_index_deletion_is_the_unit_resolvent():
 
 
 # ---------------------------------------------------------------------------
+# Backward subsumption (flagged) against the fair baseline
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_backward_subsumption_never_refutes_what_fair_cannot(seed):
+    """Backward subsumption deletes redundant active clauses; it may lose
+    proofs (within limits), never invent them."""
+    rng = random.Random(3000 + seed)
+    clauses = _random_clause_set(rng)
+    support = [c for c in clauses if all(not lit.positive for lit in c.literals)]
+    pruned = ResolutionProver(
+        max_seconds=2.0, strategy="sos", ordering="kbo", selection="negative",
+        backward_subsumption=True,
+    )
+    result = pruned.refute(clauses, support=support)
+    if not result.refuted:
+        return
+    fair = ResolutionProver(
+        max_seconds=10.0,
+        max_processed=20000,
+        max_generated=400000,
+        strategy="fair",
+        ordering="none",
+        selection="none",
+    )
+    assert fair.refute(clauses).refuted, (
+        f"seed {seed}: backward subsumption refuted a clause set the fair "
+        f"baseline does not refute: {[str(c) for c in clauses]}"
+    )
+
+
+@pytest.mark.parametrize("assumptions, goal", _VALID)
+def test_backward_subsumption_agrees_on_valid_sequents(assumptions, goal):
+    assert _verdict(assumptions, goal, backward_subsumption=True)
+
+
+@pytest.mark.parametrize("assumptions, goal", _INVALID)
+def test_backward_subsumption_agrees_on_invalid_sequents(assumptions, goal):
+    assert not _verdict(assumptions, goal, backward_subsumption=True)
+
+
+def test_literal_index_remove_drops_every_entry_of_the_clause():
+    index = LiteralIndex()
+    kept = Clause((Literal(True, "p", (FApp("a", ()),)),))
+    gone = Clause((Literal(True, "p", (FApp("b", ()),)), Literal(False, "q", (FVar("X"),))))
+    index.add(1, kept)
+    index.add(2, gone)
+    index.remove(2)
+    probe_p = Literal(False, "p", (FVar("Y"),))
+    assert [cid for cid, _c, _i in index.resolution_candidates(probe_p)] == [1]
+    probe_q = Literal(True, "q", (FApp("c", ()),))
+    assert list(index.resolution_candidates(probe_q)) == []
+
+
+def test_backward_subsumption_removes_subsumed_active_clause():
+    """p(X) activated after p(a) | q(b) must evict it: the only resolvent
+    against ~p(c) then comes through the subsumer (the proof still closes)."""
+    clauses = [
+        Clause((Literal(True, "p", (FApp("a", ()),)), Literal(True, "q", (FApp("b", ()),)))),
+        Clause((Literal(True, "p", (FVar("X"),)),)),
+        Clause((Literal(False, "p", (FApp("c", ()),)),)),
+    ]
+    pruned = ResolutionProver(
+        max_seconds=2.0, strategy="fair", ordering="none", selection="none",
+        backward_subsumption=True,
+    )
+    assert pruned.refute(clauses).refuted
+
+
+# ---------------------------------------------------------------------------
 # Strategy knobs key the verdict cache
 # ---------------------------------------------------------------------------
 
@@ -246,5 +317,8 @@ def test_strategy_knobs_are_part_of_the_options_signature():
     assert "ordering='kbo'" in base.options_signature()
     assert "selection='negative'" in base.options_signature()
     assert "sos_seed='negative'" in base.options_signature()
+    assert "backward_subsumption=False" in base.options_signature()
     fair = FirstOrderProver(strategy="fair", ordering="none", selection="none")
     assert base.options_signature() != fair.options_signature()
+    pruning = FirstOrderProver(backward_subsumption=True)
+    assert base.options_signature() != pruning.options_signature()

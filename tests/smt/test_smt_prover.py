@@ -94,3 +94,63 @@ def test_sat_incremental_blocking():
     second = solver.solve()
     # Still satisfiable (a different assignment exists for [1, 2]).
     assert second.satisfiable
+
+
+def _brute_force_satisfiable(num_vars, clauses):
+    return any(
+        all(
+            any((lit > 0) == bool((model >> (abs(lit) - 1)) & 1) for lit in clause)
+            for clause in clauses
+        )
+        for model in range(1 << num_vars)
+    )
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_sat_agrees_with_brute_force_on_random_cnfs(seed):
+    """Differential fuzz of the CDCL core: verdicts match exhaustive model
+    enumeration, returned models really satisfy the clauses, and re-solving
+    (with the persisted learned clauses) agrees — including after a
+    blocking clause, the lazy SMT loop's usage pattern."""
+    import random
+
+    rng = random.Random(seed)
+    for _ in range(60):
+        num_vars = rng.randint(1, 9)
+        clauses = [
+            [rng.choice([-1, 1]) * rng.randint(1, num_vars) for _ in range(rng.randint(1, 4))]
+            for _ in range(rng.randint(1, 30))
+        ]
+        solver = SatSolver(num_vars)
+        solver.add_clauses(clauses)
+        expected = _brute_force_satisfiable(num_vars, clauses)
+        result = solver.solve()
+        assert result.satisfiable == expected, (seed, clauses)
+        if not expected:
+            continue
+        model = result.assignment
+        assert all(
+            any((lit > 0) == model.get(abs(lit), False) for lit in clause)
+            for clause in clauses
+        ), (seed, clauses, model)
+        # Incremental blocking: the remaining problem must still agree.
+        blocking = [-(v if val else -v) for v, val in model.items()]
+        solver.add_clause(blocking)
+        assert solver.solve().satisfiable == _brute_force_satisfiable(
+            num_vars, clauses + [blocking]
+        ), (seed, clauses, blocking)
+
+
+def test_sat_refutes_pigeonhole():
+    """PHP(4,3) — 4 pigeons in 3 holes — is UNSAT and needs real search
+    (clause learning), not just unit propagation."""
+    pigeons, holes = 4, 3
+    var = lambda p, h: p * holes + h + 1  # noqa: E731
+    clauses = [[var(p, h) for h in range(holes)] for p in range(pigeons)]
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append([-var(p1, h), -var(p2, h)])
+    solver = SatSolver(pigeons * holes)
+    solver.add_clauses(clauses)
+    assert not solver.solve().satisfiable
