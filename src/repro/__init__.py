@@ -30,6 +30,9 @@ Sub-packages:
 ``repro.interactive``  proof kernel and lemma store (Isabelle/Coq role)
 ``repro.core``         the verifier driver and reports
 ``repro.suite``        the ten verified data structures of Section 7
+``repro.server``       the verify daemon: verification-as-a-service with a
+                       sharded cross-request verdict store (``python -m
+                       repro.server``; clients use ``repro.server.VerifyClient``)
 """
 
 __version__ = "0.1.0"
@@ -41,6 +44,7 @@ __all__ = [
     "ClassReport",
     "SequentCache",
     "suite",
+    "server",
     "__version__",
 ]
 
@@ -60,10 +64,10 @@ def __getattr__(name):
         from .core import report
 
         return getattr(report, name)
-    if name == "suite":
+    if name in ("suite", "server"):
         import importlib
 
-        module = importlib.import_module("repro.suite")
-        globals()["suite"] = module
+        module = importlib.import_module(f"repro.{name}")
+        globals()[name] = module
         return module
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -57,6 +57,10 @@ class MethodReport:
     cache_hits: int = 0
     cache_misses: int = 0
     proved_from_cache: int = 0
+    #: Sequents *decided* by replayed answers whatever the verdict — includes
+    #: cached UNKNOWN/TIMEOUT replays, which ``proved_from_cache`` (proofs
+    #: only) leaves out.  This is the warm-cache traffic number.
+    replayed_sequents: int = 0
     wall_time: float = 0.0
     cpu_time: float = 0.0
     workers: int = 1
@@ -127,9 +131,13 @@ class MethodReport:
                 f"Total time : {stats.time:.1f} s" + instantiated
             )
         if self.cache_lookups:
+            replay = f"{self.proved_from_cache} proofs replayed"
+            if self.replayed_sequents > self.proved_from_cache:
+                extra = self.replayed_sequents - self.proved_from_cache
+                replay += f" (+{extra} non-proof replays)"
             lines.append(
                 f"Sequent cache: {self.cache_hits}/{self.cache_lookups} lookups hit "
-                f"({self.cache_hit_rate:.0%}); {self.proved_from_cache} proofs replayed."
+                f"({self.cache_hit_rate:.0%}); {replay}."
             )
         if self.workers > 1:
             utilization = ", ".join(
@@ -202,6 +210,10 @@ class ClassReport:
     @property
     def proved_from_cache(self) -> int:
         return sum(method.proved_from_cache for method in self.methods)
+
+    @property
+    def replayed_sequents(self) -> int:
+        return sum(method.replayed_sequents for method in self.methods)
 
     @property
     def proved_live(self) -> int:

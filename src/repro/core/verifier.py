@@ -37,22 +37,30 @@ Scaling knobs (mapped onto the Figure 7 command line, see ROADMAP):
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..java.resolver import Program, parse_program
 from ..provers.base import ProverStats
 from ..provers.cache import SequentCache
 from ..provers.dispatcher import (
     DEFAULT_ORDER,
+    DispatchResult,
     Dispatcher,
     ParallelDispatcher,
     make_provers,
     resolve_prover_names,
 )
+from ..vcgen.sequent import Sequent
 from ..vcgen.vcgen import generate_method_vc
 from .report import ClassReport, MethodReport
 
 SourceOrProgram = Union[str, Program]
+
+#: A pluggable dispatch backend: takes the split sequents, returns the
+#: dispatch result.  The verify daemon injects one that routes sequents
+#: through its cross-request batching service (``repro.server``), so
+#: server-backed reports are assembled by exactly this module's code.
+DispatchFn = Callable[[Sequence[Sequent]], DispatchResult]
 
 
 def _as_program(source: SourceOrProgram) -> Program:
@@ -84,6 +92,7 @@ def verify(
     backend: str = "thread",
     sequent_budget: Optional[float] = None,
     dedup: bool = False,
+    dispatch: Optional[DispatchFn] = None,
 ) -> MethodReport:
     """Verify one method and return its report (Figure 7).
 
@@ -97,6 +106,14 @@ def verify(
     bounds (and enforces) the time the whole portfolio may spend on any one
     sequent; ``dedup`` proves one representative per group of structurally
     identical sequents and replays its verdict for the rest.
+
+    ``dispatch`` replaces the dispatch backend entirely: the split sequents
+    are handed to the callable and its :class:`DispatchResult` feeds the
+    report.  The verify daemon (:mod:`repro.server`) uses this to route
+    sequents through its cross-request batcher while the report is still
+    assembled here — which is what makes server-backed reports byte-identical
+    to local ones.  ``workers``/``cache``/``backend``/``sequent_budget``/
+    ``dedup`` are then the callable's concern and ignored locally.
     """
     program = _as_program(source)
     if class_name is None:
@@ -109,7 +126,9 @@ def verify(
     if always_syntactic_first and "syntactic" not in names:
         names = ["syntactic"] + names
     options = prover_options or {}
-    if workers > 1:
+    if dispatch is not None:
+        dispatcher = None
+    elif workers > 1:
         dispatcher = ParallelDispatcher.from_names(
             names, workers=workers, backend=backend, cache=cache,
             sequent_budget=sequent_budget, dedup=dedup, **options,
@@ -119,26 +138,30 @@ def verify(
             make_provers(names, **options), cache=cache,
             sequent_budget=sequent_budget, dedup=dedup,
         )
-    dispatch = dispatcher.prove_all(method_vc.sequents)
+    if dispatch is not None:
+        dispatched = dispatch(method_vc.sequents)
+    else:
+        dispatched = dispatcher.prove_all(method_vc.sequents)
 
     report = MethodReport(
         class_name=class_name,
         method_name=method,
         total_sequents=len(method_vc.sequents),
-        proved_sequents=dispatch.proved,
+        proved_sequents=dispatched.proved,
         proved_during_splitting=method_vc.proved_during_splitting,
-        prover_stats=dispatch.stats,
+        prover_stats=dispatched.stats,
         prover_order=list(names),
-        unproved_origins=[outcome.sequent.origin for outcome in dispatch.unproved()],
+        unproved_origins=[outcome.sequent.origin for outcome in dispatched.unproved()],
         total_time=time.perf_counter() - start,
-        cache_hits=dispatch.cache_stats.hits,
-        cache_misses=dispatch.cache_stats.misses,
-        proved_from_cache=dispatch.proved_from_cache,
-        wall_time=dispatch.wall_time,
-        cpu_time=dispatch.cpu_time,
-        workers=dispatch.workers,
-        worker_utilization=dict(dispatch.worker_utilization),
-        dedup_replayed=dispatch.dedup_replayed,
+        cache_hits=dispatched.cache_stats.hits,
+        cache_misses=dispatched.cache_stats.misses,
+        proved_from_cache=dispatched.proved_from_cache,
+        replayed_sequents=dispatched.replayed,
+        wall_time=dispatched.wall_time,
+        cpu_time=dispatched.cpu_time,
+        workers=dispatched.workers,
+        worker_utilization=dict(dispatched.worker_utilization),
+        dedup_replayed=dispatched.dedup_replayed,
         trusted_assumes=method_vc.trusted_assumes,
     )
     return report
@@ -156,6 +179,7 @@ def verify_class(
     backend: str = "thread",
     sequent_budget: Optional[float] = None,
     dedup: bool = False,
+    dispatch: Optional[DispatchFn] = None,
 ) -> ClassReport:
     """Verify every contracted method of a class (one Figure 15 row).
 
@@ -163,7 +187,9 @@ def verify_class(
     to :func:`verify` for each method; sharing one cache across the class
     lets invariant obligations that repeat between methods be proved once
     and replayed, and ``dedup`` additionally collapses duplicates within
-    each method's batch before any prover runs.
+    each method's batch before any prover runs.  ``dispatch`` (a pluggable
+    dispatch backend, see :func:`verify`) is forwarded as well — the verify
+    daemon passes its cross-request batcher here.
     """
     program = _as_program(source)
     if class_name is None:
@@ -190,6 +216,7 @@ def verify_class(
                 backend=backend,
                 sequent_budget=sequent_budget,
                 dedup=dedup,
+                dispatch=dispatch,
             )
         )
     return report

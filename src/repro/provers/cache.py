@@ -46,7 +46,9 @@ space.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -58,6 +60,10 @@ from .base import ProverAnswer, Verdict
 
 #: Verdicts replayed from the cache unconditionally.
 ALWAYS_CACHEABLE = frozenset({Verdict.PROVED, Verdict.UNKNOWN, Verdict.UNSUPPORTED})
+
+#: Monotonic per-process counter making disk-tier temp names unique per
+#: writer (``next()`` on an ``itertools.count`` is atomic under the GIL).
+_TMP_COUNTER = itertools.count()
 
 
 @dataclass
@@ -202,17 +208,28 @@ class SequentCache:
         path = self._disk_path(cache_key)
         if path is None:
             return
+        payload = {
+            "verdict": entry.verdict.value,
+            "detail": entry.detail,
+            "proof_time": entry.proof_time,
+        }
+        # The temp name must be unique *per writer*, not just per key: with a
+        # shared name (the old ``path.with_suffix(".tmp")``) two processes
+        # storing the same key could interleave write_text and replace,
+        # renaming a half-written file over a good entry.  pid + counter makes
+        # every concurrent writer's staging file distinct, so the final
+        # os.replace is always of a fully written payload (atomic on POSIX).
+        tmp = path.with_name(f"{path.stem}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp")
         try:
-            payload = {
-                "verdict": entry.verdict.value,
-                "detail": entry.detail,
-                "proof_time": entry.proof_time,
-            }
-            tmp = path.with_suffix(".tmp")
             tmp.write_text(json.dumps(payload))
             tmp.replace(path)
         except OSError:
-            pass  # a full or read-only disk degrades to memory-only caching
+            # A full or read-only disk degrades to memory-only caching; don't
+            # leave a stray staging file behind when the replace failed.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
 
     # -- maintenance ----------------------------------------------------------
 
@@ -221,11 +238,12 @@ class SequentCache:
             self._entries.clear()
             self.stats = CacheStats()
         if disk and self.cache_dir is not None:
-            for path in self.cache_dir.glob("*.json"):
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
+            for pattern in ("*.json", "*.tmp"):
+                for path in self.cache_dir.glob(pattern):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
 
     def __len__(self) -> int:
         with self._lock:

@@ -109,8 +109,17 @@ class SequentOutcome:
 
     @property
     def from_cache(self) -> bool:
-        """True when the proving answer was replayed from the cache."""
-        return self.proved and bool(self.answers) and self.answers[-1].cached
+        """True when the *deciding* answer — the one that settled this
+        outcome, whatever its verdict — was replayed (cache hit or dedup
+        fan-out) rather than computed by a live prover run.
+
+        A cached ``UNKNOWN``/``TIMEOUT`` replay is warm-cache traffic just
+        like a cached ``PROVED``: the chain's final answer being a replay
+        means no prover ran to settle the sequent.  (Gating on ``proved``
+        here used to make cached non-PROVED replays invisible to the
+        dispatch/report hit accounting.)
+        """
+        return bool(self.answers) and self.answers[-1].cached
 
 
 @dataclass
@@ -145,6 +154,16 @@ class DispatchResult:
     @property
     def proved_from_cache(self) -> int:
         """Sequents whose proof was replayed from the cache (not re-proved)."""
+        return sum(1 for outcome in self.outcomes if outcome.proved and outcome.from_cache)
+
+    @property
+    def replayed(self) -> int:
+        """Sequents *decided* by replayed answers, whatever the verdict.
+
+        This is the warm-traffic number: it also counts cached
+        ``UNKNOWN``/``TIMEOUT`` replays, which :attr:`proved_from_cache`
+        (proofs only) leaves out.
+        """
         return sum(1 for outcome in self.outcomes if outcome.from_cache)
 
     @property

@@ -1,0 +1,69 @@
+"""Run a verify daemon in the foreground: ``python -m repro.server``."""
+
+from __future__ import annotations
+
+import argparse
+
+from .client import DEFAULT_PORT
+from .daemon import VerifyServer
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Start a verify daemon (verification-as-a-service).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    parser.add_argument(
+        "--store-dir", default=None,
+        help="root of the sharded on-disk verdict store (default: memory only)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=16,
+        help="verdict store shard count (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--window", type=float, default=0.05,
+        help="cross-request batch window in seconds (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=512,
+        help="dispatch a batch early once it holds this many sequents",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="dispatcher worker pool per batch (default: sequential)",
+    )
+    parser.add_argument(
+        "--backend", choices=("thread", "process"), default="thread",
+        help="worker backend when --workers > 1",
+    )
+    parser.add_argument(
+        "--request-workers", type=int, default=8,
+        help="threads serving verify_class/verify_method requests",
+    )
+    args = parser.parse_args()
+
+    server = VerifyServer(
+        host=args.host,
+        port=args.port,
+        store_dir=args.store_dir,
+        shards=args.shards,
+        window=args.window,
+        max_batch=args.max_batch,
+        workers=args.workers,
+        backend=args.backend,
+        request_workers=args.request_workers,
+    )
+    where = args.store_dir or "memory"
+    print(
+        f"verify daemon on {args.host}:{args.port} "
+        f"(store: {where}, {args.shards} shards; window {args.window}s)",
+        flush=True,
+    )
+    server.run_forever()
+
+
+if __name__ == "__main__":
+    main()

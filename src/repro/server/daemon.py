@@ -1,0 +1,700 @@
+"""The verify daemon: verification-as-a-service over the prover portfolio.
+
+Everything the per-process pipeline already does — splitting, portfolio
+dispatch, digest dedup, verdict caching — lives here behind a long-lived
+asyncio server, so *many* concurrent clients share one prover farm and one
+sharded verdict store:
+
+* :class:`VerifyService` is the cross-request batcher.  Incoming sequents
+  (from ``verify_class`` / ``verify_method`` / raw batch requests) accumulate
+  in a small time window (``window`` seconds, capped at ``max_batch``
+  sequents) and are dispatched as *one merged batch* per prover
+  configuration.  The existing digest-dedup pre-pass then runs over the
+  merged batch, so identical obligations submitted by different clients are
+  proved once and fanned back out — dedup subsumes the cache's replay
+  bookkeeping across requests, exactly as it already did within one
+  ``prove_all`` call.  Batches are processed one at a time (new requests
+  queue for the next window), which, together with the store-before-respond
+  ordering, guarantees each distinct digest is proved at most once per
+  batch window — warm traffic is O(lookup).
+* :class:`ShardedVerdictStore` (``repro.server.store``) backs the verdicts:
+  content-addressed by structural digest, N shard directories with per-shard
+  locks and LRU tiers, safe under concurrent multi-process access.
+* :class:`VerifyServer` is the protocol front end: newline-delimited JSON
+  over TCP (see ``repro.server.wire``), ops ``ping`` / ``stats`` /
+  ``prove_sequents`` / ``verify_method`` / ``verify_class`` / ``shutdown``.
+  ``verify_*`` requests run :func:`repro.core.verifier.verify` with a
+  ``dispatch`` hook that routes the split sequents through the batcher —
+  report assembly is byte-for-byte the local code path, which is what makes
+  a server-backed run's report identical to a local warm-cache run's.
+
+Per-request budgets reuse :class:`repro.provers.base.Deadline`: a request
+carrying ``budget=T`` seconds is dropped from its batch (and answered
+``budget_exhausted``) once its deadline passes while queued; per-sequent
+prover budgets (``sequent_budget``) are enforced inside the engines as
+everywhere else.
+
+Starting a daemon::
+
+    python -m repro.server --port 7333 --store-dir /var/tmp/verdicts
+
+or in-process (tests, benchmarks)::
+
+    from repro.server import VerifyServer, VerifyClient
+    server = VerifyServer(port=0, store_dir="...").start()
+    with VerifyClient(port=server.port) as client:
+        report = client.verify_class(source, class_name="AssocList")
+    server.stop()
+
+Graceful shutdown: ``stop(drain=True)`` (or the ``shutdown`` op) stops
+accepting connections, flushes the pending batch queue, completes in-flight
+requests, then exits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.verifier import verify, verify_class
+from ..provers.base import Deadline
+from ..provers.dispatcher import (
+    DEFAULT_ORDER,
+    Dispatcher,
+    DispatchResult,
+    ParallelDispatcher,
+    SequentOutcome,
+    _dedup_representatives,
+    _merge_outcomes,
+    make_provers,
+    resolve_prover_names,
+)
+from ..vcgen.sequent import Sequent
+from .store import ShardedVerdictStore
+from .wire import (
+    class_report_to_wire,
+    method_report_to_wire,
+    outcome_to_wire,
+    sequents_from_wire,
+)
+
+
+class ServiceStopped(RuntimeError):
+    """Raised to pending requests when the daemon stops without draining."""
+
+
+def _config_key(
+    names: Sequence[str], options: Dict[str, dict], sequent_budget: Optional[float]
+) -> str:
+    """Requests merge into one dispatch batch only when their whole prover
+    configuration agrees — verdicts depend on prover order, options and the
+    enforced per-sequent budget, so mixing configurations would either
+    fragment the verdict-store keys or replay answers across budgets."""
+    return json.dumps(
+        {"provers": list(names), "options": options, "sequent_budget": sequent_budget},
+        sort_keys=True,
+    )
+
+
+@dataclass
+class _PendingRequest:
+    """One client request waiting for the next batch window."""
+
+    names: Tuple[str, ...]
+    options: Dict[str, dict]
+    sequent_budget: Optional[float]
+    sequents: List[Sequent]
+    future: "asyncio.Future[DispatchResult]"
+    deadline: Optional[Deadline] = None
+
+    @property
+    def key(self) -> str:
+        return _config_key(self.names, self.options, self.sequent_budget)
+
+
+@dataclass
+class ServiceStats:
+    """Cumulative counters of the batching service (the ``stats`` op)."""
+
+    requests: int = 0
+    requests_expired: int = 0
+    batches: int = 0
+    sequents: int = 0
+    live_proved: int = 0
+    replayed: int = 0
+    #: Live proofs of a digest the service had already proved live before —
+    #: zero as long as the store + single-flight batching work as designed.
+    live_reproofs: int = 0
+    distinct_live_digests: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "requests": self.requests,
+            "requests_expired": self.requests_expired,
+            "batches": self.batches,
+            "sequents": self.sequents,
+            "live_proved": self.live_proved,
+            "replayed": self.replayed,
+            "live_reproofs": self.live_reproofs,
+            "distinct_live_digests": self.distinct_live_digests,
+        }
+
+
+class VerifyService:
+    """Accumulates sequents from concurrent requests into merged batches.
+
+    One batch is in flight at a time: requests arriving while a batch is
+    being proved queue for the next window.  Since every batch consults the
+    verdict store before running provers — and stores its verdicts before
+    the next batch is assembled — a digest is proved live at most once
+    across the daemon's lifetime (``ServiceStats.live_reproofs`` pins this).
+    """
+
+    def __init__(
+        self,
+        store: ShardedVerdictStore,
+        window: float = 0.05,
+        max_batch: int = 512,
+        workers: int = 1,
+        backend: str = "thread",
+    ) -> None:
+        self.store = store
+        self.window = window
+        self.max_batch = max_batch
+        self.workers = workers
+        self.backend = backend
+        self.stats = ServiceStats()
+        self._pending: List[_PendingRequest] = []
+        self._wakeup = asyncio.Event()
+        self._stopping = False
+        self._processing = False
+        self._task: Optional[asyncio.Task] = None
+        # One dispatch thread: batches run strictly one at a time (the
+        # single-flight guarantee); parallelism lives inside the dispatcher.
+        self._executor = ThreadPoolExecutor(1, thread_name_prefix="verify-batch")
+        self._live_digests: set = set()
+
+    # -- client-facing --------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        return sum(len(r.sequents) for r in self._pending)
+
+    @property
+    def busy(self) -> bool:
+        return self._processing or bool(self._pending)
+
+    async def start(self) -> "VerifyService":
+        if self._task is None:
+            self._task = asyncio.create_task(self._run(), name="verify-batch-loop")
+        return self
+
+    async def prove(
+        self,
+        sequents: Sequence[Sequent],
+        provers: Sequence[str] = DEFAULT_ORDER,
+        prover_options: Optional[Dict[str, dict]] = None,
+        sequent_budget: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> DispatchResult:
+        """Submit a batch of sequents; resolves when its window is dispatched."""
+        if self._stopping:
+            raise ServiceStopped("the verify service is shutting down")
+        if not sequents:
+            return DispatchResult()
+        request = _PendingRequest(
+            names=tuple(resolve_prover_names(provers)),
+            options=prover_options or {},
+            sequent_budget=sequent_budget,
+            sequents=list(sequents),
+            future=asyncio.get_running_loop().create_future(),
+            deadline=deadline,
+        )
+        self._pending.append(request)
+        self.stats.requests += 1
+        self._wakeup.set()
+        return await request.future
+
+    async def drain(self) -> None:
+        """Wait until every queued request has been answered."""
+        while self.busy:
+            await asyncio.sleep(0.005)
+
+    async def stop(self, drain: bool = True) -> None:
+        if drain:
+            await self.drain()
+        self._stopping = True
+        self._wakeup.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+        for request in self._pending:
+            if not request.future.done():
+                request.future.set_exception(ServiceStopped("service stopped"))
+        self._pending.clear()
+        self._executor.shutdown(wait=True)
+
+    # -- the batch loop -------------------------------------------------------
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            await self._wakeup.wait()
+            self._wakeup.clear()
+            if self._stopping:
+                # stop() drains first when asked to; anything still queued
+                # here is deliberately abandoned (stop(drain=False)).
+                return
+            if not self._pending:
+                continue
+            # The accumulation window: let concurrent requests pile into this
+            # batch, dispatching early once it is full.
+            if self.window > 0:
+                window_ends = loop.time() + self.window
+                while self.pending < self.max_batch and not self._stopping:
+                    remaining = window_ends - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        await asyncio.wait_for(self._wakeup.wait(), timeout=remaining)
+                        self._wakeup.clear()
+                    except asyncio.TimeoutError:
+                        break
+            # Take whole requests up to the size cap; the remainder forms the
+            # seed of the next window.
+            batch: List[_PendingRequest] = []
+            taken = 0
+            while self._pending and (not batch or taken < self.max_batch):
+                request = self._pending.pop(0)
+                batch.append(request)
+                taken += len(request.sequents)
+            if self._pending:
+                self._wakeup.set()
+            self._processing = True
+            try:
+                await self._process(batch)
+            finally:
+                self._processing = False
+
+    async def _process(self, batch: List[_PendingRequest]) -> None:
+        # Requests whose *request-level* Deadline expired while queued are
+        # answered budget_exhausted without consuming any prover time.
+        live: Dict[str, List[_PendingRequest]] = {}
+        for request in batch:
+            if request.deadline is not None and request.deadline.expired():
+                self.stats.requests_expired += 1
+                request.future.set_result(_expired_result(request.sequents))
+                continue
+            live.setdefault(request.key, []).append(request)
+
+        loop = asyncio.get_running_loop()
+        for requests in live.values():
+            merged: List[Sequent] = []
+            slices: List[Tuple[_PendingRequest, int, int]] = []
+            for request in requests:
+                start = len(merged)
+                merged.extend(request.sequents)
+                slices.append((request, start, len(merged)))
+            first = requests[0]
+            try:
+                rep, result = await loop.run_in_executor(
+                    self._executor,
+                    self._dispatch,
+                    first.names,
+                    first.options,
+                    first.sequent_budget,
+                    merged,
+                )
+            except Exception as exc:  # noqa: BLE001 - fail the batch, not the loop
+                for request, _, _ in slices:
+                    if not request.future.done():
+                        request.future.set_exception(exc)
+                continue
+            self._account(result)
+            for request, start, stop in slices:
+                request.future.set_result(_slice_result(result, rep, start, stop))
+
+    def _dispatch(
+        self,
+        names: Tuple[str, ...],
+        options: Dict[str, dict],
+        sequent_budget: Optional[float],
+        merged: List[Sequent],
+    ) -> Tuple[List[int], DispatchResult]:
+        """Prove one merged batch (dispatch-executor thread).  Returns the
+        dedup representative map alongside the result so per-request slices
+        can attribute their fan-outs."""
+        rep = _dedup_representatives(merged)
+        if self.workers > 1:
+            dispatcher = ParallelDispatcher.from_names(
+                names,
+                workers=self.workers,
+                backend=self.backend,
+                cache=self.store,
+                sequent_budget=sequent_budget,
+                dedup=True,
+                **options,
+            )
+        else:
+            dispatcher = Dispatcher(
+                make_provers(names, **options),
+                cache=self.store,
+                sequent_budget=sequent_budget,
+                dedup=True,
+            )
+        return rep, dispatcher.prove_all(merged)
+
+    def _account(self, result: DispatchResult) -> None:
+        self.stats.batches += 1
+        self.stats.sequents += result.total
+        self.stats.replayed += result.replayed
+        for outcome in result.outcomes:
+            if outcome.proved and not outcome.from_cache:
+                digest = outcome.sequent.digest()
+                if digest in self._live_digests:
+                    self.stats.live_reproofs += 1
+                else:
+                    self._live_digests.add(digest)
+                self.stats.live_proved += 1
+        self.stats.distinct_live_digests = len(self._live_digests)
+
+
+def _expired_result(sequents: Sequence[Sequent]) -> DispatchResult:
+    result = DispatchResult()
+    for sequent in sequents:
+        result.outcomes.append(
+            SequentOutcome(sequent=sequent, proved=False, budget_exhausted=True)
+        )
+    return result
+
+
+def _slice_result(
+    merged: DispatchResult, rep: List[int], start: int, stop: int
+) -> DispatchResult:
+    """One request's view of a merged batch: its outcome slice re-accounted
+    exactly as a standalone dispatch would have been (stats recorded answer
+    by answer, cache hits/misses per answer), so reports built from it match
+    local runs."""
+    result = DispatchResult()
+    result.workers = merged.workers
+    _merge_outcomes(
+        result, merged.outcomes[start:stop], stop_on_failure=False, cache_enabled=True
+    )
+    result.dedup_replayed = sum(1 for i in range(start, stop) if rep[i] != i)
+    result.total_time = result.wall_time = merged.total_time
+    return result
+
+
+# ---------------------------------------------------------------------------
+# The protocol front end
+# ---------------------------------------------------------------------------
+
+
+class VerifyServer:
+    """A TCP daemon exposing the batching service (newline-delimited JSON).
+
+    ``port=0`` binds an ephemeral port (read :attr:`port` after
+    :meth:`start`).  The server runs its asyncio loop on a background thread,
+    so tests and benchmarks can start it in-process; ``python -m
+    repro.server`` runs it in the foreground instead.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        store: Optional[ShardedVerdictStore] = None,
+        store_dir: Optional[str] = None,
+        shards: int = 16,
+        window: float = 0.05,
+        max_batch: int = 512,
+        workers: int = 1,
+        backend: str = "thread",
+        request_workers: int = 8,
+        drain_timeout: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.store = store if store is not None else ShardedVerdictStore(
+            store_dir, shards=shards
+        )
+        self.window = window
+        self.max_batch = max_batch
+        self.workers = workers
+        self.backend = backend
+        self.drain_timeout = drain_timeout
+        self.service: Optional[VerifyService] = None
+        self.started_at: Optional[float] = None
+        self._request_pool = ThreadPoolExecutor(
+            request_workers, thread_name_prefix="verify-request"
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._stop_requested: Optional[asyncio.Event] = None
+        self._drain_on_stop = True
+        self._inflight = 0
+        self._requests_served = 0
+        self._requests_failed = 0
+        self._startup_error: Optional[BaseException] = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "VerifyServer":
+        """Start the daemon on a background thread; returns once it accepts."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._thread_main, name="verify-server", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            self._thread = None
+            raise RuntimeError("verify server failed to start") from self._startup_error
+        return self
+
+    def stop(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the daemon: optionally drain queued work, then shut down."""
+        if self._loop is None or self._stop_requested is None:
+            return
+        self._drain_on_stop = drain
+        try:
+            self._loop.call_soon_threadsafe(self._stop_requested.set)
+        except RuntimeError:
+            pass  # the loop already exited (e.g. a client sent the shutdown op)
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def run_forever(self) -> None:
+        """Run the daemon in the foreground (the ``python -m repro.server``
+        entry point); Ctrl-C drains and exits."""
+        try:
+            asyncio.run(self._main())
+        except KeyboardInterrupt:  # pragma: no cover - interactive use
+            pass
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 - surface startup failures
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_requested = asyncio.Event()
+        self.service = VerifyService(
+            self.store,
+            window=self.window,
+            max_batch=self.max_batch,
+            workers=self.workers,
+            backend=self.backend,
+        )
+        await self.service.start()
+        server = await asyncio.start_server(self._handle_connection, self.host, self.port)
+        self.port = server.sockets[0].getsockname()[1]
+        self.started_at = time.time()
+        self._ready.set()
+        try:
+            await self._stop_requested.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            if self._drain_on_stop:
+                deadline = Deadline.after(self.drain_timeout)
+                while (self._inflight or self.service.busy) and not deadline.expired():
+                    await asyncio.sleep(0.01)
+            await self.service.stop(drain=self._drain_on_stop)
+            self._request_pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- connection handling --------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not self._stop_requested.is_set():
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.IncompleteReadError):
+                    break
+                if not line:
+                    break
+                request_id = None
+                self._inflight += 1
+                try:
+                    request = json.loads(line)
+                    request_id = request.get("id")
+                    response = await self._dispatch_op(request)
+                except Exception as exc:  # noqa: BLE001 - answer, don't die
+                    self._requests_failed += 1
+                    response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+                else:
+                    if response.get("ok", False):
+                        self._requests_served += 1
+                    else:
+                        self._requests_failed += 1
+                finally:
+                    self._inflight -= 1
+                if request_id is not None:
+                    response["id"] = request_id
+                writer.write(json.dumps(response).encode() + b"\n")
+                try:
+                    await writer.drain()
+                except (ConnectionResetError, BrokenPipeError):
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # -- operations -----------------------------------------------------------
+
+    async def _dispatch_op(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "stats":
+            return {"ok": True, "stats": self.snapshot_stats()}
+        if op == "prove_sequents":
+            return await self._op_prove_sequents(request)
+        if op == "verify_method":
+            return await self._op_verify(request, class_wide=False)
+        if op == "verify_class":
+            return await self._op_verify(request, class_wide=True)
+        if op == "shutdown":
+            drain = bool(request.get("drain", True))
+            self._drain_on_stop = drain
+            self._loop.call_soon(self._stop_requested.set)
+            return {"ok": True, "stopping": True, "drain": drain}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    def _request_deadline(self, request: Dict[str, Any]) -> Optional[Deadline]:
+        budget = request.get("budget")
+        return Deadline.after(float(budget)) if budget is not None else None
+
+    async def _op_prove_sequents(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        loop = asyncio.get_running_loop()
+        sequents = await loop.run_in_executor(
+            self._request_pool, sequents_from_wire, request.get("sequents", [])
+        )
+        result = await self.service.prove(
+            sequents,
+            provers=request.get("provers", list(DEFAULT_ORDER)),
+            prover_options=request.get("prover_options") or {},
+            sequent_budget=request.get("sequent_budget"),
+            deadline=self._request_deadline(request),
+        )
+        return {
+            "ok": True,
+            "total": result.total,
+            "proved": result.proved,
+            "replayed": result.replayed,
+            "proved_from_cache": result.proved_from_cache,
+            "dedup_replayed": result.dedup_replayed,
+            "outcomes": [outcome_to_wire(o) for o in result.outcomes],
+        }
+
+    async def _op_verify(
+        self, request: Dict[str, Any], class_wide: bool
+    ) -> Dict[str, Any]:
+        source = request.get("source")
+        if not source:
+            return {"ok": False, "error": "missing 'source'"}
+        syntactic_first = bool(request.get("always_syntactic_first", True))
+        # Resolve the *final* prover chain here, exactly as verify() will
+        # (aliases resolved, syntactic prepended), and submit to the batcher
+        # under those names: it must dispatch the same chain (and the same
+        # options signatures) that the report declares, or server-backed runs
+        # would key the verdict store differently from local ones.  The
+        # reports themselves are built from the *requested* names so their
+        # prover_order matches a local run's byte for byte.
+        requested = request.get("provers", list(DEFAULT_ORDER))
+        chain = resolve_prover_names(requested)
+        if syntactic_first and "syntactic" not in chain:
+            chain = ["syntactic"] + chain
+        options = request.get("prover_options") or {}
+        sequent_budget = request.get("sequent_budget")
+        include_frame = bool(request.get("include_frame", True))
+        deadline = self._request_deadline(request)
+        loop = asyncio.get_running_loop()
+
+        def dispatch(sequents: Sequence[Sequent]) -> DispatchResult:
+            # Runs on a request-pool thread inside verify(): hop the sequents
+            # over to the event loop's batcher and block for the verdicts.
+            return asyncio.run_coroutine_threadsafe(
+                self.service.prove(
+                    list(sequents),
+                    provers=chain,
+                    prover_options=options,
+                    sequent_budget=sequent_budget,
+                    deadline=deadline,
+                ),
+                loop,
+            ).result()
+
+        if class_wide:
+            def work():
+                return verify_class(
+                    source,
+                    class_name=request.get("class_name"),
+                    provers=requested,
+                    methods=request.get("methods"),
+                    prover_options=options,
+                    include_frame=include_frame,
+                    dispatch=dispatch,
+                )
+
+            report = await loop.run_in_executor(self._request_pool, work)
+            return {"ok": True, "report": class_report_to_wire(report)}
+
+        method = request.get("method")
+        if not method:
+            return {"ok": False, "error": "missing 'method'"}
+
+        def work():
+            return verify(
+                source,
+                method=method,
+                class_name=request.get("class_name"),
+                provers=requested,
+                prover_options=options,
+                include_frame=include_frame,
+                always_syntactic_first=syntactic_first,
+                dispatch=dispatch,
+            )
+
+        report = await loop.run_in_executor(self._request_pool, work)
+        return {"ok": True, "report": method_report_to_wire(report)}
+
+    # -- instrumentation ------------------------------------------------------
+
+    def snapshot_stats(self) -> Dict[str, Any]:
+        store_stats = self.store.stats
+        service = self.service.stats.as_dict() if self.service is not None else {}
+        return {
+            "uptime": time.time() - self.started_at if self.started_at else 0.0,
+            "requests_served": self._requests_served,
+            "requests_failed": self._requests_failed,
+            "inflight": self._inflight,
+            "pending_sequents": self.service.pending if self.service else 0,
+            "service": service,
+            "store": {
+                "entries": len(self.store),
+                "shards": self.store.shards,
+                "hits": store_stats.hits,
+                "misses": store_stats.misses,
+                "stores": store_stats.stores,
+                "disk_hits": store_stats.disk_hits,
+            },
+        }

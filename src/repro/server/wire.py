@@ -1,0 +1,158 @@
+"""JSON wire encodings for the verify daemon's line protocol.
+
+Everything that crosses the client/server boundary is encoded here, in one
+place, so the two sides cannot drift:
+
+* **sequents** travel as their printed formulas (the pretty-printer/parser
+  roundtrip is exact, and :meth:`Sequent.digest` is computed from printed
+  text, so a re-parsed sequent digests identically and hits the same verdict
+  -store entries as the original);
+* **reports** (:class:`MethodReport` / :class:`ClassReport`) travel as their
+  dataclass fields, enumerated via :func:`dataclasses.fields` so a field
+  added to a report is wired up automatically — the byte-identical-report
+  guarantee of server-backed verification depends on nothing being lost
+  here;
+* **outcomes** of raw sequent batches travel as per-answer verdict records.
+
+The type environment of a sequent is *not* transported: provers treat
+``env=None`` sequents exactly like the test/benchmark corpus built via
+:func:`repro.vcgen.sequent.sequent`.  ``verify_method``/``verify_class``
+requests are unaffected — they ship source text and the daemon generates
+VCs (with environments) server-side.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Sequence
+
+from ..core.report import ClassReport, MethodReport
+from ..form.parser import parse_formula
+from ..form.printer import to_str
+from ..provers.base import ProverAnswer, ProverStats, Verdict
+from ..vcgen.sequent import Labeled, Sequent
+
+# -- sequents -----------------------------------------------------------------
+
+
+def sequent_to_wire(sequent: Sequent) -> Dict[str, Any]:
+    return {
+        "assumptions": [
+            {"formula": to_str(a.formula), "labels": list(a.labels)}
+            for a in sequent.assumptions
+        ],
+        "goal": {
+            "formula": to_str(sequent.goal.formula),
+            "labels": list(sequent.goal.labels),
+        },
+        "hints": list(sequent.hints),
+        "origin": sequent.origin,
+    }
+
+
+def _labeled_from_wire(payload: Dict[str, Any]) -> Labeled:
+    return Labeled(
+        parse_formula(payload["formula"]), tuple(payload.get("labels", ()))
+    )
+
+
+def sequent_from_wire(payload: Dict[str, Any]) -> Sequent:
+    return Sequent(
+        assumptions=tuple(
+            _labeled_from_wire(a) for a in payload.get("assumptions", ())
+        ),
+        goal=_labeled_from_wire(payload["goal"]),
+        hints=tuple(payload.get("hints", ())),
+        origin=payload.get("origin", ""),
+    )
+
+
+# -- prover answers / outcomes ------------------------------------------------
+
+
+def answer_to_wire(answer: ProverAnswer) -> Dict[str, Any]:
+    return {
+        "verdict": answer.verdict.value,
+        "prover": answer.prover,
+        "time": answer.time,
+        "detail": answer.detail,
+        "cached": answer.cached,
+        "instances": answer.instances,
+    }
+
+
+def answer_from_wire(payload: Dict[str, Any]) -> ProverAnswer:
+    answer = ProverAnswer(
+        Verdict(payload["verdict"]),
+        payload["prover"],
+        time=payload.get("time", 0.0),
+        detail=payload.get("detail", ""),
+        instances=payload.get("instances", 0),
+    )
+    answer.cached = payload.get("cached", False)
+    return answer
+
+
+def outcome_to_wire(outcome: "SequentOutcome") -> Dict[str, Any]:  # noqa: F821
+    return {
+        "proved": outcome.proved,
+        "prover": outcome.prover,
+        "budget_exhausted": outcome.budget_exhausted,
+        "from_cache": outcome.from_cache,
+        "origin": outcome.sequent.origin,
+        "answers": [answer_to_wire(a) for a in outcome.answers],
+    }
+
+
+# -- reports ------------------------------------------------------------------
+
+
+def _stats_to_wire(stats: ProverStats) -> Dict[str, Any]:
+    return dataclasses.asdict(stats)
+
+
+def _stats_from_wire(payload: Dict[str, Any]) -> ProverStats:
+    return ProverStats(**payload)
+
+
+def method_report_to_wire(report: MethodReport) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {}
+    for field in dataclasses.fields(MethodReport):
+        value = getattr(report, field.name)
+        if field.name == "prover_stats":
+            value = {name: _stats_to_wire(stats) for name, stats in value.items()}
+        payload[field.name] = value
+    return payload
+
+
+def method_report_from_wire(payload: Dict[str, Any]) -> MethodReport:
+    kwargs = dict(payload)
+    kwargs["prover_stats"] = {
+        name: _stats_from_wire(stats)
+        for name, stats in payload.get("prover_stats", {}).items()
+    }
+    return MethodReport(**kwargs)
+
+
+def class_report_to_wire(report: ClassReport) -> Dict[str, Any]:
+    return {
+        "class_name": report.class_name,
+        "prover_order": list(report.prover_order),
+        "methods": [method_report_to_wire(m) for m in report.methods],
+    }
+
+
+def class_report_from_wire(payload: Dict[str, Any]) -> ClassReport:
+    return ClassReport(
+        class_name=payload["class_name"],
+        prover_order=list(payload.get("prover_order", ())),
+        methods=[method_report_from_wire(m) for m in payload.get("methods", ())],
+    )
+
+
+def sequents_to_wire(sequents: Sequence[Sequent]) -> List[Dict[str, Any]]:
+    return [sequent_to_wire(s) for s in sequents]
+
+
+def sequents_from_wire(payloads: Sequence[Dict[str, Any]]) -> List[Sequent]:
+    return [sequent_from_wire(p) for p in payloads]

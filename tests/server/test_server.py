@@ -1,0 +1,277 @@
+"""Integration tests of the verify daemon (repro.server).
+
+The daemon's contract, pinned here:
+
+* concurrent clients with overlapping batches share one prover farm — each
+  distinct digest is proved live at most once (``live_reproofs == 0``);
+* warm traffic is answered entirely by replay, whatever the verdict
+  (cached UNKNOWNs count — the ``from_cache`` accounting fix);
+* server-backed ``verify_method`` / ``verify_class`` runs produce
+  byte-identical ``format()`` reports to local warm-cache runs;
+* per-request budgets expire queued work without consuming prover time;
+* the sharded store persists verdicts across daemon restarts;
+* shutdown drains gracefully and the port stops answering.
+"""
+
+import threading
+
+import pytest
+
+from repro import suite, verify, verify_class
+from repro.form.parser import parse_formula as parse
+from repro.provers.cache import SequentCache
+from repro.server import VerifyClient, VerifyServer, VerifyServiceError
+from repro.vcgen.sequent import sequent
+
+PROVERS = ["syntactic", "smt"]
+OPTIONS = {"smt": {"timeout": 2.0}}
+
+
+def _arith(k):
+    """A distinct-digest LIA sequent the smt engine proves quickly."""
+    return sequent([parse("a < b"), parse("b < c")], parse(f"a < c + {k}"))
+
+
+def _corpus(count=8):
+    return [_arith(k) for k in range(count)]
+
+
+@pytest.fixture
+def server(tmp_path):
+    srv = VerifyServer(
+        port=0, store_dir=str(tmp_path / "store"), shards=4, window=0.02
+    ).start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture
+def client(server):
+    with VerifyClient(port=server.port) as c:
+        yield c
+
+
+def _service_stats(client):
+    return client.stats()["service"]
+
+
+# -- protocol basics ----------------------------------------------------------
+
+
+def test_ping_and_stats(client):
+    assert client.ping()
+    stats = client.stats()
+    assert stats["store"]["shards"] == 4
+    assert set(stats["service"]) >= {
+        "requests", "batches", "live_proved", "replayed", "live_reproofs",
+    }
+
+
+def test_error_answer_keeps_the_connection_usable(client):
+    with pytest.raises(VerifyServiceError):
+        client.call("no-such-op")
+    with pytest.raises(VerifyServiceError):
+        client.call("verify_method")  # missing source
+    assert client.ping()
+
+
+# -- raw sequent batches ------------------------------------------------------
+
+
+def test_prove_sequents_cold_then_warm(client):
+    batch = _corpus(4) + [_arith(0)]  # one in-batch duplicate
+    cold = client.prove_sequents(batch, provers=PROVERS, prover_options=OPTIONS)
+    assert cold["total"] == 5
+    assert cold["proved"] == 5
+    assert cold["dedup_replayed"] == 1
+
+    warm = client.prove_sequents(batch, provers=PROVERS, prover_options=OPTIONS)
+    assert warm["proved"] == 5
+    assert warm["replayed"] == 5  # every verdict replayed, none proved live
+    stats = _service_stats(client)
+    assert stats["live_proved"] == 4
+    assert stats["live_reproofs"] == 0
+    assert stats["distinct_live_digests"] == 4
+
+
+def test_cached_nonproof_verdict_is_replayed_traffic(client):
+    """A cached UNKNOWN replays as warm traffic (the from_cache fix):
+    ``replayed`` counts it even though ``proved_from_cache`` cannot."""
+    unprovable = [sequent([], parse("q"))]
+    cold = client.prove_sequents(unprovable, provers=PROVERS, prover_options=OPTIONS)
+    assert cold["proved"] == 0
+    assert cold["replayed"] == 0
+
+    warm = client.prove_sequents(unprovable, provers=PROVERS, prover_options=OPTIONS)
+    assert warm["proved"] == 0
+    assert warm["replayed"] == 1
+    assert warm["proved_from_cache"] == 0
+    (outcome,) = warm["outcomes"]
+    assert outcome["from_cache"] and not outcome["proved"]
+    assert all(answer["cached"] for answer in outcome["answers"])
+
+
+def test_cross_client_dedup_proves_each_digest_once(server):
+    """Six concurrent clients submit overlapping slices of one corpus: the
+    daemon merges their windows, the dedup pre-pass + store guarantee every
+    distinct digest is proved live exactly once across all of them."""
+    corpus = _corpus(8)
+    responses = {}
+    errors = []
+
+    def submit(index):
+        batch = [corpus[j % 8] for j in range(index, index + 5)]
+        try:
+            with VerifyClient(port=server.port) as c:
+                responses[index] = c.prove_sequents(
+                    batch, provers=PROVERS, prover_options=OPTIONS
+                )
+        except Exception as exc:  # noqa: BLE001 - surfaced by the assert below
+            errors.append(repr(exc))
+
+    threads = [threading.Thread(target=submit, args=(i,)) for i in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert not errors
+    assert len(responses) == 6
+    for response in responses.values():
+        assert response["proved"] == response["total"] == 5
+
+    with VerifyClient(port=server.port) as c:
+        stats = _service_stats(c)
+    assert stats["live_proved"] == 8
+    assert stats["distinct_live_digests"] == 8
+    assert stats["live_reproofs"] == 0
+    # 6 x 5 sequents dispatched, 8 proved live: the rest were replays.
+    assert stats["replayed"] == 30 - 8
+
+
+def test_request_budget_expires_queued_work(client):
+    """A request whose budget lapses while queued is answered
+    ``budget_exhausted`` without running any prover."""
+    response = client.prove_sequents(
+        [_arith(100), _arith(101)],
+        provers=PROVERS,
+        prover_options=OPTIONS,
+        budget=0.0,
+    )
+    assert response["proved"] == 0
+    assert all(o["budget_exhausted"] for o in response["outcomes"])
+    assert all(not o["answers"] for o in response["outcomes"])
+    stats = _service_stats(client)
+    assert stats["requests_expired"] == 1
+    assert stats["live_proved"] == 0
+
+
+# -- server-backed verify: byte-identical reports -----------------------------
+
+
+def test_verify_method_report_byte_identical_to_local_warm_run(client):
+    source = suite.source("SizedList")
+    kwargs = dict(
+        class_name="SizedList", method="size", provers=["smt"],
+        prover_options=OPTIONS,
+    )
+    cache = SequentCache()
+    verify(source, cache=cache, **kwargs)
+    local_warm = verify(source, cache=cache, **kwargs)
+
+    client.verify_method(source, **kwargs)
+    server_warm = client.verify_method(source, **kwargs)
+
+    assert server_warm.succeeded
+    assert server_warm.format() == local_warm.format()
+    assert server_warm.replayed_sequents == local_warm.replayed_sequents
+
+
+def test_verify_class_concurrent_clients_match_local_warm_run(server):
+    source = suite.source("SizedList")
+    kwargs = dict(
+        class_name="SizedList", methods=["size", "isEmpty"],
+        provers=["smt"], prover_options=OPTIONS,
+    )
+    reports = {}
+    errors = []
+
+    def run_class(tag):
+        try:
+            with VerifyClient(port=server.port) as c:
+                reports[tag] = c.verify_class(source, **kwargs)
+        except Exception as exc:  # noqa: BLE001
+            errors.append(repr(exc))
+
+    threads = [threading.Thread(target=run_class, args=(i,)) for i in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+
+    with VerifyClient(port=server.port) as c:
+        warm_server = c.verify_class(source, **kwargs)
+        stats = _service_stats(c)
+    assert stats["live_reproofs"] == 0
+
+    cache = SequentCache()
+    verify_class(source, cache=cache, **kwargs)
+    warm_local = verify_class(source, cache=cache, **kwargs)
+
+    # isEmpty does not fully discharge with smt alone; what matters here is
+    # that the server-backed warm run agrees with the local one byte for byte.
+    assert warm_server.succeeded == warm_local.succeeded
+    assert warm_server.prover_order == warm_local.prover_order
+    assert len(warm_server.methods) == len(warm_local.methods) == 2
+    for ours, theirs in zip(warm_server.methods, warm_local.methods):
+        assert ours.format() == theirs.format()
+
+
+# -- store persistence and lifecycle ------------------------------------------
+
+
+def test_store_persists_across_daemon_restarts(tmp_path):
+    store_dir = str(tmp_path / "store")
+    batch = _corpus(4)
+
+    first = VerifyServer(port=0, store_dir=store_dir, shards=4, window=0.01).start()
+    try:
+        with VerifyClient(port=first.port) as c:
+            cold = c.prove_sequents(batch, provers=PROVERS, prover_options=OPTIONS)
+            assert cold["proved"] == 4
+    finally:
+        first.stop()
+
+    second = VerifyServer(port=0, store_dir=store_dir, shards=4, window=0.01).start()
+    try:
+        with VerifyClient(port=second.port) as c:
+            warm = c.prove_sequents(batch, provers=PROVERS, prover_options=OPTIONS)
+            assert warm["proved"] == 4
+            assert warm["replayed"] == 4
+            stats = c.stats()
+            assert stats["service"]["live_proved"] == 0
+            assert stats["store"]["disk_hits"] > 0
+    finally:
+        second.stop()
+
+
+def test_shutdown_op_drains_and_stops(tmp_path):
+    server = VerifyServer(port=0, window=0.01).start()
+    with VerifyClient(port=server.port) as c:
+        assert c.prove_sequents(_corpus(2), provers=PROVERS, prover_options=OPTIONS)[
+            "proved"
+        ] == 2
+        c.shutdown(drain=True)
+    server.stop()  # joins the (already exiting) server thread
+    probe = VerifyClient(port=server.port, connect_retries=2)
+    with pytest.raises(VerifyServiceError):
+        probe.ping()
+
+
+def test_stop_without_drain_abandons_nothing_inflight(tmp_path):
+    server = VerifyServer(port=0, window=0.01).start()
+    with VerifyClient(port=server.port) as c:
+        assert c.ping()
+    server.stop(drain=False)
+    assert server._thread is None

@@ -1,0 +1,147 @@
+"""Unit tests of the sharded verdict store and the wire encodings."""
+
+import pytest
+
+from repro.form.parser import parse_formula as parse
+from repro.provers.base import ProverAnswer, Verdict
+from repro.server.store import ShardedVerdictStore
+from repro.server.wire import (
+    method_report_from_wire,
+    method_report_to_wire,
+    sequent_from_wire,
+    sequent_to_wire,
+)
+from repro.vcgen.sequent import sequent
+
+
+def _seqs(count=32):
+    return [
+        sequent([parse("a < b"), parse("b < c")], parse(f"a < c + {k}"))
+        for k in range(count)
+    ]
+
+
+def _proof(detail="t"):
+    return ProverAnswer(Verdict.PROVED, "smt", time=0.01, detail=detail)
+
+
+# -- sharding -----------------------------------------------------------------
+
+
+def test_shard_of_is_stable_and_in_range():
+    store = ShardedVerdictStore(shards=8)
+    for seq in _seqs():
+        index = store.shard_of(seq)
+        assert 0 <= index < 8
+        assert store.shard_of(seq) == index  # digest-derived, deterministic
+
+
+def test_entries_spread_across_shards():
+    store = ShardedVerdictStore(shards=4)
+    for seq in _seqs(32):
+        store.store(seq, "smt", _proof())
+    assert len(store) == 32
+    populated = sum(1 for shard in store.shard_caches() if len(shard) > 0)
+    assert populated >= 2  # 32 digests all hashing to one of 4 shards: ~4^-31
+
+
+def test_alpha_variant_sequents_share_shard_and_entry():
+    """Content addressing: structurally identical sequents (splitter
+    numbering aside) land in the same shard and hit the same entry."""
+    store = ShardedVerdictStore(shards=16)
+    one = sequent([parse("x$1 : A")], parse("x$1 : A"))
+    two = sequent([parse("x$9 : A")], parse("x$9 : A"))
+    assert one.digest() == two.digest()
+    assert store.shard_of(one) == store.shard_of(two)
+    store.store(one, "smt", _proof())
+    hit = store.lookup(two, "smt")
+    assert hit is not None and hit.verdict is Verdict.PROVED
+    assert len(store) == 1
+
+
+def test_rejects_invalid_shard_count():
+    with pytest.raises(ValueError):
+        ShardedVerdictStore(shards=0)
+
+
+# -- the SequentCache interface -----------------------------------------------
+
+
+def test_lookup_store_roundtrip_and_aggregate_stats():
+    store = ShardedVerdictStore(shards=4)
+    seqs = _seqs(6)
+    assert store.lookup(seqs[0], "smt") is None
+    for seq in seqs:
+        store.store(seq, "smt", _proof("cold"))
+    for seq in seqs:
+        hit = store.lookup(seq, "smt")
+        assert hit is not None
+        assert hit.verdict is Verdict.PROVED
+        assert hit.detail == "cold"
+    stats = store.stats  # merged across shards
+    assert stats.stores == 6
+    assert stats.hits == 6
+    assert stats.misses == 1
+    assert stats.hit_rate == pytest.approx(6 / 7)
+
+
+def test_disk_tier_shared_between_store_instances(tmp_path):
+    seqs = _seqs(5)
+    writer = ShardedVerdictStore(tmp_path, shards=4)
+    for seq in seqs:
+        writer.store(seq, "smt", _proof())
+    shard_dirs = sorted(p.name for p in tmp_path.iterdir())
+    assert all(name.startswith("shard-") for name in shard_dirs)
+
+    reader = ShardedVerdictStore(tmp_path, shards=4)  # fresh memory tiers
+    for seq in seqs:
+        assert reader.lookup(seq, "smt") is not None
+    assert reader.stats.disk_hits == 5
+
+
+def test_clear_disk_empties_every_shard(tmp_path):
+    store = ShardedVerdictStore(tmp_path, shards=4)
+    for seq in _seqs(8):
+        store.store(seq, "smt", _proof())
+    store.clear(disk=True)
+    assert len(store) == 0
+    assert not any(tmp_path.glob("shard-*/*.json"))
+    fresh = ShardedVerdictStore(tmp_path, shards=4)
+    assert fresh.lookup(_seqs(1)[0], "smt") is None
+
+
+def test_options_signature_is_part_of_the_key():
+    store = ShardedVerdictStore(shards=4)
+    seq = _seqs(1)[0]
+    store.store(seq, "smt", _proof(), options_signature="timeout=1")
+    assert store.lookup(seq, "smt", "timeout=1") is not None
+    assert store.lookup(seq, "smt", "timeout=2") is None
+    assert store.lookup(seq, "fol", "timeout=1") is None
+
+
+# -- wire roundtrips ----------------------------------------------------------
+
+
+def test_sequent_wire_roundtrip_preserves_digest():
+    for seq in _seqs(4):
+        back = sequent_from_wire(sequent_to_wire(seq))
+        assert back.digest() == seq.digest()
+        assert back.origin == seq.origin
+        assert back.hints == seq.hints
+
+
+def test_method_report_wire_roundtrip_is_exact():
+    from repro.core.report import MethodReport
+    from repro.provers.base import ProverStats
+
+    report = MethodReport(
+        class_name="C", method_name="m", total_sequents=3, proved_sequents=2,
+        proved_during_splitting=1,
+        prover_stats={"smt": ProverStats(attempted=2, proved=2, time=0.5)},
+        prover_order=["syntactic", "smt"], unproved_origins=["goal 3"],
+        cache_hits=2, cache_misses=1, proved_from_cache=1,
+        replayed_sequents=2, dedup_replayed=1, trusted_assumes=0,
+    )
+    back = method_report_from_wire(method_report_to_wire(report))
+    assert back == report
+    assert back.format() == report.format()
