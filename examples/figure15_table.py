@@ -55,6 +55,12 @@ def main() -> None:
         help="enforced per-sequent time budget in seconds (default: none)",
     )
     parser.add_argument(
+        "--static-tier", action="store_true",
+        help="enable the static-discharge pre-pass: sequents provable from "
+        "dataflow facts alone resolve with the STATIC verdict before any "
+        "prover runs (adds the Static column to the table)",
+    )
+    parser.add_argument(
         "--server", default=None, metavar="HOST:PORT",
         help="verify through a running daemon (python -m repro.server) "
         "instead of in-process; its sharded store replaces --cache-dir",
@@ -91,6 +97,7 @@ def main() -> None:
                 dedup=True,
                 workers=args.workers,
                 sequent_budget=args.budget,
+                static_tier=args.static_tier,
             )
         reports.append(report)
         row = report.row(provers)
@@ -108,6 +115,12 @@ def main() -> None:
         f"{dispatched} sequents dispatched: {live} proved live, "
         f"{replayed} replayed (shared cache + dedup pre-pass)."
     )
+    statically = sum(r.statically_discharged for r in reports)
+    if statically:
+        print(
+            f"{statically} sequents statically discharged before any prover ran "
+            "(dataflow facts alone)."
+        )
     if client is not None:
         stats = client.stats()
         store, service = stats["store"], stats["service"]

@@ -1,0 +1,229 @@
+"""Control-flow graphs over *simple* guarded commands, plus a generic
+forward/backward dataflow fixpoint engine.
+
+A desugared guarded command (:func:`repro.gcl.commands.desugar`) is built
+from atomic commands (``assume``, ``assert``, ``havoc``, ``assign``),
+sequencing and binary choice.  :func:`build_cfg` turns one into a graph of
+:class:`BasicBlock`\\ s: straight-line runs of atomic commands, with edges at
+every choice point and a single entry and exit block.  Loops have already
+been cut by desugaring (the back edge ends in ``assume False``), so the
+graph is acyclic — but the fixpoint engine below is a standard worklist
+algorithm and does not rely on that.
+
+Analyses subclass :class:`DataflowAnalysis` and provide the lattice
+operations (``boundary``, ``join``, ``transfer``); :func:`run_dataflow`
+returns the fact at entry and exit of every block.  ``None`` is reserved as
+the top element, meaning "no information yet / block not reached" — ``join``
+is never called with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..form import ast as F
+from ..gcl.commands import Assert, Assign, Assume, Choice, Command, Havoc, Seq
+
+#: Atomic simple commands — the instructions basic blocks are made of.
+Atomic = (Assume, Assert, Assign, Havoc)
+
+
+@dataclass
+class BasicBlock:
+    index: int
+    commands: List[Command] = field(default_factory=list)
+    successors: List[int] = field(default_factory=list)
+    predecessors: List[int] = field(default_factory=list)
+
+    def is_cut(self) -> bool:
+        """True if control cannot leave this block (it assumes ``False``)."""
+        return any(
+            isinstance(cmd, Assume) and cmd.formula == F.FALSE for cmd in self.commands
+        )
+
+
+@dataclass
+class CFG:
+    blocks: List[BasicBlock]
+    entry: int = 0
+    exit: int = 0
+
+    def block(self, index: int) -> BasicBlock:
+        return self.blocks[index]
+
+    def reverse_postorder(self) -> List[int]:
+        """Blocks in reverse postorder from the entry (good for forward flow)."""
+        seen: Set[int] = set()
+        order: List[int] = []
+
+        def visit(index: int) -> None:
+            stack = [(index, iter(self.blocks[index].successors))]
+            seen.add(index)
+            while stack:
+                current, successors = stack[-1]
+                advanced = False
+                for succ in successors:
+                    if succ not in seen:
+                        seen.add(succ)
+                        stack.append((succ, iter(self.blocks[succ].successors)))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(current)
+                    stack.pop()
+
+        visit(self.entry)
+        order.reverse()
+        return order
+
+    def reachable_blocks(self, respect_cuts: bool = True) -> Set[int]:
+        """Blocks reachable from the entry.
+
+        With ``respect_cuts`` (the default), control does not flow past an
+        ``assume False`` — successors of a cut block are only reachable via
+        other paths.  This is what makes code after a ``return`` (translated
+        as ``assume False``, the return-cut) unreachable.
+        """
+        seen: Set[int] = set()
+        stack = [self.entry]
+        while stack:
+            index = stack.pop()
+            if index in seen:
+                continue
+            seen.add(index)
+            block = self.blocks[index]
+            if respect_cuts and block.is_cut():
+                continue
+            stack.extend(s for s in block.successors if s not in seen)
+        return seen
+
+    def reachable_commands(self) -> List[Tuple[Command, int]]:
+        """All reachable atomic commands as ``(command, block_index)`` pairs.
+
+        Within a reachable block, commands after an ``assume False`` are
+        unreachable and excluded.
+        """
+        out: List[Tuple[Command, int]] = []
+        for index in sorted(self.reachable_blocks()):
+            for cmd in self.blocks[index].commands:
+                out.append((cmd, index))
+                if isinstance(cmd, Assume) and cmd.formula == F.FALSE:
+                    break
+        return out
+
+
+def build_cfg(command: Command) -> CFG:
+    """Build the control-flow graph of a simple guarded command."""
+    blocks: List[BasicBlock] = [BasicBlock(0)]
+
+    def new_block() -> BasicBlock:
+        block = BasicBlock(len(blocks))
+        blocks.append(block)
+        return block
+
+    def link(source: BasicBlock, target: BasicBlock) -> None:
+        source.successors.append(target.index)
+        target.predecessors.append(source.index)
+
+    def walk(cmd: Command, current: BasicBlock) -> BasicBlock:
+        """Append ``cmd`` after ``current``; return the block control ends in."""
+        if isinstance(cmd, Atomic):
+            if isinstance(cmd, Havoc) and cmd.such_that is not None:
+                raise ValueError("build_cfg expects desugared commands "
+                                 "(havoc-suchThat is extended GCL)")
+            current.commands.append(cmd)
+            return current
+        if isinstance(cmd, Seq):
+            for sub in cmd.commands:
+                current = walk(sub, current)
+            return current
+        if isinstance(cmd, Choice):
+            left_entry = new_block()
+            right_entry = new_block()
+            link(current, left_entry)
+            link(current, right_entry)
+            left_exit = walk(cmd.left, left_entry)
+            right_exit = walk(cmd.right, right_entry)
+            join = new_block()
+            link(left_exit, join)
+            link(right_exit, join)
+            return join
+        raise TypeError(f"not a simple command: {cmd!r}")
+
+    last = walk(command, blocks[0])
+    return CFG(blocks=blocks, entry=0, exit=last.index)
+
+
+class DataflowAnalysis:
+    """A dataflow problem over a :class:`CFG`.
+
+    Subclasses set :attr:`direction` (``"forward"`` or ``"backward"``) and
+    implement the lattice: ``boundary()`` is the fact at the entry (forward)
+    or exit (backward) block, ``join`` merges facts flowing into a block and
+    ``transfer`` pushes a fact through one block's commands.  Facts must be
+    comparable with ``==``; ``None`` is reserved for "not computed yet".
+    """
+
+    direction: str = "forward"
+
+    def boundary(self) -> Any:
+        raise NotImplementedError
+
+    def join(self, facts: Sequence[Any]) -> Any:
+        raise NotImplementedError
+
+    def transfer(self, block: BasicBlock, fact: Any) -> Any:
+        raise NotImplementedError
+
+
+@dataclass
+class DataflowResult:
+    """Per-block input/output facts (``None`` = block never reached)."""
+
+    inputs: Dict[int, Any]
+    outputs: Dict[int, Any]
+
+
+def run_dataflow(cfg: CFG, analysis: DataflowAnalysis, max_iterations: int = 10_000) -> DataflowResult:
+    """Run ``analysis`` to fixpoint over ``cfg`` with a worklist algorithm."""
+    forward = analysis.direction == "forward"
+    if forward:
+        start, flow_in = cfg.entry, lambda b: b.predecessors
+    else:
+        start, flow_in = cfg.exit, lambda b: b.successors
+    out_edges = (lambda b: b.successors) if forward else (lambda b: b.predecessors)
+
+    inputs: Dict[int, Any] = {index: None for index in range(len(cfg.blocks))}
+    outputs: Dict[int, Any] = {index: None for index in range(len(cfg.blocks))}
+
+    order = cfg.reverse_postorder()
+    if not forward:
+        order = list(reversed(order))
+    worklist: List[int] = list(order)
+    in_worklist: Set[int] = set(worklist)
+    iterations = 0
+    while worklist:
+        iterations += 1
+        if iterations > max_iterations:
+            raise RuntimeError("dataflow did not converge")
+        index = worklist.pop(0)
+        in_worklist.discard(index)
+        block = cfg.blocks[index]
+        if index == start:
+            in_fact = analysis.boundary()
+        else:
+            incoming = [outputs[p] for p in flow_in(block) if outputs[p] is not None]
+            if not incoming:
+                continue  # not reached yet
+            in_fact = analysis.join(incoming)
+        out_fact = analysis.transfer(block, in_fact)
+        if in_fact == inputs[index] and out_fact == outputs[index]:
+            continue
+        inputs[index] = in_fact
+        outputs[index] = out_fact
+        for succ in out_edges(block):
+            if succ not in in_worklist:
+                worklist.append(succ)
+                in_worklist.add(succ)
+    return DataflowResult(inputs=inputs, outputs=outputs)

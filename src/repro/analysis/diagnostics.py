@@ -1,0 +1,53 @@
+"""Diagnostics shared by the lint passes: severities, findings, formatting."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so ``max()`` picks the worst."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # 'error', not 'Severity.ERROR'
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding, anchored to a source position.
+
+    ``rule`` is a stable identifier (e.g. ``SPEC01``) so findings can be
+    filtered and tests can pin exactly which rule fired; ``line``/``column``
+    are 1-based, 0 meaning unknown.
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    file: str = "<source>"
+    line: int = 0
+    column: int = 0
+    class_name: str = ""
+    method_name: str = ""
+
+    def render(self) -> str:
+        """``file:line:col: severity[RULE] message`` (omitting unknown parts)."""
+        position = self.file
+        if self.line:
+            position += f":{self.line}"
+            if self.column:
+                position += f":{self.column}"
+        scope = self.class_name
+        if self.method_name:
+            scope += f".{self.method_name}"
+        where = f" [{scope}]" if scope else ""
+        return f"{position}: {self.severity}[{self.rule}]{where} {self.message}"
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.file, self.line, self.column, self.rule)

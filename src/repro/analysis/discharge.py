@@ -1,0 +1,251 @@
+"""Static discharge: proof obligations resolved from dataflow facts alone.
+
+Two views of the same fact are implemented here and pinned equal by the
+tests:
+
+* :class:`AvailableAssumes` — a forward *must* dataflow analysis over the
+  CFG of a desugared method body: at each program point, the set of formulas
+  assumed (or previously asserted) on **every** path reaching it, with
+  formulas killed whenever an intervening ``assign``/``havoc`` touches one
+  of their free variables.  An ``assert`` whose formula is available is
+  *dominated by an identical assume* and needs no prover.
+
+* :class:`StaticDischarger` — the same criterion applied to one
+  :class:`~repro.vcgen.sequent.Sequent`.  The VC generator's path explorer
+  already renames state variables to fresh incarnations at every havoc and
+  substitutes assignments away, so "the goal is structurally equal to an
+  assumption" is exactly the dominated-assume fact above — plus the
+  trivially-true goals (``x = x``, ``True``, conjunctions thereof) that
+  simplification leaves behind.
+
+The dispatcher (:mod:`repro.provers.dispatcher`) consults
+:class:`StaticDischarger` as a pre-pass and resolves hits with the
+``STATIC`` verdict before any prover runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from ..form import ast as F
+from ..form.subst import free_vars_with_builtins
+from ..gcl.commands import Assert, Assign, Assume, Command, Havoc
+from ..vcgen.sequent import Sequent
+from .cfg import CFG, BasicBlock, DataflowAnalysis, build_cfg, run_dataflow
+
+
+# ---------------------------------------------------------------------------
+# Trivial truth
+# ---------------------------------------------------------------------------
+
+
+def trivially_true(term: F.Term) -> bool:
+    """Syntactic validity: true in every interpretation, by shape alone."""
+    if isinstance(term, F.BoolLit):
+        return term.value
+    if isinstance(term, F.Eq):
+        return term.lhs == term.rhs
+    if isinstance(term, F.Iff):
+        return term.lhs == term.rhs or (trivially_true(term.lhs) and trivially_true(term.rhs))
+    if isinstance(term, F.And):
+        return all(trivially_true(sub) for sub in term.args)
+    if isinstance(term, F.Or):
+        return any(trivially_true(sub) for sub in term.args)
+    if isinstance(term, F.Implies):
+        return trivially_true(term.rhs) or trivially_false(term.lhs)
+    if isinstance(term, F.Not):
+        return trivially_false(term.arg)
+    if isinstance(term, F.Quant):
+        return trivially_true(term.body)
+    return False
+
+
+def trivially_false(term: F.Term) -> bool:
+    if isinstance(term, F.BoolLit):
+        return not term.value
+    if isinstance(term, F.Not):
+        return trivially_true(term.arg)
+    if isinstance(term, F.And):
+        return any(trivially_false(sub) for sub in term.args)
+    if isinstance(term, F.Or):
+        return all(trivially_false(sub) for sub in term.args)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# CFG view: available assumes as a must-analysis
+# ---------------------------------------------------------------------------
+
+
+class _Universe:
+    """Top of the available-assumes lattice: control cannot reach this point,
+    so every formula is (vacuously) available."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "UNIVERSE"
+
+
+UNIVERSE = _Universe()
+
+Fact = Union[FrozenSet[F.Term], _Universe]
+
+
+def _kill(fact: Fact, variables: Sequence[str]) -> Fact:
+    if isinstance(fact, _Universe):
+        return fact
+    touched = set(variables)
+    return frozenset(
+        formula for formula in fact
+        if not (free_vars_with_builtins(formula) & touched)
+    )
+
+
+def _has(fact: Fact, formula: F.Term) -> bool:
+    if isinstance(fact, _Universe):
+        return True
+    return formula in fact
+
+
+class AvailableAssumes(DataflowAnalysis):
+    """Forward must-analysis: formulas assumed/asserted on every path."""
+
+    direction = "forward"
+
+    def boundary(self) -> Fact:
+        return frozenset()
+
+    def join(self, facts: Sequence[Fact]) -> Fact:
+        live = [fact for fact in facts if not isinstance(fact, _Universe)]
+        if not live:
+            return UNIVERSE
+        joined = live[0]
+        for fact in live[1:]:
+            joined = joined & fact
+        return joined
+
+    def transfer(self, block: BasicBlock, fact: Fact) -> Fact:
+        for cmd in block.commands:
+            fact = self.transfer_command(cmd, fact)
+        return fact
+
+    @staticmethod
+    def transfer_command(cmd: Command, fact: Fact) -> Fact:
+        if isinstance(fact, _Universe):
+            return fact
+        if isinstance(cmd, Assume):
+            if cmd.formula == F.FALSE or trivially_false(cmd.formula):
+                return UNIVERSE
+            return fact | {cmd.formula}
+        if isinstance(cmd, Assert):
+            # assert-then-assume: the formula holds afterwards on this path.
+            return fact | {cmd.formula}
+        if isinstance(cmd, Assign):
+            return _kill(fact, (cmd.variable,))
+        if isinstance(cmd, Havoc):
+            return _kill(fact, cmd.variables)
+        return fact
+
+
+@dataclass
+class DominatedAssert:
+    """An assert provable from the must-available assumes at its site."""
+
+    command: Assert
+    block: int
+    reason: str  # 'assumption', 'trivial' or 'unreachable' (vacuous: dead code)
+
+
+def find_dominated_asserts(command: Command, cfg: Optional[CFG] = None) -> List[DominatedAssert]:
+    """Find every assert in a desugared command that static analysis alone
+    discharges: dominated by an identical assume with no intervening
+    havoc/assign of its free variables, or trivially true."""
+    if cfg is None:
+        cfg = build_cfg(command)
+    result = run_dataflow(cfg, AvailableAssumes())
+    dominated: List[DominatedAssert] = []
+    for index in sorted(cfg.reachable_blocks()):
+        fact = result.inputs.get(index)
+        if fact is None:
+            continue
+        for cmd in cfg.block(index).commands:
+            if isinstance(cmd, Assert):
+                if trivially_true(cmd.formula):
+                    dominated.append(DominatedAssert(cmd, index, "trivial"))
+                elif isinstance(fact, _Universe):
+                    # Past an in-block ``assume False``: vacuously true
+                    # because control never gets here (dead code, not a
+                    # discharged obligation).
+                    dominated.append(DominatedAssert(cmd, index, "unreachable"))
+                elif _has(fact, cmd.formula):
+                    dominated.append(DominatedAssert(cmd, index, "assumption"))
+            fact = AvailableAssumes.transfer_command(cmd, fact)
+    return dominated
+
+
+# ---------------------------------------------------------------------------
+# Sequent view: the dispatcher pre-pass
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StaticDischarger:
+    """Decides whether a sequent is provable from dataflow facts alone.
+
+    The criteria mirror :func:`find_dominated_asserts` at the sequent level
+    (the path explorer has already applied the incarnation renaming, so
+    assumption formulas *are* the available assumes at the assert site),
+    extended with what the VC splitter's syntactic elimination does *not*
+    already remove (``split_goal`` discards verbatim goal-in-assumptions
+    matches and literal ``True`` goals before the dispatcher ever sees
+    them, so the pre-pass earns its keep on the remainder):
+
+    * the goal is trivially true by shape (``x = x``, ``P <-> P``,
+      conjunctions, disjunctions or quantifications thereof);
+    * the goal is structurally equal to an assumption (dominated assume —
+      only reachable through :meth:`check` on sequents built outside the
+      splitter, e.g. hand-assembled or daemon-batched ones);
+    * the goal ``a = b`` is the mirror image of an assumption ``b = a``
+      (equality is symmetric);
+    * the goal occurs verbatim among the conjuncts of an assumption
+      (``A /\\ B |- A``);
+    * the assumptions are contradictory — one is trivially false, or two
+      are complementary (``F`` and ``~F``) — so the path is infeasible.
+
+    Every criterion is a structural check, sound by inspection; no search,
+    no instantiation, no rewriting happens here.
+    """
+
+    checked: int = 0
+    discharged: int = 0
+    by_reason: Dict[str, int] = field(default_factory=dict)
+
+    def check(self, sequent: Sequent) -> Optional[str]:
+        """The discharge reason, or None if a prover is needed."""
+        self.checked += 1
+        reason = self._classify(sequent)
+        if reason is not None:
+            self.discharged += 1
+            self.by_reason[reason] = self.by_reason.get(reason, 0) + 1
+        return reason
+
+    @staticmethod
+    def _classify(sequent: Sequent) -> Optional[str]:
+        goal = sequent.goal.formula
+        if trivially_true(goal):
+            return "trivial"
+        forms = [assumption.formula for assumption in sequent.assumptions]
+        available = set(forms)
+        if goal in available:
+            return "assumption"
+        if isinstance(goal, F.Eq) and F.Eq(goal.rhs, goal.lhs) in available:
+            return "symmetric-equality"
+        for formula in forms:
+            if isinstance(formula, F.And) and goal in formula.args:
+                return "conjunct"
+        for formula in forms:
+            if trivially_false(formula):
+                return "contradiction"
+            if isinstance(formula, F.Not) and formula.arg in available:
+                return "contradiction"
+        return None

@@ -92,6 +92,7 @@ def verify(
     backend: str = "thread",
     sequent_budget: Optional[float] = None,
     dedup: bool = False,
+    static_tier: bool = False,
     dispatch: Optional[DispatchFn] = None,
 ) -> MethodReport:
     """Verify one method and return its report (Figure 7).
@@ -106,6 +107,11 @@ def verify(
     bounds (and enforces) the time the whole portfolio may spend on any one
     sequent; ``dedup`` proves one representative per group of structurally
     identical sequents and replays its verdict for the rest.
+
+    ``static_tier`` enables the static-discharge pre-pass
+    (:mod:`repro.analysis.discharge`): sequents provable from dataflow facts
+    alone resolve with the ``STATIC`` verdict before the cache or any prover
+    runs, counted in the report's ``statically_discharged``.
 
     ``dispatch`` replaces the dispatch backend entirely: the split sequents
     are handed to the callable and its :class:`DispatchResult` feeds the
@@ -131,12 +137,13 @@ def verify(
     elif workers > 1:
         dispatcher = ParallelDispatcher.from_names(
             names, workers=workers, backend=backend, cache=cache,
-            sequent_budget=sequent_budget, dedup=dedup, **options,
+            sequent_budget=sequent_budget, dedup=dedup, static_tier=static_tier,
+            **options,
         )
     else:
         dispatcher = Dispatcher(
             make_provers(names, **options), cache=cache,
-            sequent_budget=sequent_budget, dedup=dedup,
+            sequent_budget=sequent_budget, dedup=dedup, static_tier=static_tier,
         )
     if dispatch is not None:
         dispatched = dispatch(method_vc.sequents)
@@ -163,6 +170,7 @@ def verify(
         worker_utilization=dict(dispatched.worker_utilization),
         dedup_replayed=dispatched.dedup_replayed,
         trusted_assumes=method_vc.trusted_assumes,
+        statically_discharged=dispatched.statically_discharged,
     )
     return report
 
@@ -179,6 +187,7 @@ def verify_class(
     backend: str = "thread",
     sequent_budget: Optional[float] = None,
     dedup: bool = False,
+    static_tier: bool = False,
     dispatch: Optional[DispatchFn] = None,
 ) -> ClassReport:
     """Verify every contracted method of a class (one Figure 15 row).
@@ -216,6 +225,7 @@ def verify_class(
                 backend=backend,
                 sequent_budget=sequent_budget,
                 dedup=dedup,
+                static_tier=static_tier,
                 dispatch=dispatch,
             )
         )

@@ -5,16 +5,26 @@ invariants, and the proof constructs (``note``, ``havoc ... suchThat``);
 ``desugar`` lowers it to the *simple* language — ``assume``, ``assert``,
 ``havoc``, choice and sequencing — following the translation rules of
 Figures 11 and 12.
+
+All command nodes are immutable (frozen dataclasses): once built, a command
+tree can be shared between the VC generator, the static-analysis CFG
+(:mod:`repro.analysis.cfg`) and the lint passes without defensive copies.
+Use :func:`seq` to build sequences — it flattens nested :class:`Seq` nodes
+(the old ``Seq.__post_init__`` mutation hack is gone; a ``Seq`` constructed
+directly stores its commands verbatim).
+
+Every command carries the source ``line`` it was translated from (``0`` for
+synthetic commands such as desugaring artifacts), which is how lint findings
+over guarded commands point back into the Java source.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
 
 from ..form import ast as F
-from ..form.subst import free_vars
 
 
 # -- command nodes (extended; the simple language is the subset marked below) -----
@@ -23,78 +33,99 @@ from ..form.subst import free_vars
 class Command:
     """Base class of guarded commands."""
 
+    __slots__ = ()
 
-@dataclass
+
+@dataclass(frozen=True)
 class Assume(Command):  # simple
     formula: F.Term
     label: str = ""
+    line: int = 0
+    #: True for a user-written ``//: assume "..."`` spec statement — a
+    #: *trusted* step the provers never check (the synthetic assumes the
+    #: translator and desugarer emit are all ``trusted=False``).  The CFG
+    #: lint (``CFG02``) reports every reachable trusted assume.
+    trusted: bool = False
 
 
-@dataclass
+@dataclass(frozen=True)
 class Assert(Command):  # simple
     formula: F.Term
     label: str = ""
     hints: Tuple[str, ...] = ()
+    line: int = 0
 
 
-@dataclass
+@dataclass(frozen=True)
 class Havoc(Command):  # simple
     variables: Tuple[str, ...]
     such_that: Optional[F.Term] = None  # extended only; None in the simple language
+    line: int = 0
 
 
-@dataclass
+@dataclass(frozen=True)
 class Assign(Command):  # simple (kept primitive; see Desugarer.desugar)
     variable: str
     value: F.Term
+    line: int = 0
 
 
-@dataclass
+@dataclass(frozen=True)
 class Seq(Command):  # simple
     commands: Tuple[Command, ...]
 
-    def __post_init__(self) -> None:
-        flattened: List[Command] = []
-        for command in self.commands:
-            if isinstance(command, Seq):
-                flattened.extend(command.commands)
-            else:
-                flattened.append(command)
-        object.__setattr__(self, "commands", tuple(flattened))
 
-
-@dataclass
+@dataclass(frozen=True)
 class Choice(Command):  # simple
     left: Command
     right: Command
 
 
-@dataclass
+@dataclass(frozen=True)
 class If(Command):  # extended
     condition: F.Term
     then_branch: Command
     else_branch: Command
+    line: int = 0
 
 
-@dataclass
+@dataclass(frozen=True)
 class Loop(Command):  # extended
     invariants: Tuple[Tuple[str, F.Term], ...]
     condition: F.Term
     body: Command
+    line: int = 0
 
 
-@dataclass
+@dataclass(frozen=True)
 class Note(Command):  # extended: assert then assume
     formula: F.Term
     label: str = ""
     hints: Tuple[str, ...] = ()
+    line: int = 0
 
 
 SKIP = Seq(())
 
 
-def seq(*commands: Command) -> Command:
-    return Seq(tuple(commands))
+def seq(*commands: Command) -> Seq:
+    """Build a sequence, flattening nested :class:`Seq` nodes.
+
+    This is the one place sequence flattening happens — ``Seq`` itself is a
+    plain frozen dataclass and stores whatever tuple it is given.
+    """
+    flattened: List[Command] = []
+    for command in commands:
+        if isinstance(command, Seq):
+            flattened.extend(command.commands)
+        else:
+            flattened.append(command)
+    return Seq(tuple(flattened))
+
+
+def seq_of(commands: "List[Command] | Tuple[Command, ...]") -> Seq:
+    """:func:`seq` over an already-collected list/tuple of commands."""
+    return seq(*commands)
 
 
 # -- assigned variables ------------------------------------------------------------
@@ -143,9 +174,10 @@ class Desugarer:
             # Fig 12: havoc x suchThat F  =  assert EX x. F ; havoc x ; assume F
             params = tuple((name, None) for name in command.variables)
             return seq(
-                Assert(F.mk_exists(params, command.such_that), label="havoc-feasible"),
-                Havoc(command.variables),
-                Assume(command.such_that, label="havoc"),
+                Assert(F.mk_exists(params, command.such_that),
+                       label="havoc-feasible", line=command.line),
+                Havoc(command.variables, line=command.line),
+                Assume(command.such_that, label="havoc", line=command.line),
             )
         if isinstance(command, Assign):
             # Assignments are kept primitive; the VC generator treats
@@ -156,8 +188,9 @@ class Desugarer:
         if isinstance(command, Note):
             # Fig 12: note F  =  assert F ; assume F
             return seq(
-                Assert(command.formula, label=command.label, hints=command.hints),
-                Assume(command.formula, label=command.label),
+                Assert(command.formula, label=command.label, hints=command.hints,
+                       line=command.line),
+                Assume(command.formula, label=command.label, line=command.line),
             )
         if isinstance(command, Seq):
             return Seq(tuple(self.desugar(sub) for sub in command.commands))
@@ -166,8 +199,10 @@ class Desugarer:
         if isinstance(command, If):
             # Fig 11: if(F) c1 else c2  =  (assume F ; c1) [] (assume ~F ; c2)
             return Choice(
-                Seq((Assume(command.condition, label="then"), self.desugar(command.then_branch))),
-                Seq((Assume(F.mk_not(command.condition), label="else"), self.desugar(command.else_branch))),
+                Seq((Assume(command.condition, label="then", line=command.line),
+                     self.desugar(command.then_branch))),
+                Seq((Assume(F.mk_not(command.condition), label="else", line=command.line),
+                     self.desugar(command.else_branch))),
             )
         if isinstance(command, Loop):
             # Fig 11: loop inv(I) while(F) body
@@ -176,27 +211,31 @@ class Desugarer:
             body = self.desugar(command.body)
             modified = tuple(sorted(assigned_variables(command.body)))
             invariant_asserts = [
-                Assert(formula, label=f"loop-inv-initial:{name}") for name, formula in command.invariants
-            ]
-            invariant_assumes = [
-                Assume(formula, label=f"loop-inv:{name}") for name, formula in command.invariants
-            ]
-            invariant_preserved = [
-                Assert(formula, label=f"loop-inv-preserved:{name}")
+                Assert(formula, label=f"loop-inv-initial:{name}", line=command.line)
                 for name, formula in command.invariants
             ]
-            exit_branch = Assume(F.mk_not(command.condition), label="loop-exit")
+            invariant_assumes = [
+                Assume(formula, label=f"loop-inv:{name}", line=command.line)
+                for name, formula in command.invariants
+            ]
+            invariant_preserved = [
+                Assert(formula, label=f"loop-inv-preserved:{name}", line=command.line)
+                for name, formula in command.invariants
+            ]
+            exit_branch = Assume(F.mk_not(command.condition), label="loop-exit",
+                                 line=command.line)
             iterate_branch = Seq(
                 tuple(
-                    [Assume(command.condition, label="loop-enter"), body]
+                    [Assume(command.condition, label="loop-enter", line=command.line),
+                     body]
                     + invariant_preserved
-                    + [Assume(F.FALSE, label="loop-cut")]
+                    + [Assume(F.FALSE, label="loop-cut", line=command.line)]
                 )
             )
             return Seq(
                 tuple(
                     invariant_asserts
-                    + ([Havoc(modified)] if modified else [])
+                    + ([Havoc(modified, line=command.line)] if modified else [])
                     + invariant_assumes
                     + [Choice(exit_branch, iterate_branch)]
                 )

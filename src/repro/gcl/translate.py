@@ -63,6 +63,10 @@ class MethodTranslator:
         self.trusted_assumes = 0
         self._counter = itertools.count(1)
         self._pending_checks: List[Assert] = []
+        #: Source line of the statement currently being translated; stamped
+        #: onto every command produced so lint findings and CFG nodes can
+        #: point back into the Java source.
+        self._line = 0
 
     # -- helpers ------------------------------------------------------------------
 
@@ -78,7 +82,7 @@ class MethodTranslator:
         return info is not None and not info.is_static
 
     def _check(self, formula: F.Term, label: str) -> None:
-        self._pending_checks.append(Assert(formula, label=label))
+        self._pending_checks.append(Assert(formula, label=label, line=self._line))
 
     def _take_checks(self) -> List[Command]:
         checks, self._pending_checks = self._pending_checks, []
@@ -150,12 +154,15 @@ class MethodTranslator:
         return Seq(tuple(commands))
 
     def statement(self, statement: J.Stmt) -> Command:
+        if getattr(statement, "line", 0):
+            self._line = statement.line
+        line = self._line
         if isinstance(statement, J.Block):
             return self.block(statement)
         if isinstance(statement, J.LocalDecl):
             self.locals.append(statement.name)
             if statement.init is None:
-                return Havoc((statement.name,))
+                return Havoc((statement.name,), line=line)
             return self._assignment(J.VarRef(statement.name), statement.init)
         if isinstance(statement, J.Assign):
             return self._assignment(statement.target, statement.value)
@@ -164,23 +171,23 @@ class MethodTranslator:
             checks = self._take_checks()
             then_branch = self.block(statement.then_branch)
             else_branch = self.block(statement.else_branch) if statement.else_branch else SKIP
-            return Seq(tuple(checks + [If(condition, then_branch, else_branch)]))
+            return Seq(tuple(checks + [If(condition, then_branch, else_branch, line=line)]))
         if isinstance(statement, J.While):
             invariants = self._parse_loop_invariants(statement.invariants)
             condition = self.expr(statement.condition)
             checks = self._take_checks()
             body = self.block(statement.body)
-            return Seq(tuple(checks + [Loop(tuple(invariants), condition, body)]))
+            return Seq(tuple(checks + [Loop(tuple(invariants), condition, body, line=line)]))
         if isinstance(statement, J.Return):
             commands: List[Command] = []
             if statement.value is not None:
                 value = self.expr(statement.value)
                 commands.extend(self._take_checks())
-                commands.append(Assign("result", value))
-            commands.append(Assert(self.postcondition, label="post:return"))
+                commands.append(Assign("result", value, line=line))
+            commands.append(Assert(self.postcondition, label="post:return", line=line))
             for name, formula in self.exit_invariants:
-                commands.append(Assert(formula, label=f"inv-exit:{name}"))
-            commands.append(Assume(F.FALSE, label="return-cut"))
+                commands.append(Assert(formula, label=f"inv-exit:{name}", line=line))
+            commands.append(Assume(F.FALSE, label="return-cut", line=line))
             return Seq(tuple(commands))
         if isinstance(statement, J.ExprStmt):
             raise TranslationError("expression statements (method calls) are outside the subset")
@@ -194,18 +201,19 @@ class MethodTranslator:
         if isinstance(value, (J.NewObject, J.NewArray)):
             return self._allocation(target, value)
         translated = self.expr(value)
+        line = self._line
         if isinstance(target, J.VarRef):
             checks = self._take_checks()
-            return Seq(tuple(checks + [Assign(target.name, translated)]))
+            return Seq(tuple(checks + [Assign(target.name, translated, line=line)]))
         if isinstance(target, J.FieldAccess):
             if isinstance(target.target, J.VarRef) and target.target.name in self.program.class_names:
                 checks = self._take_checks()
-                return Seq(tuple(checks + [Assign(target.field, translated)]))
+                return Seq(tuple(checks + [Assign(target.field, translated, line=line)]))
             receiver = self.expr(target.target)
             self._check(F.mk_ne(receiver, F.NULL), "null-check")
             checks = self._take_checks()
             update = F.mk_field_write(F.Var(target.field), receiver, translated)
-            return Seq(tuple(checks + [Assign(target.field, update)]))
+            return Seq(tuple(checks + [Assign(target.field, update, line=line)]))
         if isinstance(target, J.ArrayAccess):
             array = self.expr(target.array)
             index = self.expr(target.index)
@@ -214,7 +222,7 @@ class MethodTranslator:
             self._check(F.app("lt", index, F.app("arrayLength", array)), "array-upper-bound")
             checks = self._take_checks()
             update = F.app("arrayWrite", F.Var("arrayState"), array, index, translated)
-            return Seq(tuple(checks + [Assign("arrayState", update)]))
+            return Seq(tuple(checks + [Assign("arrayState", update, line=line)]))
         raise TranslationError(f"unsupported assignment target {target!r}")
 
     def _allocation(self, target: J.Expr, value: J.Expr) -> Command:
@@ -249,10 +257,11 @@ class MethodTranslator:
                 )
             )
         checks = self._take_checks()
+        line = self._line
         allocation = [
-            Havoc((fresh,)),
-            Assume(F.mk_and(tuple(facts)), label="new"),
-            Assign("alloc", F.mk_union(F.ALLOC, F.mk_singleton(fresh_var))),
+            Havoc((fresh,), line=line),
+            Assume(F.mk_and(tuple(facts)), label="new", line=line),
+            Assign("alloc", F.mk_union(F.ALLOC, F.mk_singleton(fresh_var)), line=line),
         ]
         assignment = self._assignment(target, J.VarRef(fresh))
         return Seq(tuple(checks + allocation + [assignment]))
@@ -261,29 +270,36 @@ class MethodTranslator:
 
     def _spec_statement(self, text: str) -> Command:
         commands: List[Command] = []
+        line = self._line
         for item in parse_statement(text):
             if isinstance(item, GhostAssign):
                 commands.append(self._ghost_assign(item))
             elif isinstance(item, NoteSpec):
                 commands.append(
-                    Note(self.program.parse(item.formula_text), label=item.label, hints=tuple(item.hints))
+                    Note(self.program.parse(item.formula_text), label=item.label,
+                         hints=tuple(item.hints), line=line)
                 )
             elif isinstance(item, AssertSpec):
                 commands.append(
-                    Assert(self.program.parse(item.formula_text), label=item.label, hints=tuple(item.hints))
+                    Assert(self.program.parse(item.formula_text), label=item.label,
+                           hints=tuple(item.hints), line=line)
                 )
             elif isinstance(item, AssumeSpec):
                 self.trusted_assumes += 1
-                commands.append(Assume(self.program.parse(item.formula_text), label=item.label))
+                commands.append(
+                    Assume(self.program.parse(item.formula_text),
+                           label=item.label, line=line, trusted=True)
+                )
             elif isinstance(item, HavocSpec):
                 such_that = self.program.parse(item.such_that_text) if item.such_that_text else None
-                commands.append(Havoc(tuple(item.targets), such_that))
+                commands.append(Havoc(tuple(item.targets), such_that, line=line))
             elif isinstance(item, LocalSpecVar):
                 self.locals.append(item.name)
-                commands.append(Havoc((item.name,)))
+                commands.append(Havoc((item.name,), line=line))
                 if item.init_text:
                     commands.append(
-                        Assume(F.Eq(F.Var(item.name), self.program.parse(item.init_text)), label="specvar-init")
+                        Assume(F.Eq(F.Var(item.name), self.program.parse(item.init_text)),
+                               label="specvar-init", line=line)
                     )
             else:  # pragma: no cover - parse_statement only returns the above
                 raise TranslationError(f"unsupported specification statement {item!r}")
@@ -295,8 +311,8 @@ class MethodTranslator:
             receiver_text, _, field_name = item.target_text.rpartition("..")
             receiver = self.program.parse(receiver_text)
             update = F.mk_field_write(F.Var(field_name), receiver, value)
-            return Assign(field_name, update)
-        return Assign(item.target_text, value)
+            return Assign(field_name, update, line=self._line)
+        return Assign(item.target_text, value, line=self._line)
 
     # -- loop invariants -----------------------------------------------------------------------
 

@@ -172,6 +172,8 @@ class MethodDecl:
     is_static: bool = False
     visibility: str = "public"
     line: int = 0
+    #: Source line of the first contract spec comment (0 = no contract).
+    contract_line: int = 0
 
 
 @dataclass
@@ -182,6 +184,12 @@ class ClassDecl:
     spec_blocks: List[str] = field(default_factory=list)  # class-level spec comments
     claimed_by: Optional[str] = None
     line: int = 0
+    #: Source line of each entry of ``spec_blocks`` (kept parallel by the
+    #: parser; missing entries mean the position is unknown).
+    spec_block_lines: List[int] = field(default_factory=list)
+
+    def spec_block_line(self, index: int) -> int:
+        return self.spec_block_lines[index] if index < len(self.spec_block_lines) else 0
 
 
 @dataclass

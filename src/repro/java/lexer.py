@@ -6,6 +6,11 @@ compilers ignore them.  The lexer therefore produces, besides the ordinary
 Java tokens, ``spec`` tokens whose value is the raw text of a specification
 comment; the specification parser (:mod:`repro.spec.specparse`) interprets
 that text later.
+
+Every token carries its 1-based ``line`` and ``column``; syntax errors raise
+:class:`JavaSyntaxError`, which exposes the same coordinates so downstream
+diagnostics (parser errors, lint findings) can point at the exact source
+position.
 """
 
 from __future__ import annotations
@@ -15,7 +20,19 @@ from typing import List
 
 
 class JavaSyntaxError(Exception):
-    """Raised on malformed input, with line information."""
+    """Raised on malformed input, with source-position information.
+
+    ``line``/``column`` are 1-based; ``0`` means the position is unknown
+    (for example at end of input).
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        if line and "at line" not in message:
+            where = f"line {line}:{column}" if column else f"line {line}"
+            message = f"{message} ({where})"
+        super().__init__(message)
+        self.line = line
+        self.column = column
 
 
 @dataclass
@@ -23,6 +40,7 @@ class JToken:
     kind: str  # 'ident', 'int', 'string', 'symbol', 'keyword', 'spec'
     value: str
     line: int
+    column: int = 0
 
 
 KEYWORDS = {
@@ -42,12 +60,18 @@ def tokenize(source: str) -> List[JToken]:
     tokens: List[JToken] = []
     i = 0
     line = 1
+    line_start = 0  # index just past the most recent newline
     n = len(source)
+
+    def column(at: int) -> int:
+        return at - line_start + 1
+
     while i < n:
         ch = source[i]
         if ch == "\n":
             line += 1
             i += 1
+            line_start = i
             continue
         if ch.isspace():
             i += 1
@@ -56,25 +80,42 @@ def tokenize(source: str) -> List[JToken]:
         if source.startswith("/*:", i):
             end = source.find("*/", i + 3)
             if end < 0:
-                raise JavaSyntaxError(f"unterminated specification comment at line {line}")
+                raise JavaSyntaxError("unterminated specification comment",
+                                      line=line, column=column(i))
             text = source[i + 3: end]
-            tokens.append(JToken("spec", text.strip(), line))
-            line += text.count("\n")
+            # Point the token at the first non-blank content line, so that
+            # line offsets inside the (stripped) spec text stay exact even
+            # when the block opens with `/*:` on its own line.
+            leading = text[: len(text) - len(text.lstrip())]
+            tok_line = line + leading.count("\n")
+            if "\n" in leading:
+                tok_column = len(leading) - leading.rfind("\n")
+            else:
+                tok_column = column(i) + 3 + len(leading)
+            tokens.append(JToken("spec", text.strip(), tok_line, tok_column))
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                line_start = i + 3 + text.rfind("\n") + 1
             i = end + 2
             continue
         if source.startswith("//:", i):
             end = source.find("\n", i)
             if end < 0:
                 end = n
-            tokens.append(JToken("spec", source[i + 3: end].strip(), line))
+            tokens.append(JToken("spec", source[i + 3: end].strip(), line, column(i)))
             i = end
             continue
         # Ordinary comments.
         if source.startswith("/*", i):
             end = source.find("*/", i + 2)
             if end < 0:
-                raise JavaSyntaxError(f"unterminated comment at line {line}")
-            line += source[i:end].count("\n")
+                raise JavaSyntaxError("unterminated comment", line=line, column=column(i))
+            skipped = source[i:end]
+            newlines = skipped.count("\n")
+            if newlines:
+                line += newlines
+                line_start = i + skipped.rfind("\n") + 1
             i = end + 2
             continue
         if source.startswith("//", i):
@@ -85,7 +126,7 @@ def tokenize(source: str) -> List[JToken]:
             j = i
             while j < n and source[j].isdigit():
                 j += 1
-            tokens.append(JToken("int", source[i:j], line))
+            tokens.append(JToken("int", source[i:j], line, column(i)))
             i = j
             continue
         if ch.isalpha() or ch == "_":
@@ -94,7 +135,7 @@ def tokenize(source: str) -> List[JToken]:
                 j += 1
             word = source[i:j]
             kind = "keyword" if word in KEYWORDS else "ident"
-            tokens.append(JToken(kind, word, line))
+            tokens.append(JToken(kind, word, line, column(i)))
             i = j
             continue
         if ch == '"':
@@ -102,17 +143,19 @@ def tokenize(source: str) -> List[JToken]:
             while j < n and source[j] != '"':
                 j += 1
             if j >= n:
-                raise JavaSyntaxError(f"unterminated string literal at line {line}")
-            tokens.append(JToken("string", source[i + 1: j], line))
+                raise JavaSyntaxError("unterminated string literal",
+                                      line=line, column=column(i))
+            tokens.append(JToken("string", source[i + 1: j], line, column(i)))
             i = j + 1
             continue
         matched = False
         for symbol in SYMBOLS:
             if source.startswith(symbol, i):
-                tokens.append(JToken("symbol", symbol, line))
+                tokens.append(JToken("symbol", symbol, line, column(i)))
                 i += len(symbol)
                 matched = True
                 break
         if not matched:
-            raise JavaSyntaxError(f"unexpected character {ch!r} at line {line}")
+            raise JavaSyntaxError(f"unexpected character {ch!r}",
+                                  line=line, column=column(i))
     return tokens

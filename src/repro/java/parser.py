@@ -35,18 +35,22 @@ class JavaParser:
         if token is None or token.kind != kind or (value is not None and token.value != value):
             found = f"{token.kind}:{token.value}" if token else "<eof>"
             expected = value or kind
-            line = token.line if token else -1
-            raise JavaSyntaxError(f"expected {expected!r}, found {found!r} at line {line}")
+            raise JavaSyntaxError(
+                f"expected {expected!r}, found {found!r}",
+                line=token.line if token else 0,
+                column=token.column if token else 0,
+            )
         return self.advance()
 
     # -- declarations ----------------------------------------------------------------
 
     def parse_compilation_unit(self) -> J.CompilationUnit:
         unit = J.CompilationUnit()
-        pending_spec: List[str] = []
+        pending_spec: List[Tuple[str, int]] = []
         while self.peek() is not None:
             if self.at("spec"):
-                pending_spec.append(self.advance().value)
+                token = self.advance()
+                pending_spec.append((token.value, token.line))
                 continue
             if self.at("keyword", "import") or self.at("keyword", "package"):
                 while not self.at("symbol", ";"):
@@ -58,16 +62,17 @@ class JavaParser:
             unit.classes.append(cls)
         return unit
 
-    def parse_class(self, leading_spec: List[str]) -> J.ClassDecl:
+    def parse_class(self, leading_spec: List[Tuple[str, int]]) -> J.ClassDecl:
         claimed_by = None
         # modifiers and interleaved spec comments (e.g. `public /*: claimedby X */ class`)
         while self.at("keyword", "public") or self.at("keyword", "final") or self.at("spec"):
             if self.at("spec"):
-                text = self.advance().value
+                spec_token = self.advance()
+                text = spec_token.value
                 if text.startswith("claimedby"):
                     claimed_by = text.split()[1].strip()
                 else:
-                    leading_spec = leading_spec + [text]
+                    leading_spec = leading_spec + [(text, spec_token.line)]
             else:
                 self.advance()
         token = self.expect("keyword", "class")
@@ -76,10 +81,13 @@ class JavaParser:
             self.advance()  # skip extends/implements clauses
         self.expect("symbol", "{")
         cls = J.ClassDecl(name=name, claimed_by=claimed_by, line=token.line,
-                          spec_blocks=list(leading_spec))
+                          spec_blocks=[text for text, _ in leading_spec],
+                          spec_block_lines=[spec_line for _, spec_line in leading_spec])
         while not self.at("symbol", "}"):
             if self.at("spec"):
-                cls.spec_blocks.append(self.advance().value)
+                spec_token = self.advance()
+                cls.spec_blocks.append(spec_token.value)
+                cls.spec_block_lines.append(spec_token.line)
                 continue
             self.parse_member(cls)
         self.expect("symbol", "}")
@@ -98,22 +106,25 @@ class JavaParser:
                 self.advance()
             else:
                 break
-        spec_before_type: List[str] = []
+        spec_before_type: List[Tuple[str, int]] = []
         while self.at("spec"):
-            spec_before_type.append(self.advance().value)
+            spec_token = self.advance()
+            spec_before_type.append((spec_token.value, spec_token.line))
         type_name = self.parse_type_name()
         name = self.expect("ident").value
         if self.at("symbol", "("):
             method = self.parse_method(name, type_name, is_static, visibility)
             cls.methods.append(method)
-            cls.spec_blocks.extend(spec_before_type)
+            cls.spec_blocks.extend(text for text, _ in spec_before_type)
+            cls.spec_block_lines.extend(spec_line for _, spec_line in spec_before_type)
         else:
             line = self.peek().line if self.peek() else 0
             cls.fields.append(
                 J.FieldDecl(name=name, type_name=type_name, is_static=is_static,
                             visibility=visibility, line=line)
             )
-            cls.spec_blocks.extend(spec_before_type)
+            cls.spec_blocks.extend(text for text, _ in spec_before_type)
+            cls.spec_block_lines.extend(spec_line for _, spec_line in spec_before_type)
             # Possibly more declarators or an initialiser (ignored for fields).
             while not self.at("symbol", ";"):
                 if self.at("symbol", ","):
@@ -151,8 +162,12 @@ class JavaParser:
                 self.advance()
         self.expect("symbol", ")")
         contract_parts: List[str] = []
+        contract_line = 0
         while self.at("spec"):
-            contract_parts.append(self.advance().value)
+            spec_token = self.advance()
+            if not contract_parts:
+                contract_line = spec_token.line
+            contract_parts.append(spec_token.value)
         body: Optional[J.Block] = None
         if self.at("symbol", "{"):
             body = self.parse_block()
@@ -167,6 +182,7 @@ class JavaParser:
             is_static=is_static,
             visibility=visibility,
             line=line,
+            contract_line=contract_line,
         )
 
     # -- statements ---------------------------------------------------------------------
@@ -398,7 +414,8 @@ class JavaParser:
             expr = self.parse_expression()
             self.expect("symbol", ")")
             return expr
-        raise JavaSyntaxError(f"unexpected token {token.value!r} at line {token.line}")
+        raise JavaSyntaxError(f"unexpected token {token.value!r}",
+                              line=token.line, column=token.column)
 
 
 def parse_java(source: str) -> J.CompilationUnit:

@@ -28,6 +28,18 @@ from ..spec import ClassSpec, MethodContract, parse_class_spec, parse_contract
 from . import ast as J
 
 
+class ResolveError(Exception):
+    """A specification failed to resolve, with source context attached."""
+
+    def __init__(self, message: str, class_name: str = "", line: int = 0) -> None:
+        if class_name or line:
+            where = class_name + (f" line {line}" if line else "")
+            message = f"{message} (in {where.strip()})"
+        super().__init__(message)
+        self.class_name = class_name
+        self.line = line
+
+
 def java_type_to_hol(type_name: str) -> Type:
     if type_name == "int":
         return INT
@@ -42,6 +54,8 @@ class FieldInfo:
     owner: str
     is_static: bool
     value_type: Type
+    visibility: str = "private"
+    line: int = 0
 
     @property
     def hol_type(self) -> Type:
@@ -76,6 +90,9 @@ class Program:
     public_specvars: List[str] = field(default_factory=list)
     methods: Dict[Tuple[str, str], MethodInfo] = field(default_factory=dict)
     class_names: Set[str] = field(default_factory=set)
+    #: Parsed class-level specifications keyed by class name; keeps the raw
+    #: declarations (with source lines) for diagnostics and lint passes.
+    class_specs: Dict[str, "ClassSpec"] = field(default_factory=dict)
 
     # -- queries -----------------------------------------------------------------
 
@@ -133,13 +150,28 @@ def resolve(unit: J.CompilationUnit) -> Program:
     for cls in unit.classes:
         for fld in cls.fields:
             value_type = java_type_to_hol(fld.type_name)
-            info = FieldInfo(fld.name, cls.name, fld.is_static, value_type)
+            info = FieldInfo(fld.name, cls.name, fld.is_static, value_type,
+                             visibility=fld.visibility, line=fld.line)
             program.fields[fld.name] = info
             env.bind(fld.name, info.hol_type)
 
+    def parse_located(text: str, class_name: str, line: int, what: str) -> F.Term:
+        try:
+            return program.parse(text)
+        except ResolveError:
+            raise
+        except Exception as exc:
+            raise ResolveError(f"malformed {what}: {exc}",
+                               class_name=class_name, line=line) from exc
+
     # Class-level specifications.
     for cls in unit.classes:
-        spec: ClassSpec = parse_class_spec(cls.spec_blocks)
+        try:
+            spec: ClassSpec = parse_class_spec(cls.spec_blocks, cls.spec_block_lines)
+        except Exception as exc:
+            raise ResolveError(f"malformed class specification: {exc}",
+                               class_name=cls.name, line=cls.line) from exc
+        program.class_specs[cls.name] = spec
         for specvar in spec.specvars:
             hol_type = _spec_type(specvar.type_text)
             program.specvar_types[specvar.name] = hol_type
@@ -149,16 +181,31 @@ def resolve(unit: J.CompilationUnit) -> Program:
             if specvar.is_public:
                 program.public_specvars.append(specvar.name)
             if specvar.init_text:
-                program.specvar_inits[specvar.name] = program.parse(specvar.init_text)
+                program.specvar_inits[specvar.name] = parse_located(
+                    specvar.init_text, cls.name, specvar.line,
+                    f"initialiser of specvar {specvar.name!r}")
         for vardef in spec.vardefs:
-            program.definitions[vardef.name] = program.parse(vardef.definition_text)
+            program.definitions[vardef.name] = parse_located(
+                vardef.definition_text, cls.name, vardef.line,
+                f"vardefs of {vardef.name!r}")
         for invariant in spec.invariants:
-            program.invariants.append((invariant.name, program.parse(invariant.formula_text)))
+            program.invariants.append(
+                (invariant.name,
+                 parse_located(invariant.formula_text, cls.name, invariant.line,
+                               f"invariant {invariant.name!r}"))
+            )
 
     # Methods and contracts.
     for cls in unit.classes:
         for method in cls.methods:
-            contract = parse_contract(method.contract_text)
+            try:
+                contract = parse_contract(method.contract_text, method.contract_line)
+            except Exception as exc:
+                raise ResolveError(
+                    f"malformed contract of {method.name!r}: {exc}",
+                    class_name=cls.name,
+                    line=method.contract_line or method.line,
+                ) from exc
             program.methods[(cls.name, method.name)] = MethodInfo(cls.name, method, contract)
 
     return program

@@ -1,0 +1,82 @@
+"""Spec-lint CLI: ``python -m repro.lint [files...] [--suite] [--strict]``.
+
+Runs the static analysis passes of :mod:`repro.analysis` — spec
+well-formedness, frame/modifies checking, CFG reachability and assume
+enforcement — over mini-Java sources and prints findings as::
+
+    file.java:12:5: error[SPEC01] [List] invariant 'CntDef' references unknown name 'frst' (did you mean 'first'?)
+
+Exit codes: 0 = clean, 1 = findings at or above the failing severity
+(errors; warnings too with ``--strict``), 2 = usage or I/O error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from .analysis import lint_source
+from .analysis.diagnostics import Severity
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Static analysis over mini-Java sources with Jahob specifications.",
+    )
+    parser.add_argument("files", nargs="*", help="source files to lint")
+    parser.add_argument(
+        "--suite", action="store_true",
+        help="also lint every bundled suite data structure",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="treat warnings as failures (exit 1)",
+    )
+    parser.add_argument(
+        "--min-severity", choices=["info", "warning", "error"], default="info",
+        help="hide findings below this severity (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    if not args.files and not args.suite:
+        parser.print_usage(sys.stderr)
+        print("error: no input files (pass sources and/or --suite)", file=sys.stderr)
+        return 2
+
+    min_severity = Severity[args.min_severity.upper()]
+    reports = []
+    for path in args.files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        reports.append(lint_source(source, file=path))
+    if args.suite:
+        from . import suite
+
+        for name in suite.names():
+            reports.append(lint_source(suite.source(name), file=f"suite:{name}.java"))
+
+    failed = False
+    errors = warnings = infos = 0
+    for report in reports:
+        rendered = report.render(min_severity)
+        if rendered:
+            print(rendered)
+        errors += report.errors
+        warnings += report.warnings
+        infos += report.infos
+        if not report.clean(strict=args.strict):
+            failed = True
+    print(
+        f"{len(reports)} file(s) linted: {errors} error(s), "
+        f"{warnings} warning(s), {infos} info(s)."
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -127,6 +127,9 @@ class Verdict(Enum):
     UNKNOWN = "unknown"
     UNSUPPORTED = "unsupported"  # the sequent falls outside the prover's fragment
     TIMEOUT = "timeout"
+    #: Resolved by the static-discharge pre-pass (dataflow facts alone, no
+    #: prover ran); counts as proved.
+    STATIC = "static"
 
 
 @dataclass
@@ -148,7 +151,7 @@ class ProverAnswer:
 
     @property
     def proved(self) -> bool:
-        return self.verdict is Verdict.PROVED
+        return self.verdict is Verdict.PROVED or self.verdict is Verdict.STATIC
 
 
 class Prover(ABC):

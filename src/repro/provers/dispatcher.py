@@ -45,12 +45,15 @@ import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..vcgen.sequent import Sequent
 from .base import Deadline, Prover, ProverAnswer, ProverStats, Verdict, registry
 from .cache import CacheStats, SequentCache
 from .syntactic import SyntacticProver
+
+if TYPE_CHECKING:  # import-cycle guard: repro.analysis imports the prover layer
+    from ..analysis.discharge import StaticDischarger
 
 #: Aliases mapping the paper's prover names to this reproduction's engines.
 PROVER_ALIASES = {
@@ -148,6 +151,12 @@ class DispatchResult:
         return len(self.outcomes)
 
     @property
+    def statically_discharged(self) -> int:
+        """Sequents resolved by the static-discharge pre-pass (directly or
+        fanned out from a statically discharged dedup representative)."""
+        return sum(1 for o in self.outcomes if o.proved and o.prover == "static")
+
+    @property
     def proved(self) -> int:
         return sum(1 for outcome in self.outcomes if outcome.proved)
 
@@ -229,6 +238,35 @@ def _replayed_outcome(sequent: Sequent, representative: SequentOutcome) -> Seque
 
 
 # ---------------------------------------------------------------------------
+# The static-discharge pre-pass (shared by both dispatchers)
+# ---------------------------------------------------------------------------
+
+
+def _make_static_tier(enabled: bool) -> Optional["StaticDischarger"]:
+    """Build the per-dispatcher :class:`StaticDischarger` (lazy import: the
+    analysis package sits above the prover layer in the module hierarchy)."""
+    if not enabled:
+        return None
+    from ..analysis.discharge import StaticDischarger
+
+    return StaticDischarger()
+
+
+def _static_outcome(sequent: Sequent, reason: str) -> SequentOutcome:
+    """A sequent resolved by the static-discharge pre-pass: a ``STATIC``
+    verdict attributed to the pseudo-prover ``"static"``, zero prover time.
+
+    Static answers are never cached — deciding one costs less than the cache
+    lookup would, and a stored ``STATIC`` would misattribute the verdict to a
+    prover signature on later runs.
+    """
+    answer = ProverAnswer(
+        Verdict.STATIC, "static", time=0.0, detail=f"static discharge: {reason}"
+    )
+    return SequentOutcome(sequent=sequent, proved=True, prover="static", answers=[answer])
+
+
+# ---------------------------------------------------------------------------
 # The prover chain on one sequent (shared by both dispatchers)
 # ---------------------------------------------------------------------------
 
@@ -238,6 +276,7 @@ def _run_prover_chain(
     sequent: Sequent,
     cache: Optional[SequentCache] = None,
     sequent_budget: Optional[float] = None,
+    static: Optional["StaticDischarger"] = None,
 ) -> SequentOutcome:
     """Offer one sequent to the provers in order, consulting the cache first.
 
@@ -246,7 +285,16 @@ def _run_prover_chain(
     own timeout, so a stuck decision procedure is cut off mid-flight (a
     cooperative ``TIMEOUT``) and the next prover still gets its turn while
     budget remains.
+
+    ``static`` (the dispatcher's :class:`StaticDischarger`, when the static
+    tier is enabled) is consulted before the cache and before any prover: a
+    sequent provable from dataflow facts alone resolves with the ``STATIC``
+    verdict for free.
     """
+    if static is not None:
+        reason = static.check(sequent)
+        if reason is not None:
+            return _static_outcome(sequent, reason)
     outcome = SequentOutcome(sequent=sequent, proved=False)
     deadline = Deadline.never() if sequent_budget is None else Deadline.after(sequent_budget)
     for prover in provers:
@@ -282,9 +330,15 @@ def _record_answer(result: DispatchResult, answer: ProverAnswer, cache_enabled: 
     """Account one prover answer: cached answers count as cache hits and are
     never recorded in :class:`ProverStats` (the prover did not run); live
     answers count as misses (when a cache was consulted) and accumulate
-    per-prover statistics and CPU time."""
+    per-prover statistics and CPU time.  ``STATIC`` answers are neither: the
+    pre-pass resolved the sequent before the cache was consulted, so they
+    accrue (zero-time) stats under the ``"static"`` pseudo-prover without
+    touching the cache counters."""
     if answer.cached:
         result.cache_stats.hits += 1
+        return
+    if answer.verdict is Verdict.STATIC:
+        result.stats.setdefault(answer.prover, ProverStats()).record(answer)
         return
     if cache_enabled:
         result.cache_stats.misses += 1
@@ -318,6 +372,12 @@ class Dispatcher:
     ``dedup=True`` enables the digest-grouping pre-pass: one representative
     per group of structurally identical sequents is proved and its verdict
     replayed for the duplicates.
+
+    ``static_tier=True`` enables the static-discharge pre-pass
+    (:class:`repro.analysis.discharge.StaticDischarger`): sequents provable
+    from dataflow facts alone — trivially true goals, goals structurally
+    equal to an assumption, infeasible paths — resolve with the ``STATIC``
+    verdict before the cache or any prover is consulted.
     """
 
     def __init__(
@@ -327,12 +387,14 @@ class Dispatcher:
         cache: Optional[SequentCache] = None,
         sequent_budget: Optional[float] = None,
         dedup: bool = False,
+        static_tier: bool = False,
     ) -> None:
         self.provers = list(provers)
         self.stop_on_failure = stop_on_failure
         self.cache = cache
         self.sequent_budget = sequent_budget
         self.dedup = dedup
+        self.static = _make_static_tier(static_tier)
 
     @classmethod
     def from_names(cls, names: Sequence[str] = DEFAULT_ORDER, **options) -> "Dispatcher":
@@ -340,7 +402,9 @@ class Dispatcher:
 
     def prove_sequent(self, sequent: Sequent, result: DispatchResult) -> SequentOutcome:
         """Prove one sequent, recording stats into ``result`` (legacy API)."""
-        outcome = _run_prover_chain(self.provers, sequent, self.cache, self.sequent_budget)
+        outcome = _run_prover_chain(
+            self.provers, sequent, self.cache, self.sequent_budget, self.static
+        )
         for answer in outcome.answers:
             _record_answer(result, answer, self.cache is not None)
         return outcome
@@ -355,7 +419,9 @@ class Dispatcher:
                 outcome = _replayed_outcome(sequent, outcomes[rep[index]])
                 result.dedup_replayed += 1
             else:
-                outcome = _run_prover_chain(self.provers, sequent, self.cache, self.sequent_budget)
+                outcome = _run_prover_chain(
+                    self.provers, sequent, self.cache, self.sequent_budget, self.static
+                )
             outcomes.append(outcome)
             if self.stop_on_failure and not outcome.proved:
                 break
@@ -428,6 +494,7 @@ class ParallelDispatcher:
         cache: Optional[SequentCache] = None,
         sequent_budget: Optional[float] = None,
         dedup: bool = False,
+        static_tier: bool = False,
         _names: Optional[List[str]] = None,
         _options: Optional[dict] = None,
     ) -> None:
@@ -444,6 +511,10 @@ class ParallelDispatcher:
         self.cache = cache
         self.sequent_budget = sequent_budget
         self.dedup = dedup
+        # The static pre-pass runs in the *parent*, before pool submission:
+        # statically discharged sequents never reach a worker, and the
+        # discharger's counters stay single-threaded.
+        self.static = _make_static_tier(static_tier)
         self._names = list(_names) if _names is not None else None
         self._options = dict(_options) if _options is not None else {}
 
@@ -457,6 +528,7 @@ class ParallelDispatcher:
         cache: Optional[SequentCache] = None,
         sequent_budget: Optional[float] = None,
         dedup: bool = False,
+        static_tier: bool = False,
         **options,
     ) -> "ParallelDispatcher":
         resolved = resolve_prover_names(names)
@@ -468,6 +540,7 @@ class ParallelDispatcher:
             cache=cache,
             sequent_budget=sequent_budget,
             dedup=dedup,
+            static_tier=static_tier,
             _names=resolved,
             _options=options,
         )
@@ -496,6 +569,13 @@ class ParallelDispatcher:
             }
         return result
 
+    def _static_check(self, sequent: Sequent) -> Optional[SequentOutcome]:
+        """The static pre-pass on one sequent (None when disabled or missed)."""
+        if self.static is None:
+            return None
+        reason = self.static.check(sequent)
+        return _static_outcome(sequent, reason) if reason is not None else None
+
     # -- thread backend --------------------------------------------------------
 
     def _prove_all_threads(
@@ -522,21 +602,30 @@ class ParallelDispatcher:
         with ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="prover-worker"
         ) as pool:
-            # Only group representatives are submitted; duplicates are fanned
-            # out from the representative's outcome at merge time.
-            futures = [
-                pool.submit(task, sequent) if rep is None or rep[index] == index else None
-                for index, sequent in enumerate(sequents)
-            ]
-            for index, future in enumerate(futures):
-                if future is None:
+            # Only group representatives that the static pre-pass did not
+            # already resolve are submitted; duplicates are fanned out from
+            # the representative's outcome at merge time.
+            entries: List[Union[None, SequentOutcome, object]] = []
+            for index, sequent in enumerate(sequents):
+                if rep is not None and rep[index] != index:
+                    entries.append(None)
+                    continue
+                static = self._static_check(sequent)
+                if static is not None:
+                    entries.append(static)
+                    continue
+                entries.append(pool.submit(task, sequent))
+            for index, entry in enumerate(entries):
+                if entry is None:
                     outcome = _replayed_outcome(sequents[index], outcomes[rep[index]])
+                elif isinstance(entry, SequentOutcome):
+                    outcome = entry
                 else:
-                    outcome = future.result()
+                    outcome = entry.result()
                 outcomes.append(outcome)
                 if self.stop_on_failure and not outcome.proved:
-                    for pending in futures[index + 1:]:
-                        if pending is not None:
+                    for pending in entries[index + 1:]:
+                        if pending is not None and not isinstance(pending, SequentOutcome):
                             pending.cancel()
                     break
         return outcomes, busy
@@ -590,11 +679,19 @@ class ParallelDispatcher:
             )
             return outcome
 
-        # Duplicates are never prefix-scanned or submitted: their outcome is
-        # fanned out from the representative's at merge time.
+        # The static pre-pass outranks the cache: a statically discharged
+        # sequent is never prefix-scanned or submitted.  Duplicates are
+        # never scanned or submitted either — their outcome is fanned out
+        # from the representative's at merge time.
+        statics: List[Optional[SequentOutcome]] = [
+            None
+            if rep is not None and rep[index] != index
+            else self._static_check(sequent)
+            for index, sequent in enumerate(sequents)
+        ]
         prefixes: List[Tuple[List[ProverAnswer], bool]] = [
             ([], False)
-            if rep is not None and rep[index] != index
+            if statics[index] is not None or (rep is not None and rep[index] != index)
             else self._cached_chain_prefix(sequent, signatures)
             for index, sequent in enumerate(sequents)
         ]
@@ -604,7 +701,11 @@ class ParallelDispatcher:
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             futures = []
             for index, (sequent, (prefix, complete)) in enumerate(zip(sequents, prefixes)):
-                if complete or (rep is not None and rep[index] != index):
+                if (
+                    complete
+                    or statics[index] is not None
+                    or (rep is not None and rep[index] != index)
+                ):
                     futures.append(None)
                     continue
                 payload = (
@@ -614,6 +715,8 @@ class ParallelDispatcher:
             for index, (sequent, (prefix, complete)) in enumerate(zip(sequents, prefixes)):
                 if rep is not None and rep[index] != index:
                     outcome = _replayed_outcome(sequent, outcomes[rep[index]])
+                elif statics[index] is not None:
+                    outcome = statics[index]
                 elif complete:
                     outcome = SequentOutcome(sequent=sequent, proved=False, answers=prefix)
                     if prefix and prefix[-1].proved:

@@ -19,6 +19,8 @@ class SpecVarDecl:
     is_public: bool = False
     is_static: bool = True
     init_text: Optional[str] = None
+    #: 1-based source line of the declaration (0 = unknown).
+    line: int = 0
 
 
 @dataclass
@@ -27,6 +29,7 @@ class VarDef:
 
     name: str
     definition_text: str
+    line: int = 0
 
 
 @dataclass
@@ -36,6 +39,7 @@ class Invariant:
     name: str
     formula_text: str
     is_public: bool = False
+    line: int = 0
 
 
 @dataclass
@@ -45,6 +49,10 @@ class MethodContract:
     requires_text: str = "True"
     modifies: List[str] = field(default_factory=list)
     ensures_text: str = "True"
+    #: Source lines of the respective clauses (0 = unknown/absent).
+    requires_line: int = 0
+    modifies_line: int = 0
+    ensures_line: int = 0
 
     @property
     def has_frame(self) -> bool:

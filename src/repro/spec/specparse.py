@@ -55,19 +55,31 @@ class SpecParseError(Exception):
 
 
 class _Scanner:
-    """Splits spec text into words, punctuation and quoted formula strings."""
+    """Splits spec text into words, punctuation and quoted formula strings.
+
+    Tokens are ``(kind, value, line_offset)`` triples; the third component
+    is the 0-based line offset of the token within the spec text, so callers
+    that know where the comment sits in the Java source can report absolute
+    positions.  (Existing code that indexes only ``token[0]``/``token[1]``
+    is unaffected.)
+    """
 
     def __init__(self, text: str) -> None:
         self.tokens = self._tokenize(text)
         self.pos = 0
 
     @staticmethod
-    def _tokenize(text: str) -> List[Tuple[str, str]]:
-        tokens: List[Tuple[str, str]] = []
+    def _tokenize(text: str) -> List[Tuple[str, str, int]]:
+        tokens: List[Tuple[str, str, int]] = []
         i = 0
+        line = 0
         n = len(text)
         while i < n:
             ch = text[i]
+            if ch == "\n":
+                line += 1
+                i += 1
+                continue
             if ch.isspace():
                 i += 1
                 continue
@@ -75,36 +87,41 @@ class _Scanner:
                 j = text.find('"', i + 1)
                 if j < 0:
                     raise SpecParseError(f"unterminated formula string in spec: {text!r}")
-                tokens.append(("formula", text[i + 1: j]))
+                tokens.append(("formula", text[i + 1: j], line))
+                line += text.count("\n", i + 1, j)
                 i = j + 1
                 continue
             if ch in ";:,=.":
                 if text.startswith("::", i):
-                    tokens.append(("symbol", "::"))
+                    tokens.append(("symbol", "::", line))
                     i += 2
                     continue
                 if text.startswith(":=", i):
-                    tokens.append(("symbol", ":="))
+                    tokens.append(("symbol", ":=", line))
                     i += 2
                     continue
                 if text.startswith("..", i):
-                    tokens.append(("symbol", ".."))
+                    tokens.append(("symbol", "..", line))
                     i += 2
                     continue
-                tokens.append(("symbol", ch))
+                tokens.append(("symbol", ch, line))
                 i += 1
                 continue
             match = re.match(r"[A-Za-z_][A-Za-z0-9_.\[\]*()]*", text[i:])
             if match:
-                tokens.append(("word", match.group(0)))
+                tokens.append(("word", match.group(0), line))
                 i += len(match.group(0))
                 continue
             raise SpecParseError(f"unexpected character {ch!r} in spec: {text[i:i+25]!r}")
         return tokens
 
-    def peek(self, offset: int = 0) -> Optional[Tuple[str, str]]:
+    def peek(self, offset: int = 0) -> Optional[Tuple[str, str, int]]:
         index = self.pos + offset
         return self.tokens[index] if index < len(self.tokens) else None
+
+    def next_line_offset(self) -> int:
+        token = self.peek()
+        return token[2] if token is not None else 0
 
     def at_word(self, *words: str) -> bool:
         token = self.peek()
@@ -114,7 +131,7 @@ class _Scanner:
         token = self.peek()
         return token is not None and token[0] == "symbol" and token[1] == symbol
 
-    def advance(self) -> Tuple[str, str]:
+    def advance(self) -> Tuple[str, str, int]:
         token = self.peek()
         if token is None:
             raise SpecParseError("unexpected end of specification comment")
@@ -141,20 +158,31 @@ _MODIFIERS = {"public", "private", "protected", "static", "ghost"}
 # -- class-level specifications -------------------------------------------------------
 
 
-def parse_class_spec(blocks: List[str]) -> ClassSpec:
-    """Parse the class-level specification comments of one class."""
+def parse_class_spec(blocks: List[str], lines: Optional[List[int]] = None) -> ClassSpec:
+    """Parse the class-level specification comments of one class.
+
+    ``lines``, when given, holds the 1-based source line of each block (as
+    recorded in :attr:`repro.java.ast.ClassDecl.spec_block_lines`); declared
+    items then carry absolute source lines.
+    """
     spec = ClassSpec()
-    for block in blocks:
-        _parse_class_block(block, spec)
+    for index, block in enumerate(blocks):
+        base_line = lines[index] if lines and index < len(lines) else 0
+        _parse_class_block(block, spec, base_line)
     return spec
 
 
-def _parse_class_block(text: str, spec: ClassSpec) -> None:
+def _parse_class_block(text: str, spec: ClassSpec, base_line: int = 0) -> None:
     scanner = _Scanner(text)
+
+    def absolute(offset: int) -> int:
+        return base_line + offset if base_line else 0
+
     while not scanner.done():
         scanner.skip_semicolons()
         if scanner.done():
             break
+        item_line = absolute(scanner.next_line_offset())
         modifiers = set()
         while scanner.at_word(*_MODIFIERS):
             modifiers.add(scanner.advance()[1])
@@ -177,6 +205,7 @@ def _parse_class_block(text: str, spec: ClassSpec) -> None:
                     is_public="public" in modifiers,
                     is_static="static" in modifiers or True,
                     init_text=init_text,
+                    line=item_line,
                 )
             )
         elif scanner.at_word("vardefs"):
@@ -185,7 +214,7 @@ def _parse_class_block(text: str, spec: ClassSpec) -> None:
             if "==" not in definition:
                 raise SpecParseError(f"vardefs must contain '==': {definition!r}")
             name, _, body = definition.partition("==")
-            spec.vardefs.append(VarDef(name.strip(), body.strip()))
+            spec.vardefs.append(VarDef(name.strip(), body.strip(), line=item_line))
         elif scanner.at_word("invariant"):
             scanner.advance()
             name = f"inv{len(spec.invariants) + 1}"
@@ -195,7 +224,8 @@ def _parse_class_block(text: str, spec: ClassSpec) -> None:
                     scanner.advance()
             formula = scanner.expect_kind("formula")
             spec.invariants.append(
-                Invariant(name=name, formula_text=formula, is_public="public" in modifiers)
+                Invariant(name=name, formula_text=formula,
+                          is_public="public" in modifiers, line=item_line)
             )
         elif scanner.at_word("claimedby"):
             scanner.advance()
@@ -209,8 +239,12 @@ def _parse_class_block(text: str, spec: ClassSpec) -> None:
 # -- method contracts -------------------------------------------------------------------
 
 
-def parse_contract(text: str) -> MethodContract:
-    """Parse a requires/modifies/ensures contract comment."""
+def parse_contract(text: str, base_line: int = 0) -> MethodContract:
+    """Parse a requires/modifies/ensures contract comment.
+
+    With a nonzero ``base_line`` (the source line where the contract comment
+    starts), the per-clause ``*_line`` fields carry absolute source lines.
+    """
     contract = MethodContract()
     if not text.strip():
         return contract
@@ -219,17 +253,21 @@ def parse_contract(text: str) -> MethodContract:
         scanner.skip_semicolons()
         if scanner.done():
             break
+        clause_line = base_line + scanner.next_line_offset() if base_line else 0
         keyword = scanner.expect_kind("word")
         if keyword == "requires":
             contract.requires_text = scanner.expect_kind("formula")
+            contract.requires_line = clause_line
         elif keyword == "ensures":
             contract.ensures_text = scanner.expect_kind("formula")
+            contract.ensures_line = clause_line
         elif keyword == "modifies":
             names = [scanner.expect_kind("word")]
             while scanner.at_symbol(","):
                 scanner.advance()
                 names.append(scanner.expect_kind("word"))
             contract.modifies.extend(names)
+            contract.modifies_line = clause_line
         else:
             raise SpecParseError(f"unexpected contract keyword {keyword!r} in {text!r}")
     return contract
@@ -255,7 +293,7 @@ def _parse_one_statement(scanner: _Scanner) -> SpecStatement:
     if scanner.at_word("note", "assert", "assume"):
         keyword = scanner.advance()[1]
         label = ""
-        if scanner.peek() and scanner.peek()[0] == "word" and scanner.peek(1) and scanner.peek(1) == ("symbol", ":"):
+        if scanner.peek() and scanner.peek()[0] == "word" and scanner.peek(1) and scanner.peek(1)[:2] == ("symbol", ":"):
             label = scanner.advance()[1]
             scanner.advance()
         formula = scanner.expect_kind("formula")

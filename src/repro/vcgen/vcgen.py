@@ -79,16 +79,17 @@ def _replace_old(term: F.Term, state_vars: Set[str]) -> F.Term:
 def _command_map(command: Command, fn) -> Command:
     """Apply ``fn`` to every formula embedded in a command."""
     if isinstance(command, Assume):
-        return Assume(fn(command.formula), command.label)
+        return Assume(fn(command.formula), command.label, line=command.line,
+                      trusted=command.trusted)
     if isinstance(command, Assert):
-        return Assert(fn(command.formula), command.label, command.hints)
+        return Assert(fn(command.formula), command.label, command.hints, line=command.line)
     if isinstance(command, Note):
-        return Note(fn(command.formula), command.label, command.hints)
+        return Note(fn(command.formula), command.label, command.hints, line=command.line)
     if isinstance(command, Havoc):
         such_that = fn(command.such_that) if command.such_that is not None else None
-        return Havoc(command.variables, such_that)
+        return Havoc(command.variables, such_that, line=command.line)
     if isinstance(command, Assign):
-        return Assign(command.variable, fn(command.value))
+        return Assign(command.variable, fn(command.value), line=command.line)
     if isinstance(command, Seq):
         return Seq(tuple(_command_map(sub, fn) for sub in command.commands))
     if isinstance(command, Choice):
@@ -96,10 +97,12 @@ def _command_map(command: Command, fn) -> Command:
     from ..gcl.commands import If, Loop
 
     if isinstance(command, If):
-        return If(fn(command.condition), _command_map(command.then_branch, fn), _command_map(command.else_branch, fn))
+        return If(fn(command.condition), _command_map(command.then_branch, fn),
+                  _command_map(command.else_branch, fn), line=command.line)
     if isinstance(command, Loop):
         invariants = tuple((name, fn(formula)) for name, formula in command.invariants)
-        return Loop(invariants, fn(command.condition), _command_map(command.body, fn))
+        return Loop(invariants, fn(command.condition), _command_map(command.body, fn),
+                    line=command.line)
     raise TypeError(f"unknown command {command!r}")
 
 

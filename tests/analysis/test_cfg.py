@@ -1,0 +1,169 @@
+"""CFG construction and the generic dataflow fixpoint engine."""
+
+import pytest
+
+from repro.form import ast as F
+from repro.form.parser import parse_formula as parse
+from repro.analysis.cfg import (
+    BasicBlock,
+    DataflowAnalysis,
+    build_cfg,
+    run_dataflow,
+)
+from repro.gcl.commands import (
+    Assert,
+    Assign,
+    Assume,
+    Choice,
+    Havoc,
+    Seq,
+    desugar,
+    seq,
+)
+
+
+def test_straight_line_is_one_block():
+    cfg = build_cfg(seq(
+        Assume(parse("p")),
+        Assign("x", parse("1")),
+        Assert(parse("p")),
+    ))
+    assert len(cfg.blocks) == 1
+    assert cfg.entry == cfg.exit == 0
+    assert len(cfg.blocks[0].commands) == 3
+    assert cfg.blocks[0].successors == []
+
+
+def test_choice_forks_and_joins():
+    cfg = build_cfg(seq(
+        Assume(parse("p")),
+        Choice(Assign("x", parse("1")), Assign("x", parse("2"))),
+        Assert(parse("p")),
+    ))
+    # entry, two branches, join.
+    assert len(cfg.blocks) == 4
+    entry = cfg.blocks[cfg.entry]
+    assert len(entry.successors) == 2
+    join = cfg.blocks[cfg.exit]
+    assert sorted(join.predecessors) == sorted(entry.successors)
+    # Every branch block has the entry as its predecessor.
+    for succ in entry.successors:
+        assert cfg.blocks[succ].predecessors == [entry.index]
+
+
+def test_nested_choice():
+    inner = Choice(Assign("x", parse("1")), Assign("x", parse("2")))
+    cfg = build_cfg(Choice(inner, Assign("y", parse("3"))))
+    # Reverse postorder starts at the entry and covers every block.
+    order = cfg.reverse_postorder()
+    assert order[0] == cfg.entry
+    assert set(order) == set(range(len(cfg.blocks)))
+
+
+def test_reverse_postorder_respects_edges():
+    cfg = build_cfg(seq(
+        Choice(Assume(parse("p")), Assume(parse("~p"))),
+        Assert(parse("q")),
+    ))
+    order = cfg.reverse_postorder()
+    position = {index: k for k, index in enumerate(order)}
+    for block in cfg.blocks:
+        for succ in block.successors:
+            assert position[block.index] < position[succ]
+
+
+def test_cut_blocks_stop_reachability():
+    # assume False ; assert p  --  the assert is never reached.
+    cfg = build_cfg(seq(
+        Choice(
+            seq(Assume(F.FALSE), Assign("x", parse("1"))),
+            Assign("y", parse("2")),
+        ),
+        Assert(parse("p")),
+    ))
+    reachable = {cmd for cmd, _ in cfg.reachable_commands()}
+    assert not any(isinstance(c, Assign) and c.variable == "x" for c in reachable)
+    assert any(isinstance(c, Assign) and c.variable == "y" for c in reachable)
+    # The join after the choice is still reachable via the live branch.
+    assert any(isinstance(c, Assert) for c in reachable)
+
+
+def test_reachable_blocks_without_cut_semantics():
+    command = seq(Assume(F.FALSE), Assert(parse("p")))
+    cfg = build_cfg(command)
+    assert cfg.reachable_blocks(respect_cuts=False) == {0}
+    # One block: the cut hides the assert at command granularity.
+    assert [type(c) for c, _ in cfg.reachable_commands()] == [Assume]
+
+
+def test_havoc_suchthat_rejected():
+    havoc = Havoc(("x",), such_that=parse("x = 1"))
+    with pytest.raises(ValueError):
+        build_cfg(havoc)
+    # After desugaring the same command is accepted.
+    build_cfg(desugar(havoc))
+
+
+class ReachingLabels(DataflowAnalysis):
+    """Toy forward may-analysis: union of assume labels seen on some path."""
+
+    direction = "forward"
+
+    def boundary(self):
+        return frozenset()
+
+    def join(self, facts):
+        out = frozenset()
+        for fact in facts:
+            out |= fact
+        return out
+
+    def transfer(self, block, fact):
+        for cmd in block.commands:
+            if isinstance(cmd, Assume) and cmd.label:
+                fact = fact | {cmd.label}
+        return fact
+
+
+def test_dataflow_forward_union():
+    cfg = build_cfg(seq(
+        Assume(parse("p"), label="pre"),
+        Choice(Assume(parse("q"), label="left"), Assume(parse("r"), label="right")),
+        Assert(parse("p")),
+    ))
+    result = run_dataflow(cfg, ReachingLabels())
+    assert result.outputs[cfg.exit] == frozenset({"pre", "left", "right"})
+    assert result.inputs[cfg.entry] == frozenset()
+
+
+def test_dataflow_skips_unreached_blocks():
+    # A backward analysis starting at the exit: blocks off the exit's
+    # reverse-reachable set keep fact None.
+    class ExitDistance(DataflowAnalysis):
+        direction = "backward"
+
+        def boundary(self):
+            return 0
+
+        def join(self, facts):
+            return min(facts)
+
+        def transfer(self, block, fact):
+            return fact + len(block.commands)
+
+    cfg = build_cfg(seq(
+        Choice(Assign("x", parse("1")), Assign("y", parse("2"))),
+        Assert(parse("p")),
+    ))
+    result = run_dataflow(cfg, ExitDistance())
+    assert result.inputs[cfg.exit] == 0
+    assert result.outputs[cfg.entry] is not None
+
+
+def test_blocks_expose_predecessors_and_successors_consistently():
+    cfg = build_cfg(Choice(Assign("x", parse("1")), Assign("y", parse("2"))))
+    for block in cfg.blocks:
+        for succ in block.successors:
+            assert block.index in cfg.blocks[succ].predecessors
+        for pred in block.predecessors:
+            assert block.index in cfg.blocks[pred].successors

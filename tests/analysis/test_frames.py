@@ -1,0 +1,111 @@
+"""Frame/modifies checking: write effects versus declared frames."""
+
+from repro.form.parser import parse_formula as parse
+from repro.analysis.frames import check_frames, collect_writes, method_effects
+from repro.gcl.commands import Assign, Choice, Havoc, If, Loop, Seq, seq
+from repro.java.resolver import parse_program
+
+
+TWO_CLASSES = """
+public /*: claimedby Stack */ class Cell {
+    public Object data;
+    public Cell below;
+}
+class Stack {
+    private static Cell top;
+    public static int version;
+    /*: public static ghost specvar content :: "objset" = "{}";
+        private static ghost specvar depth :: "int" = "0";
+        invariant TopInv: "top ~= null --> top..data : content";
+    */
+    public static void push(Object x)
+    /*: requires "x ~= null"
+        modifies content
+        ensures "content = old content Un {x}" */
+    {
+        Cell c = new Cell();
+        c.data = x;
+        c.below = top;
+        top = c;
+        //: content := "content Un {x}";
+        //: depth := "depth + 1";
+    }
+}
+class Other {
+    public static Object scratch;
+}
+"""
+
+
+def test_collect_writes_tracks_first_lines():
+    command = seq(
+        Assign("x", parse("1"), line=3),
+        Assign("x", parse("2"), line=7),
+        Havoc(("y", "z"), line=5),
+    )
+    writes = collect_writes(command)
+    assert writes == {"x": 3, "y": 5, "z": 5}
+
+
+def test_collect_writes_covers_every_command_form():
+    command = Seq((
+        If(parse("p"), Assign("a", parse("1")), Assign("b", parse("2"))),
+        Choice(Assign("c", parse("3")), Havoc(("d",))),
+        Loop((), parse("p"), Assign("e", parse("4"))),
+    ))
+    assert set(collect_writes(command)) == {"a", "b", "c", "d", "e"}
+
+
+def test_method_effects_cover_heap_and_ghost_writes():
+    program = parse_program(TWO_CLASSES)
+    effects = method_effects(program, "Stack", "push")
+    # Field stores surface as writes to the field functions; the ghost
+    # assignments as writes to the specvars; alloc from `new`.
+    assert {"data", "below", "top", "content", "depth", "alloc"} <= set(effects.writes)
+
+
+def test_declared_and_owned_writes_are_licensed():
+    program = parse_program(TWO_CLASSES)
+    # push writes content (declared), depth (private ghost), top (private
+    # field), data/below (fields of the claimed class): all licensed.
+    assert check_frames(program) == []
+
+
+def test_frame01_public_specvar_not_declared():
+    source = TWO_CLASSES.replace("modifies content\n", "")
+    program = parse_program(source)
+    findings = check_frames(program)
+    assert [d.rule for d in findings] == ["FRAME01"]
+    assert "content" in findings[0].message
+    assert findings[0].method_name == "push"
+
+
+def test_frame01_public_field_not_declared():
+    source = TWO_CLASSES.replace("top = c;", "top = c;\n        version = version + 1;")
+    program = parse_program(source)
+    findings = check_frames(program)
+    assert [d.rule for d in findings] == ["FRAME01"]
+    assert "version" in findings[0].message
+
+
+def test_frame02_unrelated_class_field():
+    source = TWO_CLASSES.replace("top = c;", "top = c;\n        Other.scratch = x;")
+    program = parse_program(source)
+    findings = check_frames(program)
+    assert [d.rule for d in findings] == ["FRAME02"]
+    assert findings[0].severity.name == "WARNING"
+    assert "scratch" in findings[0].message
+
+
+def test_qualified_modifies_licenses_field():
+    source = TWO_CLASSES.replace("modifies content", "modifies content, Stack.version")
+    source = source.replace("top = c;", "top = c;\n        version = version + 1;")
+    program = parse_program(source)
+    assert check_frames(program) == []
+
+
+def test_bodyless_methods_are_skipped():
+    program = parse_program(TWO_CLASSES)
+    assert method_effects(program, "Stack", "push") is not None
+    # Other has no methods at all; check_frames simply has nothing to say.
+    assert all(d.class_name == "Stack" for d in check_frames(program))

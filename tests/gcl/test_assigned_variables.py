@@ -1,0 +1,117 @@
+"""``assigned_variables`` over every command form, and the property that
+desugaring preserves the assigned-variable set (desugaring introduces
+assumes/asserts and loop havocs over *already-assigned* variables, never a
+write to a new variable)."""
+
+import random
+
+import pytest
+
+from repro.form import ast as F
+from repro.gcl.commands import (
+    SKIP,
+    Assert,
+    Assign,
+    Assume,
+    Choice,
+    Command,
+    Havoc,
+    If,
+    Loop,
+    Note,
+    Seq,
+    assigned_variables,
+    desugar,
+    seq,
+    seq_of,
+)
+
+P = F.Var("p")
+
+
+def test_assume_assert_note_assign_nothing():
+    assert assigned_variables(Assume(P)) == set()
+    assert assigned_variables(Assert(P)) == set()
+    assert assigned_variables(Note(P, label="n")) == set()
+
+
+def test_assign_and_havoc():
+    assert assigned_variables(Assign("x", P)) == {"x"}
+    assert assigned_variables(Havoc(("a", "b"))) == {"a", "b"}
+    assert assigned_variables(Havoc(("c",), such_that=P)) == {"c"}
+
+
+def test_seq_choice_if_loop_union():
+    assert assigned_variables(seq(Assign("x", P), Havoc(("y",)))) == {"x", "y"}
+    assert assigned_variables(Choice(Assign("a", P), Assign("b", P))) == {"a", "b"}
+    assert assigned_variables(
+        If(P, Assign("t", P), Assign("e", P))
+    ) == {"t", "e"}
+    loop = Loop(invariants=(("I", P),), condition=P, body=Assign("i", P))
+    assert assigned_variables(loop) == {"i"}
+
+
+def test_skip_and_empty_seq():
+    assert assigned_variables(SKIP) == set()
+    assert assigned_variables(Seq(())) == set()
+
+
+def test_unknown_command_raises():
+    class Rogue(Command):
+        pass
+
+    with pytest.raises(TypeError):
+        assigned_variables(Rogue())
+
+
+def test_seq_factory_flattens_but_preserves_writes():
+    nested = seq(seq(Assign("x", P), seq(Assign("y", P))), Assign("z", P))
+    assert all(not isinstance(c, Seq) for c in nested.commands)
+    assert assigned_variables(nested) == {"x", "y", "z"}
+    assert assigned_variables(seq_of([nested])) == {"x", "y", "z"}
+
+
+# ---------------------------------------------------------------------------
+# Property: desugar preserves the assigned-variable set.
+# ---------------------------------------------------------------------------
+
+
+def _random_command(rng: random.Random, depth: int) -> Command:
+    names = ["u", "v", "w", "x", "y"]
+    leaf_builders = [
+        lambda: Assume(P),
+        lambda: Assert(P),
+        lambda: Note(P, label="n"),
+        lambda: Assign(rng.choice(names), P),
+        lambda: Havoc((rng.choice(names),)),
+        lambda: Havoc((rng.choice(names),), such_that=P),
+    ]
+    if depth == 0:
+        return rng.choice(leaf_builders)()
+    inner_builders = [
+        lambda: seq(*[_random_command(rng, depth - 1)
+                      for _ in range(rng.randint(0, 3))]),
+        lambda: Choice(_random_command(rng, depth - 1),
+                       _random_command(rng, depth - 1)),
+        lambda: If(P, _random_command(rng, depth - 1),
+                   _random_command(rng, depth - 1)),
+        lambda: Loop(invariants=(("I", P),), condition=P,
+                     body=_random_command(rng, depth - 1)),
+    ]
+    return rng.choice(leaf_builders + inner_builders)()
+
+
+@pytest.mark.parametrize("tree_seed", range(20))
+def test_desugar_preserves_assigned_variables(tree_seed):
+    rng = random.Random(tree_seed)
+    command = _random_command(rng, depth=3)
+    assert assigned_variables(desugar(command)) == assigned_variables(command)
+
+
+def test_desugar_loop_havocs_only_assigned_variables():
+    loop = Loop(invariants=(("I", P),), condition=P,
+                body=seq(Assign("x", P), Havoc(("y",))))
+    lowered = desugar(loop)
+    assert assigned_variables(lowered) == {"x", "y"}
+    havocs = [c for c in lowered.commands if isinstance(c, Havoc)]
+    assert havocs and havocs[0].variables == ("x", "y")

@@ -1,0 +1,130 @@
+"""Source positions: the lexer stamps every token with line/column, syntax
+and resolve errors carry located coordinates, and spec declarations map back
+to absolute source lines via the spec-block line offsets."""
+
+import pytest
+
+from repro.java.lexer import JavaSyntaxError, tokenize
+from repro.java.parser import parse_java
+from repro.java.resolver import ResolveError, parse_program
+
+
+SOURCE = """\
+class Box {
+    private static Object item;
+    /*: public static ghost specvar full :: "bool" = "False";
+        invariant Sane: "full --> item ~= null";
+    */
+    public static void put(Object x)
+    /*: requires "x ~= null"
+        modifies full
+        ensures "full" */
+    {
+        item = x;
+        //: full := "True";
+    }
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+
+def test_tokens_carry_line_and_column():
+    tokens = tokenize("class Box {\n    private static Object item;\n}\n")
+    cls = tokens[0]
+    assert (cls.kind, cls.value, cls.line, cls.column) == ("keyword", "class", 1, 1)
+    name = tokens[1]
+    assert (name.value, name.line, name.column) == ("Box", 1, 7)
+    private = next(t for t in tokens if t.value == "private")
+    assert (private.line, private.column) == (2, 5)
+
+
+def test_spec_token_points_at_comment_content():
+    tokens = tokenize(SOURCE)
+    specs = [t for t in tokens if t.kind == "spec"]
+    # The class block's token points at its first content line (line 3).
+    assert specs[0].value.startswith("public static ghost specvar full")
+    assert specs[0].line == 3
+    # The contract comment starts on line 7, the ghost assign on line 12.
+    assert specs[1].line == 7
+    assert specs[2].line == 12
+
+
+def test_lexer_error_is_located():
+    with pytest.raises(JavaSyntaxError) as excinfo:
+        tokenize("class Box {\n    int x = `;\n}\n")
+    assert excinfo.value.line == 2
+    assert excinfo.value.column > 0
+    assert f"(line 2:{excinfo.value.column})" in str(excinfo.value)
+
+
+def test_unterminated_comment_is_located():
+    with pytest.raises(JavaSyntaxError) as excinfo:
+        tokenize("class Box {\n}\n/* never closed")
+    assert excinfo.value.line == 3
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def test_syntax_error_carries_token_position():
+    with pytest.raises(JavaSyntaxError) as excinfo:
+        parse_java("class Box {\n    public static void f()\n    )\n}\n")
+    assert excinfo.value.line == 3
+    assert excinfo.value.column == 5
+    assert "(line 3:5)" in str(excinfo.value)
+
+
+def test_class_and_method_lines():
+    unit = parse_java(SOURCE)
+    cls = unit.class_named("Box")
+    assert cls.line == 1
+    method = cls.methods[0]
+    assert method.name == "put" and method.line == 6
+    assert method.contract_line == 7
+
+
+def test_spec_block_lines_parallel_spec_blocks():
+    cls = parse_java(SOURCE).class_named("Box")
+    assert len(cls.spec_blocks) == len(cls.spec_block_lines)
+    assert cls.spec_block_line(0) == 3
+    assert cls.spec_block_line(99) == 0  # out of range → unknown
+
+
+# ---------------------------------------------------------------------------
+# Spec declarations: absolute lines via base_line offsets
+# ---------------------------------------------------------------------------
+
+
+def test_spec_items_carry_absolute_lines():
+    program = parse_program(SOURCE)
+    spec = program.class_specs["Box"]
+    assert spec.specvars[0].name == "full" and spec.specvars[0].line == 3
+    assert spec.invariants[0].name == "Sane" and spec.invariants[0].line == 4
+
+
+def test_contract_clause_lines():
+    program = parse_program(SOURCE)
+    contract = program.method("Box", "put").contract
+    assert contract.requires_line == 7
+    assert contract.modifies_line == 8
+    assert contract.ensures_line == 9
+
+
+# ---------------------------------------------------------------------------
+# Resolver
+# ---------------------------------------------------------------------------
+
+
+def test_resolve_error_is_located():
+    bad = SOURCE.replace('invariant Sane: "full --> item ~= null"',
+                         'invariant Sane: "full --> --> item"')
+    with pytest.raises(ResolveError) as excinfo:
+        parse_program(bad)
+    assert excinfo.value.line == 4
+    assert "line 4" in str(excinfo.value)
