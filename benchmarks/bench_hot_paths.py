@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Whole-suite cold-verify benchmark of the hot-path optimisations.
+
+Runs the full Figure-15 suite cold (no sequent cache) in two modes that
+differ **only** in the performance changes introduced with the hash-consing
+term layer and the incremental DPLL(T) trail:
+
+* ``baseline`` — the pre-change shipped configuration: ``interning=False,
+  incremental=False, fragment_gate=False`` on every prover (terms are
+  rebuilt structurally, the SAT core re-solves from scratch after every
+  theory blocking clause, cardinality/arithmetic goals burn their full
+  budget in engines that never decide them) under the pre-change default
+  budgets (SMT 5 s, FOL 5 s, MONA 10 s).
+* ``optimized`` — the shipped defaults after the change: all flags on,
+  and the profile-guided budget re-tunes that the optimisations enable
+  (SMT 3 s — its slowest genuine proof now lands comfortably inside it —
+  FOL 1.5 s, MONA 2 s; each engine's proofs all complete well under the
+  new budget, so the old ones were pure deadline burn on undecidable
+  goals).
+
+Everything else is held fixed (same prover order, same machine, same
+process), so the wall-clock ratio is exactly what a cold
+``examples/figure15_table.py`` run gained from this change-set.  The run
+*asserts* that both modes prove exactly the same sequents per structure —
+the optimisations must be observationally invisible — and (full scale
+only) that the speedup is at least ``--min-speedup`` (default 2.0).
+
+Usage::
+
+    python benchmarks/bench_hot_paths.py                  # full suite, writes BENCH json
+    python benchmarks/bench_hot_paths.py --smoke          # 3-structure smoke scale
+    python benchmarks/bench_hot_paths.py --smoke --check BENCH_hot_paths.json
+
+``--check`` is the CI regression gate: re-measure the optimized smoke run
+and fail if its wall time regressed more than ``--tolerance`` (default 20%)
+against the committed reference — after normalising by the machine-speed
+calibration loop recorded alongside, so a slower runner does not fail the
+gate spuriously.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+PROVERS = ["smt", "fol", "mona", "bapa"]
+#: Structures whose cold verify exercises every engine, kept small enough
+#: for CI: AssocList (SMT-heavy), SinglyLinkedList (MONA + open goals),
+#: PriorityQueue (cardinality goals -> the fragment gates).
+SMOKE_NAMES = ["AssocList", "SinglyLinkedList", "PriorityQueue"]
+
+
+def prover_options(optimized: bool) -> Dict[str, dict]:
+    """Each mode is the *shipped* configuration of its era, spelled out
+    explicitly so the benchmark stays meaningful if defaults drift again:
+    baseline is the pre-change defaults, optimized the current ones."""
+    flags = dict(interning=optimized, incremental=optimized, fragment_gate=optimized)
+    return {
+        "smt": dict(timeout=3.0 if optimized else 5.0, **flags),
+        "fol": {
+            "timeout": 1.5 if optimized else 5.0,
+            "interning": optimized,
+            "fragment_gate": optimized,
+        },
+        "mona": {"timeout": 2.0 if optimized else 10.0, "fragment_gate": optimized},
+    }
+
+
+def run_mode(names: List[str], optimized: bool) -> Dict[str, dict]:
+    from repro import suite
+
+    options = prover_options(optimized)
+    results: Dict[str, dict] = {}
+    for name in names:
+        start = time.perf_counter()
+        report = suite.verify_structure(
+            name, provers=PROVERS, prover_options=options, dedup=True
+        )
+        wall = time.perf_counter() - start
+        results[name] = {
+            "wall_s": round(wall, 3),
+            "proved": report.proved_sequents,
+            "total": report.total_sequents,
+            "phase_times": {
+                prover: {k: round(v, 3) for k, v in phases.items()}
+                for prover, phases in report.phase_times().items()
+            },
+        }
+        print(
+            f"  {name}: {wall:.2f}s, {report.proved_sequents}/{report.total_sequents} proved",
+            flush=True,
+        )
+    return results
+
+
+def calibrate() -> float:
+    """A fixed pure-Python work loop, timed: the machine-speed yardstick the
+    CI gate uses to normalise wall times across runners."""
+    start = time.perf_counter()
+    acc = 0
+    for i in range(2_000_000):
+        acc = (acc * 31 + i) % 1000003
+    assert acc >= 0
+    return time.perf_counter() - start
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help=f"run only {SMOKE_NAMES}")
+    parser.add_argument(
+        "--output", default="BENCH_hot_paths.json", help="where to write the results json"
+    )
+    parser.add_argument(
+        "--check", metavar="JSON", default=None,
+        help="CI gate: compare the optimized run against a committed reference "
+        "instead of writing a new one",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="allowed relative wall regression in --check mode (default: 20%%)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=2.0,
+        help="required baseline/optimized wall ratio at full scale (default: 2.0)",
+    )
+    args = parser.parse_args()
+
+    names = SMOKE_NAMES if args.smoke else None
+    if names is None:
+        from repro import suite
+
+        names = list(suite.FIGURE15_NAMES)
+    scale = "smoke" if args.smoke else "full"
+    calibration = calibrate()
+    print(f"scale={scale}, calibration loop {calibration:.3f}s")
+
+    print("optimized mode (interning + incremental trail + fragment gates):", flush=True)
+    optimized = run_mode(names, optimized=True)
+    optimized_wall = sum(r["wall_s"] for r in optimized.values())
+
+    if args.check:
+        with open(args.check) as fh:
+            reference = json.load(fh)
+        ref_scale = reference["scale"]
+        if ref_scale != scale:
+            ref_wall = reference.get("smoke_optimized_wall_s")
+            if ref_wall is None:
+                print(f"reference is {ref_scale}-scale and has no smoke numbers", file=sys.stderr)
+                return 2
+        else:
+            ref_wall = reference["optimized_wall_s"]
+        ref_calibration = reference["calibration_s"]
+        # Normalise by machine speed: a runner 1.5x slower than the reference
+        # machine is allowed 1.5x the wall before the tolerance applies.
+        speed_ratio = calibration / ref_calibration
+        allowed = ref_wall * speed_ratio * (1.0 + args.tolerance)
+        verdict = "OK" if optimized_wall <= allowed else "REGRESSION"
+        print(
+            f"gate: measured {optimized_wall:.2f}s vs reference {ref_wall:.2f}s "
+            f"(machine x{speed_ratio:.2f}, allowed {allowed:.2f}s) -> {verdict}"
+        )
+        return 0 if optimized_wall <= allowed else 1
+
+    print("baseline mode (flags off):", flush=True)
+    baseline = run_mode(names, optimized=False)
+    baseline_wall = sum(r["wall_s"] for r in baseline.values())
+
+    mismatches = [
+        name
+        for name in names
+        if baseline[name]["proved"] != optimized[name]["proved"]
+        or baseline[name]["total"] != optimized[name]["total"]
+    ]
+    if mismatches:
+        print(f"FAIL: proved counts differ between modes: {mismatches}", file=sys.stderr)
+        return 1
+
+    speedup = baseline_wall / optimized_wall if optimized_wall else float("inf")
+    print(
+        f"\nsuite cold verify: baseline {baseline_wall:.2f}s, "
+        f"optimized {optimized_wall:.2f}s, speedup {speedup:.2f}x"
+    )
+
+    payload = {
+        "benchmark": "hot_paths_cold_suite",
+        "scale": scale,
+        "provers": PROVERS,
+        "prover_options": {"baseline": prover_options(False), "optimized": prover_options(True)},
+        "calibration_s": round(calibration, 4),
+        "baseline_wall_s": round(baseline_wall, 3),
+        "optimized_wall_s": round(optimized_wall, 3),
+        "speedup": round(speedup, 3),
+        "structures": {
+            name: {"baseline": baseline[name], "optimized": optimized[name]}
+            for name in names
+        },
+    }
+    if not args.smoke:
+        # Record smoke-scale numbers from the same run so the CI gate has a
+        # same-machine reference without a second full run.
+        payload["smoke_optimized_wall_s"] = round(
+            sum(optimized[n]["wall_s"] for n in SMOKE_NAMES if n in optimized), 3
+        )
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    if not args.smoke and speedup < args.min_speedup:
+        print(
+            f"FAIL: speedup {speedup:.2f}x below required {args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

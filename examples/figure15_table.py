@@ -37,6 +37,27 @@ from repro.core.report import format_table
 from repro.provers.cache import SequentCache
 
 
+def _print_profile(report) -> None:
+    """Per-phase breakdown of one structure: frontend, then each prover.
+
+    Phase spans are the engines' own monotonic timers; per live answer they
+    sum exactly to the answer's measured wall time (``other`` is the
+    remainder bucket ``Prover.prove`` adds), so each prover's line adds up
+    to its ``ProverStats.time``.  Cache replays contribute nothing.
+    """
+    frontend = report.frontend_phases
+    if frontend:
+        spans = ", ".join(f"{name} {seconds:.2f}s" for name, seconds in sorted(frontend.items()))
+        print(f"     profile frontend: {spans}")
+    for prover, phases in sorted(report.phase_times().items()):
+        total = sum(phases.values())
+        spans = ", ".join(
+            f"{name} {seconds:.2f}s"
+            for name, seconds in sorted(phases.items(), key=lambda kv: -kv[1])
+        )
+        print(f"     profile {prover} ({total:.2f}s): {spans}")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("names", nargs="*", help="suite structures to verify (default: all)")
@@ -64,6 +85,12 @@ def main() -> None:
         "--server", default=None, metavar="HOST:PORT",
         help="verify through a running daemon (python -m repro.server) "
         "instead of in-process; its sharded store replaces --cache-dir",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print the per-phase time breakdown (parse/vcgen frontend, then "
+        "per-prover translate/clausify/instantiation/sat/theory/saturate "
+        "spans of live attempts) after each structure's row",
     )
     args = parser.parse_args()
 
@@ -102,6 +129,8 @@ def main() -> None:
         reports.append(report)
         row = report.row(provers)
         print("  ", {k: v for k, v in row.items() if v})
+        if args.profile:
+            _print_profile(report)
     print()
     print(format_table(reports, provers))
 

@@ -79,6 +79,10 @@ class MethodReport:
     #: (:mod:`repro.analysis.discharge`) before the cache or any prover ran;
     #: zero unless the dispatch enabled ``static_tier``.
     statically_discharged: int = 0
+    #: Frontend wall time outside the provers: ``parse`` (Java source to
+    #: program, zero when an already-parsed program was passed) and
+    #: ``vcgen`` (weakest-precondition generation plus splitting).
+    frontend_phases: Dict[str, float] = field(default_factory=dict)
 
     @property
     def succeeded(self) -> bool:
@@ -116,6 +120,21 @@ class MethodReport:
     def time_of(self, prover: str) -> float:
         stats = self.prover_stats.get(prover)
         return stats.time if stats else 0.0
+
+    def phase_times(self) -> Dict[str, Dict[str, float]]:
+        """Per-prover phase breakdown of live attempt time (seconds).
+
+        Phases are the engines' own monotonic spans (translate, clausify,
+        instantiation, sat, theory, saturate, ...) plus the ``other``
+        bucket :meth:`repro.provers.base.Prover.prove` adds, so per answer
+        the phases sum to the measured wall time exactly; cache replays
+        contribute nothing, mirroring ``ProverStats.time``.
+        """
+        return {
+            prover: dict(stats.phases)
+            for prover, stats in self.prover_stats.items()
+            if stats.phases
+        }
 
     def format(self) -> str:
         """A command-line report shaped like Figure 7."""
@@ -262,6 +281,25 @@ class ClassReport:
 
     def time_of(self, prover: str) -> float:
         return sum(method.time_of(prover) for method in self.methods)
+
+    def phase_times(self) -> Dict[str, Dict[str, float]]:
+        """Per-prover phase breakdown summed over every method."""
+        merged: Dict[str, Dict[str, float]] = {}
+        for method in self.methods:
+            for prover, phases in method.phase_times().items():
+                bucket = merged.setdefault(prover, {})
+                for name, seconds in phases.items():
+                    bucket[name] = bucket.get(name, 0.0) + seconds
+        return merged
+
+    @property
+    def frontend_phases(self) -> Dict[str, float]:
+        """Frontend (parse/vcgen) wall time summed over every method."""
+        merged: Dict[str, float] = {}
+        for method in self.methods:
+            for name, seconds in method.frontend_phases.items():
+                merged[name] = merged.get(name, 0.0) + seconds
+        return merged
 
     def row(self, provers: Optional[Sequence[str]] = None) -> Dict[str, str]:
         """One row of the Figure 15 table."""

@@ -121,12 +121,15 @@ def verify(
     to local ones.  ``workers``/``cache``/``backend``/``sequent_budget``/
     ``dedup`` are then the callable's concern and ignored locally.
     """
+    parse_start = time.perf_counter()
     program = _as_program(source)
+    parse_time = time.perf_counter() - parse_start
     if class_name is None:
         class_name = _single_class_name(program)
 
     start = time.perf_counter()
     method_vc = generate_method_vc(program, class_name, method, include_frame=include_frame)
+    vcgen_time = time.perf_counter() - start
 
     names = resolve_prover_names(provers)
     if always_syntactic_first and "syntactic" not in names:
@@ -171,6 +174,7 @@ def verify(
         dedup_replayed=dispatched.dedup_replayed,
         trusted_assumes=method_vc.trusted_assumes,
         statically_discharged=dispatched.statically_discharged,
+        frontend_phases={"parse": parse_time, "vcgen": vcgen_time},
     )
     return report
 

@@ -13,9 +13,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from typing import TYPE_CHECKING
+
 from ..form import ast as F
 from ..form.rewrite import nnf, simplify
 from .terms import Clause, FApp, FTerm, FVar, Literal
+
+if TYPE_CHECKING:  # import cycle: form.intern interns this module's terms
+    from ..form.intern import TermBank
 
 
 class ClausificationError(Exception):
@@ -24,9 +29,18 @@ class ClausificationError(Exception):
 
 @dataclass
 class Clausifier:
-    """Stateful clausifier producing standardised-apart clauses."""
+    """Stateful clausifier producing standardised-apart clauses.
+
+    With a :class:`TermBank` attached, every produced FOL term is the
+    bank's canonical node, so downstream structural comparisons (the
+    congruence closure's dictionaries, the resolution indexes) hit the
+    pointer-identity fast path of :class:`FApp.__eq__`; the bank's
+    normalisation memo also short-circuits the ``simplify(nnf(...))``
+    preamble for formulas seen before.
+    """
 
     max_clauses: int = 4000
+    bank: Optional["TermBank"] = None
     _var_counter: int = 0
     _skolem_counter: int = 0
 
@@ -38,11 +52,19 @@ class Clausifier:
         self._skolem_counter += 1
         return f"sk_{self._skolem_counter}"
 
+    def _fapp(self, func: str, args: Tuple[FTerm, ...] = ()) -> FApp:
+        if self.bank is not None:
+            return self.bank.fapp(func, args)
+        return FApp(func, args)
+
     # -- formula -> clauses ---------------------------------------------------
 
     def clausify(self, formula: F.Term) -> List[Clause]:
         """Clausify one formula (conjoined with previously produced clauses)."""
-        formula = simplify(nnf(formula))
+        if self.bank is not None:
+            formula = self.bank.normalised(formula)
+        else:
+            formula = simplify(nnf(formula))
         matrix = self._transform(formula, {}, [])
         clauses = [Clause(tuple(lits)) for lits in matrix]
         return [c for c in clauses if not c.is_tautology()]
@@ -134,13 +156,13 @@ class Clausifier:
         if isinstance(term, F.Var):
             if term.name in bound:
                 return bound[term.name]
-            return FApp(term.name, ())
+            return self._fapp(term.name)
         if isinstance(term, F.IntLit):
-            return FApp(f"$int_{term.value}", ())
+            return self._fapp(f"$int_{term.value}")
         if isinstance(term, F.BoolLit):
-            return FApp("$true" if term.value else "$false", ())
+            return self._fapp("$true" if term.value else "$false")
         if isinstance(term, F.TupleTerm):
-            return FApp("$pair", tuple(self.term_to_fol(i, bound) for i in term.items))
+            return self._fapp("$pair", tuple(self.term_to_fol(i, bound) for i in term.items))
         if isinstance(term, F.App):
             head = term.func
             args = list(term.args)
@@ -151,16 +173,11 @@ class Clausifier:
             if isinstance(head, F.Var):
                 if head.name in bound:
                     base = bound[head.name]
-                    if isinstance(base, FApp):
-                        return FApp(
-                            "$apply",
-                            (base,) + tuple(self.term_to_fol(a, bound) for a in args),
-                        )
-                    return FApp(
+                    return self._fapp(
                         "$apply",
                         (base,) + tuple(self.term_to_fol(a, bound) for a in args),
                     )
-                return FApp(head.name, tuple(self.term_to_fol(a, bound) for a in args))
+                return self._fapp(head.name, tuple(self.term_to_fol(a, bound) for a in args))
             raise ClausificationError(f"higher-order term {term!r}")
         if isinstance(term, (F.Quant, F.Lambda, F.SetCompr)):
             raise ClausificationError(f"binder in term position: {term!r}")
@@ -170,5 +187,5 @@ class Clausifier:
             raise ClausificationError("old() must be resolved before clausification")
         if isinstance(term, (F.And, F.Or, F.Not, F.Implies, F.Iff, F.Eq)):
             # A formula in term position (boolean-valued field); reify it.
-            return FApp("$formula", (FApp(str(abs(hash(term)) % 10**8), ()),))
+            return self._fapp("$formula", (self._fapp(str(abs(hash(term)) % 10**8)),))
         raise ClausificationError(f"cannot translate term {term!r}")

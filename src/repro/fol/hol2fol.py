@@ -465,8 +465,15 @@ def reify_reachability(sequent: Sequent) -> Tuple[Sequent, List[F.Term]]:
     return reified, axioms
 
 
-def translate_sequent(sequent: Sequent, max_clauses: int = 4000) -> Translation:
-    """Translate a sequent into a clause set whose unsatisfiability proves it."""
+def translate_sequent(
+    sequent: Sequent, max_clauses: int = 4000, bank=None
+) -> Translation:
+    """Translate a sequent into a clause set whose unsatisfiability proves it.
+
+    ``bank`` (a :class:`repro.form.intern.TermBank`) makes the clausifier
+    produce canonical, pointer-comparable FOL terms and memoises the
+    normalisation preamble; the clause set is observationally identical.
+    """
     sequent = relevant_assumptions(sequent.restricted())
     sequent, reach_axioms = reify_reachability(sequent)
     sequent = rewrite_sequent(sequent)
@@ -492,7 +499,7 @@ def translate_sequent(sequent: Sequent, max_clauses: int = 4000) -> Translation:
     if used_arith:
         axioms.extend(parse_formula(a) for a in _ARITH_AXIOMS)
 
-    clausifier = Clausifier(max_clauses=max_clauses)
+    clausifier = Clausifier(max_clauses=max_clauses, bank=bank)
     clauses: List[Clause] = []
     for formula in axioms + formulas:
         try:

@@ -4,11 +4,26 @@ from __future__ import annotations
 
 from typing import List, Optional, Set
 
-from ..provers.base import Deadline, Prover, ProverAnswer, Verdict
+from ..form import ast as F
+from ..provers.base import Deadline, PhaseTimer, Prover, ProverAnswer, Verdict
 from ..vcgen.sequent import Sequent
 from .hol2fol import translate_sequent
 from .resolution import ResolutionProver
 from .terms import Clause
+
+
+#: Goal operators the untyped FOL translation erases the semantics of:
+#: ``card`` (BAPA's fragment) and integer arithmetic/order, which become
+#: uninterpreted symbols with no theory axioms behind them.  ``minus`` is
+#: deliberately ungated: the parser overloads it as set difference, which
+#: translates (and proves) fine.
+_GATED_OPS = (frozenset(F.ARITH_OPS) - {"minus"}) | {"card"}
+
+
+def _outside_fragment(goal: F.Term) -> bool:
+    return any(
+        isinstance(sub, F.Var) and sub.name in _GATED_OPS for sub in F.subterms(goal)
+    )
 
 
 class FirstOrderProver(Prover):
@@ -53,16 +68,23 @@ class FirstOrderProver(Prover):
     #: nets against memory blow-up rather than the de-facto time budget;
     #: they default high enough for the backbone-reachability proofs of the
     #: suite's invariant-exit obligations (~100k generated clauses).
+    #: The default budget is short: profiling across the whole suite shows
+    #: every refutation this engine finds completes in well under a second
+    #: (the indexed given-clause loop either finds the empty clause quickly
+    #: or saturates unproductively), so longer budgets are pure deadline
+    #: burn on unprovable goals.  ``timeout`` keys the verdict cache.
     def __init__(
         self,
-        timeout: float = 5.0,
+        timeout: float = 1.5,
         max_processed: int = 6000,
         max_generated: int = 200000,
         strategy: str = "sos",
         sos_seed: str = "negative",
         ordering: str = "kbo",
         selection: str = "negative",
-        backward_subsumption: bool = False,
+        backward_subsumption: bool = True,
+        fragment_gate: bool = True,
+        interning: bool = True,
     ) -> None:
         super().__init__(timeout=timeout)
         # Every knob silently changes search behaviour (and keys the verdict
@@ -82,9 +104,22 @@ class FirstOrderProver(Prover):
         self.ordering = ordering
         self.selection = selection
         #: Backward subsumption (discard active clauses subsumed by a new
-        #: one).  A scalar instance attribute, so it keys the verdict cache
-        #: like the other strategy knobs.
+        #: one).  On by default: with the subsumption index the scan is
+        #: cheap, and discarding dominated active clauses shrinks the
+        #: resolution frontier.  A scalar instance attribute, so it keys
+        #: the verdict cache like the other strategy knobs.
         self.backward_subsumption = bool(backward_subsumption)
+        #: Answer UNSUPPORTED immediately on cardinality and arithmetic
+        #: goals: the untyped FOL translation erases ``card`` (BAPA's
+        #: fragment) and the integer order/operations (``lt``/``plus``/...
+        #: become uninterpreted symbols with no theory axioms), so
+        #: saturation can only burn its budget on such goals — across the
+        #: whole suite it proves none of them.
+        self.fragment_gate = bool(fragment_gate)
+        #: Translate through a per-attempt :class:`repro.form.intern.TermBank`
+        #: (canonical pointer-comparable FOL terms, memoised normalisation);
+        #: observationally identical, off reproduces the pre-interning path.
+        self.interning = bool(interning)
 
     def _support(self, translation) -> Optional[List[Clause]]:
         """The initial set of support, per ``strategy``/``sos_seed``."""
@@ -114,10 +149,28 @@ class FirstOrderProver(Prover):
 
     def attempt(self, sequent: Sequent, deadline: Optional[Deadline] = None) -> ProverAnswer:
         deadline = deadline or Deadline.after(self.timeout)
-        translation = translate_sequent(sequent)
+        timer = PhaseTimer()
+        if self.fragment_gate and _outside_fragment(sequent.goal.formula):
+            return ProverAnswer(
+                Verdict.UNSUPPORTED,
+                self.name,
+                detail="cardinality/arithmetic goal outside the untyped FOL fragment",
+            )
+        with timer("translate"):
+            # Imported here, not at module level: repro.form.intern interns
+            # this package's terms, so a top-level import would be circular.
+            from ..form.intern import TermBank
+
+            bank = TermBank() if self.interning else None
+            translation = translate_sequent(sequent, bank=bank)
         if not translation.clauses:
             # Everything was approximated away; the remaining goal is True.
-            return ProverAnswer(Verdict.PROVED, self.name, detail="trivial after approximation")
+            return ProverAnswer(
+                Verdict.PROVED,
+                self.name,
+                detail="trivial after approximation",
+                phases=dict(timer.phases),
+            )
         engine = ResolutionProver(
             max_seconds=self.timeout,
             max_processed=self.max_processed,
@@ -127,19 +180,21 @@ class FirstOrderProver(Prover):
             selection=self.selection,
             backward_subsumption=self.backward_subsumption,
         )
-        result = engine.refute(
-            translation.clauses, deadline, support=self._support(translation)
-        )
+        with timer("saturate"):
+            result = engine.refute(
+                translation.clauses, deadline, support=self._support(translation)
+            )
+        phases = dict(timer.phases)
         if result.refuted:
             detail = (
                 f"refutation found ({result.processed} processed, "
                 f"{result.generated} generated clauses, strategy={self.strategy})"
             )
-            return ProverAnswer(Verdict.PROVED, self.name, detail=detail)
+            return ProverAnswer(Verdict.PROVED, self.name, detail=detail, phases=phases)
         if result.reason == "timeout":
             detail = (
                 f"saturation interrupted: {result.processed} clauses processed, "
                 f"{result.generated} generated"
             )
-            return ProverAnswer(Verdict.TIMEOUT, self.name, detail=detail)
-        return ProverAnswer(Verdict.UNKNOWN, self.name, detail=result.reason)
+            return ProverAnswer(Verdict.TIMEOUT, self.name, detail=detail, phases=phases)
+        return ProverAnswer(Verdict.UNKNOWN, self.name, detail=result.reason, phases=phases)

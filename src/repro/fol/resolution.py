@@ -82,6 +82,7 @@ from .terms import (
     rename_clause,
     subsumes,
     term_size,
+    term_vars,
     unify_literals,
 )
 
@@ -193,6 +194,96 @@ class _PassiveQueue:
 
 
 # ---------------------------------------------------------------------------
+# Ground demodulation
+# ---------------------------------------------------------------------------
+
+
+class _GroundRewriter:
+    """Forward demodulation with oriented ground unit equalities.
+
+    Every unit clause ``l = r`` with both sides ground is oriented under
+    the same KBO that orders resolution (heavy side rewrites to light
+    side) and applied exhaustively to each clause before it is processed
+    or queued.  Demodulation is a pure simplification — it replaces
+    equals by equals under a unit the active set already contains — so it
+    never adds inferences, only collapses the congruence-chain clutter
+    ground equality reasoning otherwise spells out resolvent by
+    resolvent.
+
+    Restricting left-hand sides to *ground* terms keeps matching a
+    dictionary lookup (no indexing, no substitution), and KBO
+    well-foundedness makes exhaustive rewriting terminate: every rule
+    application strictly decreases the redex in a well-founded order.
+    """
+
+    __slots__ = ("_rules", "_memo")
+
+    def __init__(self) -> None:
+        self._rules: Dict[FTerm, FTerm] = {}
+        self._memo: Dict[FTerm, FTerm] = {}
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def add(self, clause: Clause) -> bool:
+        """Record ``clause`` as a rewrite rule if it is an orientable
+        ground unit equality; returns whether a rule was added."""
+        if len(clause.literals) != 1:
+            return False
+        lit = clause.literals[0]
+        if not (lit.positive and lit.is_equality):
+            return False
+        lhs, rhs = lit.args
+        if term_vars(lhs) or term_vars(rhs):
+            return False
+        if kbo_greater(lhs, rhs):
+            big, small = lhs, rhs
+        elif kbo_greater(rhs, lhs):
+            big, small = rhs, lhs
+        else:
+            return False  # KBO is total on ground terms, so lhs == rhs
+        # Normalise the right-hand side against the existing rules so
+        # chains collapse at insertion; older rules whose stored result
+        # predates this one are re-normalised lazily in rewrite_term.
+        self._rules[big] = self.rewrite_term(small)
+        self._memo = {}
+        return True
+
+    def rewrite_term(self, term: FTerm) -> FTerm:
+        if not self._rules or isinstance(term, FVar):
+            return term
+        cached = self._memo.get(term)
+        if cached is not None:
+            return cached
+        assert isinstance(term, FApp)
+        args = tuple(self.rewrite_term(a) for a in term.args)
+        result = term if all(a is b for a, b in zip(args, term.args)) else FApp(term.func, args)
+        replacement = self._rules.get(result)
+        if replacement is not None:
+            # Recurse on the stored result: rules added after it was
+            # recorded may reduce it further (terminates — each rule
+            # application is KBO-decreasing).
+            result = self.rewrite_term(replacement)
+        self._memo[term] = result
+        return result
+
+    def rewrite_clause(self, clause: Clause) -> Clause:
+        """Identity-preserving exhaustive rewrite of every literal."""
+        if not self._rules:
+            return clause
+        literals: List[Literal] = []
+        changed = False
+        for lit in clause.literals:
+            args = tuple(self.rewrite_term(a) for a in lit.args)
+            if all(a is b for a, b in zip(args, lit.args)):
+                literals.append(lit)
+            else:
+                literals.append(Literal(lit.positive, lit.pred, args))
+                changed = True
+        return Clause(tuple(literals)) if changed else clause
+
+
+# ---------------------------------------------------------------------------
 # The saturation engine
 # ---------------------------------------------------------------------------
 
@@ -300,6 +391,7 @@ class ResolutionProver:
         literal_index = LiteralIndex()
         subsumption_index = SubsumptionIndex()
         unit_index = UnitIndex()
+        rewriter = _GroundRewriter()
         active_counter = itertools.count()
         generated = 0
         processed = 0
@@ -330,6 +422,7 @@ class ResolutionProver:
             literal_index.add(clause_id, clause, indices)
             subsumption_index.add(clause)
             unit_index.add(clause)
+            rewriter.add(clause)
             return clause_id, clause
 
         def progress() -> str:
@@ -369,6 +462,9 @@ class ResolutionProver:
                         True, generated, processed, time.perf_counter() - start,
                         "empty clause by unit simplification",
                     )
+                simplified = rewriter.rewrite_clause(simplified)
+                if simplified.is_tautology():
+                    continue
                 if subsumption_index.subsumed(simplified):
                     continue
 
@@ -432,6 +528,7 @@ class ResolutionProver:
                             True, generated, processed, time.perf_counter() - start,
                             "empty clause by unit simplification",
                         )
+                    clause = rewriter.rewrite_clause(clause)
                     if clause.is_tautology() or len(clause) > self.max_clause_size:
                         continue
                     passive.push(clause)

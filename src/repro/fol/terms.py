@@ -48,6 +48,18 @@ class FApp(FTerm):
             object.__setattr__(self, "_hash", cached)
         return cached
 
+    def __eq__(self, other) -> bool:
+        # Fast paths before the structural walk: pointer identity (terms
+        # built through a TermBank are canonical, making this the common
+        # case) and a memoised-hash mismatch.
+        if self is other:
+            return True
+        if other.__class__ is not FApp:
+            return NotImplemented
+        if hash(self) != hash(other):
+            return False
+        return self.func == other.func and self.args == other.args
+
     def __str__(self) -> str:
         if not self.args:
             return self.func
@@ -76,6 +88,19 @@ class Literal:
             object.__setattr__(self, "_hash", cached)
         return cached
 
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not Literal:
+            return NotImplemented
+        if hash(self) != hash(other):
+            return False
+        return (
+            self.positive == other.positive
+            and self.pred == other.pred
+            and self.args == other.args
+        )
+
     def negate(self) -> "Literal":
         return Literal(not self.positive, self.pred, self.args)
 
@@ -98,12 +123,9 @@ class Clause:
     literals: Tuple[Literal, ...]
 
     def __post_init__(self) -> None:
-        # Deduplicate literals while keeping a stable order.
-        seen = []
-        for lit in self.literals:
-            if lit not in seen:
-                seen.append(lit)
-        object.__setattr__(self, "literals", tuple(seen))
+        # Deduplicate literals while keeping a stable order (hash-based;
+        # literal hashes are memoised so this is one pass).
+        object.__setattr__(self, "literals", tuple(dict.fromkeys(self.literals)))
 
     @property
     def is_empty(self) -> bool:
@@ -168,15 +190,26 @@ def apply_subst(term: FTerm, subst: Subst) -> FTerm:
     assert isinstance(term, FApp)
     if not term.args:
         return term
-    return FApp(term.func, tuple(apply_subst(a, subst) for a in term.args))
+    args = tuple(apply_subst(a, subst) for a in term.args)
+    # Identity-preserving: untouched subterms come back as the same object,
+    # keeping DAG sharing (and memoised hashes) across substitutions.
+    if all(a is b for a, b in zip(args, term.args)):
+        return term
+    return FApp(term.func, args)
 
 
 def apply_subst_literal(literal: Literal, subst: Subst) -> Literal:
-    return Literal(literal.positive, literal.pred, tuple(apply_subst(a, subst) for a in literal.args))
+    args = tuple(apply_subst(a, subst) for a in literal.args)
+    if all(a is b for a, b in zip(args, literal.args)):
+        return literal
+    return Literal(literal.positive, literal.pred, args)
 
 
 def apply_subst_clause(clause: Clause, subst: Subst) -> Clause:
-    return Clause(tuple(apply_subst_literal(l, subst) for l in clause.literals))
+    literals = tuple(apply_subst_literal(l, subst) for l in clause.literals)
+    if all(a is b for a, b in zip(literals, clause.literals)):
+        return clause
+    return Clause(literals)
 
 
 def compose(outer: Subst, inner: Subst) -> Subst:

@@ -502,3 +502,13 @@ def subterms(term: Term):
 def term_size(term: Term) -> int:
     """The number of nodes in ``term`` — used for statistics and limits."""
     return sum(1 for _ in subterms(term))
+
+
+def mentions(term: Term, name: str) -> bool:
+    """True when any subterm is the variable/operator called ``name``.
+
+    Operators are plain :class:`Var` heads under application, so this
+    doubles as "does the formula use this builtin" (e.g. ``card``) — the
+    check provers use to gate fragments they cannot reason about.
+    """
+    return any(isinstance(sub, Var) and sub.name == name for sub in subterms(term))

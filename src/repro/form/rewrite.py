@@ -21,43 +21,81 @@ from .subst import beta_reduce, fresh_name, free_vars, substitute
 # ---------------------------------------------------------------------------
 
 
-def map_subterms(term: Term, fn) -> Term:
-    """Rebuild ``term`` by applying ``fn`` bottom-up to every node."""
+def map_subterms(term: Term, fn, memo: Optional[Dict[int, Tuple[Term, Term]]] = None) -> Term:
+    """Rebuild ``term`` by applying ``fn`` bottom-up to every node.
+
+    Identity-preserving: when ``fn`` leaves every node of a subtree
+    unchanged, the *original* subtree object is returned (not a structurally
+    equal copy).  Shared subterms — e.g. an interned DAG across many
+    quantifier instances — thus stay shared through the rewrite, and
+    fixpoint loops can test convergence with ``is``.
+
+    ``memo`` (optional) caches results by node identity, so a subterm
+    appearing many times in one term — or across calls that share the memo —
+    is rewritten once.  ``fn`` must be deterministic for the memo to be
+    sound; entries pin their key object against id reuse.
+    """
+    if memo is not None:
+        entry = memo.get(id(term))
+        if entry is not None and entry[0] is term:
+            return entry[1]
+    result = _map_subterms(term, fn, memo)
+    if memo is not None:
+        memo[id(term)] = (term, result)
+    return result
+
+
+def _same_items(new, old) -> bool:
+    return all(a is b for a, b in zip(new, old))
+
+
+def _map_subterms(term: Term, fn, memo) -> Term:
     if isinstance(term, (F.Var, F.IntLit, F.BoolLit)):
         return fn(term)
     if isinstance(term, F.App):
-        new = F.App(map_subterms(term.func, fn), tuple(map_subterms(a, fn) for a in term.args))
-        return fn(new)
+        func = map_subterms(term.func, fn, memo)
+        args = tuple(map_subterms(a, fn, memo) for a in term.args)
+        if func is term.func and _same_items(args, term.args):
+            return fn(term)
+        return fn(F.App(func, args))
     if isinstance(term, F.Lambda):
-        return fn(F.Lambda(term.params, map_subterms(term.body, fn)))
+        body = map_subterms(term.body, fn, memo)
+        return fn(term if body is term.body else F.Lambda(term.params, body))
     if isinstance(term, F.Quant):
-        return fn(F.Quant(term.kind, term.params, map_subterms(term.body, fn)))
+        body = map_subterms(term.body, fn, memo)
+        return fn(term if body is term.body else F.Quant(term.kind, term.params, body))
     if isinstance(term, F.SetCompr):
-        return fn(F.SetCompr(term.params, map_subterms(term.body, fn)))
+        body = map_subterms(term.body, fn, memo)
+        return fn(term if body is term.body else F.SetCompr(term.params, body))
     if isinstance(term, F.TupleTerm):
-        return fn(F.TupleTerm(tuple(map_subterms(i, fn) for i in term.items)))
+        items = tuple(map_subterms(i, fn, memo) for i in term.items)
+        if _same_items(items, term.items):
+            return fn(term)
+        return fn(F.TupleTerm(items))
     if isinstance(term, F.Old):
-        return fn(F.Old(map_subterms(term.term, fn)))
+        inner = map_subterms(term.term, fn, memo)
+        return fn(term if inner is term.term else F.Old(inner))
     if isinstance(term, F.Not):
-        return fn(F.Not(map_subterms(term.arg, fn)))
-    if isinstance(term, F.And):
-        return fn(F.And(tuple(map_subterms(a, fn) for a in term.args)))
-    if isinstance(term, F.Or):
-        return fn(F.Or(tuple(map_subterms(a, fn) for a in term.args)))
-    if isinstance(term, F.Implies):
-        return fn(F.Implies(map_subterms(term.lhs, fn), map_subterms(term.rhs, fn)))
-    if isinstance(term, F.Iff):
-        return fn(F.Iff(map_subterms(term.lhs, fn), map_subterms(term.rhs, fn)))
-    if isinstance(term, F.Eq):
-        return fn(F.Eq(map_subterms(term.lhs, fn), map_subterms(term.rhs, fn)))
+        inner = map_subterms(term.arg, fn, memo)
+        return fn(term if inner is term.arg else F.Not(inner))
+    if isinstance(term, (F.And, F.Or)):
+        args = tuple(map_subterms(a, fn, memo) for a in term.args)
+        if _same_items(args, term.args):
+            return fn(term)
+        return fn(type(term)(args))
+    if isinstance(term, (F.Implies, F.Iff, F.Eq)):
+        lhs = map_subterms(term.lhs, fn, memo)
+        rhs = map_subterms(term.rhs, fn, memo)
+        if lhs is term.lhs and rhs is term.rhs:
+            return fn(term)
+        return fn(type(term)(lhs, rhs))
     if isinstance(term, F.Ite):
-        return fn(
-            F.Ite(
-                map_subterms(term.cond, fn),
-                map_subterms(term.then, fn),
-                map_subterms(term.els, fn),
-            )
-        )
+        cond = map_subterms(term.cond, fn, memo)
+        then = map_subterms(term.then, fn, memo)
+        els = map_subterms(term.els, fn, memo)
+        if cond is term.cond and then is term.then and els is term.els:
+            return fn(term)
+        return fn(F.Ite(cond, then, els))
     raise TypeError(f"unknown term node {term!r}")
 
 
@@ -66,14 +104,16 @@ def map_subterms(term: Term, fn) -> Term:
 # ---------------------------------------------------------------------------
 
 
-def simplify(term: Term) -> Term:
+def simplify(term: Term, memo: Optional[Dict[int, Tuple[Term, Term]]] = None) -> Term:
     """Inexpensive validity-preserving simplification.
 
     Performs constant folding of the connectives, flattening of nested
     conjunctions/disjunctions, elimination of double negation and of trivial
     (dis)equalities, and evaluation of ground integer comparisons.
+    ``memo`` (e.g. a :class:`repro.form.intern.TermBank`'s shared cache)
+    makes repeated simplification of shared subterms O(1).
     """
-    return map_subterms(term, _simplify_node)
+    return map_subterms(term, _simplify_node, memo)
 
 
 _ARITH_EVAL = {
@@ -168,30 +208,54 @@ def _simplify_node(term: Term) -> Term:
 # ---------------------------------------------------------------------------
 
 
-def nnf(term: Term, positive: bool = True) -> Term:
-    """Negation normal form; also eliminates ``Implies`` and ``Iff``."""
+def nnf(
+    term: Term,
+    positive: bool = True,
+    memo: Optional[Dict[Tuple[int, bool], Tuple[Term, Term]]] = None,
+) -> Term:
+    """Negation normal form; also eliminates ``Implies`` and ``Iff``.
+
+    Identity-preserving (a term already in positive NNF comes back as the
+    same object) and memoisable by ``(node identity, polarity)`` — shared
+    subterms of an interned DAG normalise once per polarity.
+    """
+    if memo is not None:
+        entry = memo.get((id(term), positive))
+        if entry is not None and entry[0] is term:
+            return entry[1]
+    result = _nnf(term, positive, memo)
+    if memo is not None:
+        memo[(id(term), positive)] = (term, result)
+    return result
+
+
+def _nnf(term: Term, positive: bool, memo) -> Term:
     if isinstance(term, F.Not):
-        return nnf(term.arg, not positive)
+        return nnf(term.arg, not positive, memo)
     if isinstance(term, F.And):
-        parts = tuple(nnf(a, positive) for a in term.args)
-        return F.mk_and(parts) if positive else F.mk_or(parts)
+        parts = tuple(nnf(a, positive, memo) for a in term.args)
+        if positive:
+            return term if _same_items(parts, term.args) else F.mk_and(parts)
+        return F.mk_or(parts)
     if isinstance(term, F.Or):
-        parts = tuple(nnf(a, positive) for a in term.args)
-        return F.mk_or(parts) if positive else F.mk_and(parts)
+        parts = tuple(nnf(a, positive, memo) for a in term.args)
+        if positive:
+            return term if _same_items(parts, term.args) else F.mk_or(parts)
+        return F.mk_and(parts)
     if isinstance(term, F.Implies):
         if positive:
-            return F.mk_or((nnf(term.lhs, False), nnf(term.rhs, True)))
-        return F.mk_and((nnf(term.lhs, True), nnf(term.rhs, False)))
+            return F.mk_or((nnf(term.lhs, False, memo), nnf(term.rhs, True, memo)))
+        return F.mk_and((nnf(term.lhs, True, memo), nnf(term.rhs, False, memo)))
     if isinstance(term, F.Iff):
-        a_pos, b_pos = nnf(term.lhs, True), nnf(term.rhs, True)
-        a_neg, b_neg = nnf(term.lhs, False), nnf(term.rhs, False)
+        a_pos, b_pos = nnf(term.lhs, True, memo), nnf(term.rhs, True, memo)
+        a_neg, b_neg = nnf(term.lhs, False, memo), nnf(term.rhs, False, memo)
         if positive:
             return F.mk_and((F.mk_or((a_neg, b_pos)), F.mk_or((b_neg, a_pos))))
         return F.mk_or((F.mk_and((a_pos, b_neg)), F.mk_and((b_pos, a_neg))))
     if isinstance(term, F.Quant):
-        body = nnf(term.body, positive)
+        body = nnf(term.body, positive, memo)
         if positive:
-            return F.Quant(term.kind, term.params, body)
+            return term if body is term.body else F.Quant(term.kind, term.params, body)
         flipped = "EX" if term.kind == "ALL" else "ALL"
         return F.Quant(flipped, term.params, body)
     if isinstance(term, F.BoolLit):
@@ -334,8 +398,9 @@ def expand_field_writes(term: Term) -> Term:
     previous = None
     current = term
     # Iterate to a fixed point: expanding one write can expose another.
+    # map_subterms is identity-preserving, so convergence is an `is` check.
     for _ in range(50):
-        if current == previous:
+        if current is previous:
             break
         previous = current
         current = map_subterms(current, rewrite)
@@ -357,7 +422,7 @@ def expand_set_literals(term: Term) -> Term:
     def rewrite(node: Term) -> Term:
         if F.is_app_of(node, "elem") and len(node.args) == 2:
             x, s = node.args
-            return _expand_membership(x, s)
+            return _expand_membership(x, s, default=node)
         if F.is_app_of(node, "subseteq") and len(node.args) == 2:
             a, b = node.args
             var_name = fresh_name("x", free_vars(a) | free_vars(b))
@@ -369,14 +434,17 @@ def expand_set_literals(term: Term) -> Term:
     previous = None
     current = term
     for _ in range(50):
-        if current == previous:
+        if current is previous:
             break
         previous = current
         current = map_subterms(current, rewrite)
     return current
 
 
-def _expand_membership(x: Term, s: Term) -> Term:
+def _expand_membership(x: Term, s: Term, default: Optional[Term] = None) -> Term:
+    """Expand ``x : s``; ``default`` (the original ``elem`` node, when the
+    caller has one) is returned unchanged if no expansion rule applies, so
+    fixpoint loops over identity-preserving rewrites terminate."""
     if isinstance(s, F.Var) and s.name == "emptyset":
         return F.FALSE
     if isinstance(s, F.Var) and s.name == "univ":
@@ -398,7 +466,7 @@ def _expand_membership(x: Term, s: Term) -> Term:
         if isinstance(x, F.TupleTerm) and len(x.items) == len(s.params):
             mapping = {p[0]: item for p, item in zip(s.params, x.items)}
             return substitute(s.body, mapping)
-    return F.app("elem", x, s)
+    return default if default is not None else F.app("elem", x, s)
 
 
 def expand_set_equalities(term: Term, set_vars: Optional[Set[str]] = None) -> Term:

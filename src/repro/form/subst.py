@@ -155,57 +155,61 @@ def _rename_params(params, body, mapping, replacement_fvs):
 
 
 def _subst(term: Term, mapping: Dict[str, Term], replacement_fvs: Set[str]) -> Term:
+    # Identity-preserving: a subtree the substitution does not touch comes
+    # back as the same object, so sharing (e.g. interned DAGs) survives and
+    # identity-keyed caches downstream keep hitting.
     if isinstance(term, Var):
         return mapping.get(term.name, term)
     if isinstance(term, (IntLit, BoolLit)):
         return term
     if isinstance(term, App):
-        return App(
-            _subst(term.func, mapping, replacement_fvs),
-            tuple(_subst(a, mapping, replacement_fvs) for a in term.args),
-        )
+        func = _subst(term.func, mapping, replacement_fvs)
+        args = tuple(_subst(a, mapping, replacement_fvs) for a in term.args)
+        if func is term.func and all(a is b for a, b in zip(args, term.args)):
+            return term
+        return App(func, args)
     if isinstance(term, (Lambda, Quant, SetCompr)):
         params, body, inner_map = _rename_params(
             term.params, term.body, mapping, replacement_fvs
         )
         inner_map = {k: v for k, v in inner_map.items() if k not in {p for p, _ in params}}
         new_body = _subst(body, inner_map, replacement_fvs) if inner_map else body
+        if new_body is term.body and params == term.params:
+            return term
         if isinstance(term, Lambda):
             return Lambda(params, new_body)
         if isinstance(term, Quant):
             return Quant(term.kind, params, new_body)
         return SetCompr(params, new_body)
     if isinstance(term, TupleTerm):
-        return TupleTerm(tuple(_subst(i, mapping, replacement_fvs) for i in term.items))
+        items = tuple(_subst(i, mapping, replacement_fvs) for i in term.items)
+        if all(a is b for a, b in zip(items, term.items)):
+            return term
+        return TupleTerm(items)
     if isinstance(term, Old):
-        return Old(_subst(term.term, mapping, replacement_fvs))
+        inner = _subst(term.term, mapping, replacement_fvs)
+        return term if inner is term.term else Old(inner)
     if isinstance(term, Not):
-        return Not(_subst(term.arg, mapping, replacement_fvs))
-    if isinstance(term, And):
-        return And(tuple(_subst(a, mapping, replacement_fvs) for a in term.args))
-    if isinstance(term, Or):
-        return Or(tuple(_subst(a, mapping, replacement_fvs) for a in term.args))
-    if isinstance(term, Implies):
-        return Implies(
-            _subst(term.lhs, mapping, replacement_fvs),
-            _subst(term.rhs, mapping, replacement_fvs),
-        )
-    if isinstance(term, Iff):
-        return Iff(
-            _subst(term.lhs, mapping, replacement_fvs),
-            _subst(term.rhs, mapping, replacement_fvs),
-        )
-    if isinstance(term, Eq):
-        return Eq(
-            _subst(term.lhs, mapping, replacement_fvs),
-            _subst(term.rhs, mapping, replacement_fvs),
-        )
+        inner = _subst(term.arg, mapping, replacement_fvs)
+        return term if inner is term.arg else Not(inner)
+    if isinstance(term, (And, Or)):
+        args = tuple(_subst(a, mapping, replacement_fvs) for a in term.args)
+        if all(a is b for a, b in zip(args, term.args)):
+            return term
+        return And(args) if isinstance(term, And) else Or(args)
+    if isinstance(term, (Implies, Iff, Eq)):
+        lhs = _subst(term.lhs, mapping, replacement_fvs)
+        rhs = _subst(term.rhs, mapping, replacement_fvs)
+        if lhs is term.lhs and rhs is term.rhs:
+            return term
+        return type(term)(lhs, rhs)
     if isinstance(term, Ite):
-        return Ite(
-            _subst(term.cond, mapping, replacement_fvs),
-            _subst(term.then, mapping, replacement_fvs),
-            _subst(term.els, mapping, replacement_fvs),
-        )
+        cond = _subst(term.cond, mapping, replacement_fvs)
+        then = _subst(term.then, mapping, replacement_fvs)
+        els = _subst(term.els, mapping, replacement_fvs)
+        if cond is term.cond and then is term.then and els is term.els:
+            return term
+        return Ite(cond, then, els)
     raise TypeError(f"unknown term node: {term!r}")
 
 

@@ -54,6 +54,11 @@ class DeadlineExpired(Exception):
     into the ``TIMEOUT`` answer so reports can show how far the engine got.
     """
 
+    #: Optional per-phase wall-time breakdown of the partial attempt; engines
+    #: that keep a :class:`PhaseTimer` attach it while unwinding so TIMEOUT
+    #: answers still carry phase attribution.
+    phases: Optional[Dict[str, float]] = None
+
     def __init__(self, detail: str = "") -> None:
         self.detail = detail
         super().__init__(detail or "deadline expired")
@@ -120,6 +125,49 @@ class Deadline:
         return f"<Deadline remaining={self.remaining():.3f}s>"
 
 
+class _PhaseSpan:
+    """One timed span; accumulates into the owning timer even on unwind."""
+
+    __slots__ = ("_phases", "_name", "_start")
+
+    def __init__(self, phases: Dict[str, float], name: str) -> None:
+        self._phases = phases
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_PhaseSpan":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        elapsed = time.perf_counter() - self._start
+        self._phases[self._name] = self._phases.get(self._name, 0.0) + elapsed
+        return False
+
+
+class PhaseTimer:
+    """Accumulates wall time per named phase of a prover attempt.
+
+    Usage: ``timer = PhaseTimer()`` then ``with timer("sat"): ...`` on each
+    hot region; ``timer.phases`` is the accumulated breakdown.  Spans of the
+    same name add up, and a span interrupted by :class:`DeadlineExpired`
+    still records the time it spent — so the breakdown of a timed-out
+    attempt accounts for the work actually done.  Phase names are
+    per-engine (the conventional ones: ``parse``, ``clausify``,
+    ``translate``, ``index``, ``sat``, ``theory``, ``instantiation``);
+    :meth:`Prover.prove` adds a final ``other`` bucket so the phases of
+    every answer sum to its measured wall time.
+    """
+
+    __slots__ = ("phases",)
+
+    def __init__(self) -> None:
+        self.phases: Dict[str, float] = {}
+
+    def __call__(self, name: str) -> _PhaseSpan:
+        return _PhaseSpan(self.phases, name)
+
+
 class Verdict(Enum):
     """The possible answers of a prover on one sequent."""
 
@@ -148,6 +196,10 @@ class ProverAnswer:
     #: instantiate).  Aggregated into :class:`ProverStats` and surfaced per
     #: method in :class:`repro.core.report.MethodReport`.
     instances: int = 0
+    #: Per-phase wall-time breakdown of the attempt (seconds by phase name).
+    #: :meth:`Prover.prove` tops it up with an ``other`` bucket so the values
+    #: sum to :attr:`time`; empty only for cached answers.
+    phases: Dict[str, float] = field(default_factory=dict)
 
     @property
     def proved(self) -> bool:
@@ -237,12 +289,19 @@ class Prover(ABC):
             answer = ProverAnswer(
                 Verdict.TIMEOUT, self.name, detail=exc.detail or "deadline expired"
             )
+            if exc.phases:
+                answer.phases = dict(exc.phases)
         except Exception as exc:  # noqa: BLE001 - prover bugs must not kill the run
             answer = ProverAnswer(
                 Verdict.UNKNOWN, self.name, detail=f"internal error: {exc!r}"
             )
         answer.prover = self.name
         answer.time = time.perf_counter() - start
+        if not answer.cached:
+            # The remainder bucket makes every answer's phases sum exactly to
+            # its wall time, instrumented engine or not.
+            accounted = sum(answer.phases.values())
+            answer.phases["other"] = max(0.0, answer.time - accounted)
         return answer
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -265,11 +324,17 @@ class ProverStats:
     #: instantiation work behind the verdicts; only the SMT engine reports
     #: a non-zero count today).
     instances: int = 0
+    #: Per-phase wall time summed across the recorded attempts; every
+    #: recorded answer contributes (its ``other`` bucket covers whatever its
+    #: engine did not attribute), so the phase totals sum to :attr:`time`.
+    phases: Dict[str, float] = field(default_factory=dict)
 
     def record(self, answer: ProverAnswer) -> None:
         self.attempted += 1
         self.time += answer.time
         self.instances += answer.instances
+        for phase, seconds in answer.phases.items():
+            self.phases[phase] = self.phases.get(phase, 0.0) + seconds
         if answer.proved:
             self.proved += 1
 

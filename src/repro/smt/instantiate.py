@@ -69,6 +69,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 
 from ..fol.terms import FApp, FTerm, FVar
 from ..form import ast as F
+from ..form.intern import TermBank
 from ..form.printer import to_str
 from ..form.rewrite import nnf, simplify
 from ..form.subst import free_vars, fresh_name, substitute
@@ -678,9 +679,15 @@ class EMatchEngine:
         assertions: Sequence[F.Term],
         config: Optional[InstantiationConfig] = None,
         deadline: Optional[Deadline] = None,
+        bank: Optional[TermBank] = None,
     ) -> None:
         self.config = config or InstantiationConfig()
         self.deadline = deadline or Deadline.never()
+        #: Per-attempt term bank: instances share interned subterm objects,
+        #: so printing and normalisation of the shared DAG are memoised by
+        #: identity.  ``None`` runs the engine without hash-consing.
+        self.bank = bank
+        self._printed = bank.printed if bank is not None else to_str
         self.supply = SkolemSupply()
         #: Witness generation per Skolem constant name (see
         #: ``InstantiationConfig.max_skolem_generation``).
@@ -695,12 +702,23 @@ class EMatchEngine:
         self._term_pool: Dict[str, FTerm] = {}
         self._asserted: Set[str] = set()
         for assertion in assertions:
-            self._assert(simplify(nnf(assertion)))
+            self._assert(self._normalise(assertion))
+
+    def _normalise(self, formula: F.Term) -> F.Term:
+        """``simplify(nnf(...))`` — through the bank's identity-keyed memo
+        (and interned) when one is attached."""
+        if self.bank is not None:
+            return self.bank.normalised(formula)
+        return simplify(nnf(formula))
 
     # -- assertion intake ------------------------------------------------------
 
     def _assert(self, formula: F.Term) -> None:
         formula = hoist_universals(skolemize_existentials(formula, self.supply))
+        if self.bank is not None:
+            # Canonicalise so every later per-node cache (printing, NNF,
+            # harvest) hits on the shared subterm objects.
+            formula = self.bank.intern(formula)
         if isinstance(formula, F.And):
             for arg in formula.args:
                 self._assert(arg)
@@ -711,7 +729,7 @@ class EMatchEngine:
         formula = drop_remaining_quantifiers(formula)
         if isinstance(formula, F.BoolLit) and formula.value:
             return
-        key = to_str(formula)
+        key = self._printed(formula)
         if key in self._asserted:
             return
         self._asserted.add(key)
@@ -732,7 +750,7 @@ class EMatchEngine:
                     continue
                 translated = self._translator.term(sub)
                 if translated is not None:
-                    self._term_pool.setdefault(to_str(sub), translated)
+                    self._term_pool.setdefault(self._printed(sub), translated)
 
     # -- the per-round matcher -------------------------------------------------
 
@@ -950,7 +968,7 @@ class EMatchEngine:
                 hol = backmap.get(member)
                 if hol is None:
                     continue
-                key = (F.term_size(hol), to_str(hol))
+                key = (F.term_size(hol), self._printed(hol))
                 if best_key is None or key < best_key:
                     best, best_key = hol, key
             if best is not None:
@@ -983,11 +1001,13 @@ class EMatchEngine:
         params = quantifier.params
         if set(mapping) != {name for name, _ in params}:
             return False
-        key = tuple(sorted((name, to_str(value)) for name, value in mapping.items()))
+        key = tuple(
+            sorted((name, self._printed(value)) for name, value in mapping.items())
+        )
         if key in quantifier.emitted:
             return False
         raw = substitute(quantifier.formula.body, mapping)
-        normalised = simplify(nnf(raw))
+        normalised = self._normalise(raw)
         generation = max(
             (
                 self._skolem_generation.get(name, 0)
@@ -1003,7 +1023,9 @@ class EMatchEngine:
             quantifier.emitted.add(key)
             self.stats.dropped += 1
             return False
-        if valuation is not None and _evaluates_true(normalised, valuation):
+        if valuation is not None and _evaluates_true(
+            normalised, valuation, self._printed
+        ):
             # Satisfied by the candidate model: deferred, not emitted (a
             # later model that falsifies it re-discovers the match).
             return False
@@ -1029,9 +1051,12 @@ class EMatchEngine:
         instance = drop_remaining_quantifiers(instance)
         if isinstance(instance, F.BoolLit) and instance.value:
             return True
-        if to_str(instance) in self._asserted:
+        if self.bank is not None:
+            instance = self.bank.intern(instance)
+        printed_instance = self._printed(instance)
+        if printed_instance in self._asserted:
             return True
-        self._asserted.add(to_str(instance))
+        self._asserted.add(printed_instance)
         produced.append(instance)
         return True
 
@@ -1085,24 +1110,27 @@ def _fterm_nodes(term: FTerm) -> Iterator[FTerm]:
             yield from _fterm_nodes(arg)
 
 
-def _evaluates_true(formula: F.Term, valuation: Dict[str, bool]) -> bool:
+def _evaluates_true(
+    formula: F.Term, valuation: Dict[str, bool], printed=to_str
+) -> bool:
     """Three-valued evaluation: True only when the formula is certainly
     true under the candidate model's atom valuation (unknown atoms make the
-    result unknown, never true)."""
-    result = _eval3(formula, valuation)
+    result unknown, never true).  ``printed`` renders atoms to valuation
+    keys (a bank's identity-memoised printer when interning is on)."""
+    result = _eval3(formula, valuation, printed)
     return result is True
 
 
-def _eval3(formula: F.Term, valuation: Dict[str, bool]) -> Optional[bool]:
+def _eval3(formula: F.Term, valuation: Dict[str, bool], printed) -> Optional[bool]:
     if isinstance(formula, F.BoolLit):
         return formula.value
     if isinstance(formula, F.Not):
-        inner = _eval3(formula.arg, valuation)
+        inner = _eval3(formula.arg, valuation, printed)
         return None if inner is None else not inner
     if isinstance(formula, F.And):
         verdict: Optional[bool] = True
         for arg in formula.args:
-            inner = _eval3(arg, valuation)
+            inner = _eval3(arg, valuation, printed)
             if inner is False:
                 return False
             if inner is None:
@@ -1111,14 +1139,14 @@ def _eval3(formula: F.Term, valuation: Dict[str, bool]) -> Optional[bool]:
     if isinstance(formula, F.Or):
         verdict = False
         for arg in formula.args:
-            inner = _eval3(arg, valuation)
+            inner = _eval3(arg, valuation, printed)
             if inner is True:
                 return True
             if inner is None:
                 verdict = None
         return verdict
     if isinstance(formula, F.Implies):
-        return _eval3(F.Or((F.mk_not(formula.lhs), formula.rhs)), valuation)
+        return _eval3(F.Or((F.mk_not(formula.lhs), formula.rhs)), valuation, printed)
     if isinstance(formula, F.Eq) and formula.lhs == formula.rhs:
         return True
-    return valuation.get(to_str(formula))
+    return valuation.get(printed(formula))

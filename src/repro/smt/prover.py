@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Tuple, Union
 from ..fol.clausify import ClausificationError, Clausifier
 from ..fol.hol2fol import reify_reachability
 from ..form import ast as F
+from ..form.intern import TermBank
 from ..form.printer import to_str
 from ..provers.approximation import (
     drop_unsupported_assumptions,
@@ -37,7 +38,14 @@ from ..provers.approximation import (
     rewrite_sequent,
     standard_rewrites,
 )
-from ..provers.base import Deadline, Prover, ProverAnswer, Verdict
+from ..provers.base import (
+    Deadline,
+    DeadlineExpired,
+    PhaseTimer,
+    Prover,
+    ProverAnswer,
+    Verdict,
+)
 from ..vcgen.sequent import Sequent
 from .congruence import euf_conflict_tags
 from .instantiate import EMatchEngine, InstantiationConfig, ground_problem
@@ -46,12 +54,18 @@ from .sat import SatSolver
 
 
 class _TseitinEncoder:
-    """CNF encoding of ground formulas; atoms are shared by printed form."""
+    """CNF encoding of ground formulas; atoms are shared by printed form.
 
-    def __init__(self) -> None:
+    ``printed`` renders atoms to their sharing key — a
+    :class:`repro.form.intern.TermBank`'s identity-memoised printer when
+    interning is on, plain ``to_str`` otherwise.
+    """
+
+    def __init__(self, printed=to_str) -> None:
         self.atom_ids: Dict[str, int] = {}
         self.atoms: Dict[int, F.Term] = {}
         self.clauses: List[List[int]] = []
+        self._printed = printed
         self._next = 0
 
     def _fresh(self) -> int:
@@ -59,7 +73,7 @@ class _TseitinEncoder:
         return self._next
 
     def atom_literal(self, atom: F.Term) -> int:
-        key = to_str(atom)
+        key = self._printed(atom)
         if key not in self.atom_ids:
             self.atom_ids[key] = self._fresh()
             self.atoms[self.atom_ids[key]] = atom
@@ -151,6 +165,11 @@ def _split_integer_disequalities(formula: F.Term) -> F.Term:
     return map_subterms(formula, rewrite)
 
 
+def _mentions_card(formula: F.Term) -> bool:
+    """True when the formula applies the ``card`` operator anywhere."""
+    return F.mentions(formula, "card")
+
+
 @dataclass
 class SmtStatistics:
     instances: int = 0
@@ -174,14 +193,34 @@ class SmtProver(Prover):
 
     name = "smt"
 
+    #: Whole-suite profiling: with the interned terms and incremental trail
+    #: every suite proof this engine finds lands comfortably inside 3s, so
+    #: the previous 5s default spent its last two seconds exclusively on
+    #: goals the engine never decides.  ``timeout`` keys the verdict cache,
+    #: so old-default verdicts are never replayed for the new budget.
     def __init__(
         self,
-        timeout: float = 5.0,
+        timeout: float = 3.0,
         max_theory_iterations: int = 300,
         instantiation: Union[str, InstantiationConfig, None] = None,
+        interning: bool = True,
+        incremental: bool = True,
+        fragment_gate: bool = True,
     ) -> None:
         super().__init__(timeout=timeout)
         self.max_theory_iterations = max_theory_iterations
+        #: Hash-cons terms through a per-attempt :class:`TermBank` (identity
+        #: sharing + memoised printing/normalisation).  Off reproduces the
+        #: pre-interning engine for benchmarking.
+        self.interning = interning
+        #: Keep the SAT core's trail across DPLL(T) iterations (resume from
+        #: the highest consistent decision level after each blocking clause)
+        #: instead of re-solving from scratch.
+        self.incremental = incremental
+        #: Answer UNSUPPORTED immediately on cardinality goals: the ground
+        #: SMT fragment has no cardinality reasoning (BAPA's job), so those
+        #: attempts can only burn their budget in the E-matcher.
+        self.fragment_gate = fragment_gate
         if isinstance(instantiation, str):
             if instantiation not in ("ematch", "ground"):
                 raise ValueError(
@@ -193,19 +232,42 @@ class SmtProver(Prover):
     # -- main entry point ------------------------------------------------------
 
     def attempt(self, sequent: Sequent, deadline: Optional[Deadline] = None) -> ProverAnswer:
+        timer = PhaseTimer()
+        try:
+            return self._attempt(sequent, deadline, timer)
+        except DeadlineExpired as exc:
+            exc.phases = dict(timer.phases)
+            raise
+
+    def _attempt(
+        self, sequent: Sequent, deadline: Optional[Deadline], timer: PhaseTimer
+    ) -> ProverAnswer:
         deadline = deadline or Deadline.after(self.timeout)
-        prepared = relevant_assumptions(sequent.restricted())
-        # Reify reachability into rtc_* predicates (ground atoms the
-        # congruence closure treats as uninterpreted) and pick up the
-        # matching sound axioms as quantified assumptions for the
-        # instantiation engine.
-        prepared, reach_axioms = reify_reachability(prepared)
-        prepared = rewrite_sequent(prepared)
-        prepared = drop_unsupported_assumptions(prepared, is_ground_smt_atom)
+        with timer("translate"):
+            prepared = relevant_assumptions(sequent.restricted())
+            # Reify reachability into rtc_* predicates (ground atoms the
+            # congruence closure treats as uninterpreted) and pick up the
+            # matching sound axioms as quantified assumptions for the
+            # instantiation engine.
+            prepared, reach_axioms = reify_reachability(prepared)
+            prepared = rewrite_sequent(prepared)
+            prepared = drop_unsupported_assumptions(prepared, is_ground_smt_atom)
 
         goal = prepared.goal.formula
         if isinstance(goal, F.BoolLit) and goal.value:
-            return ProverAnswer(Verdict.PROVED, self.name, detail="goal trivial after approximation")
+            return ProverAnswer(
+                Verdict.PROVED,
+                self.name,
+                detail="goal trivial after approximation",
+                phases=dict(timer.phases),
+            )
+        if self.fragment_gate and _mentions_card(goal):
+            return ProverAnswer(
+                Verdict.UNSUPPORTED,
+                self.name,
+                detail="cardinality goal outside the ground SMT fragment",
+                phases=dict(timer.phases),
+            )
 
         axioms = [standard_rewrites(a) for a in reach_axioms]
         # Sequent formulas before axioms: instantiation rounds process
@@ -213,46 +275,53 @@ class SmtProver(Prover):
         # consume the per-round budget before the saturating axiom sets.
         assertions = [a.formula for a in prepared.assumptions] + [F.Not(goal)] + axioms
 
+        bank = TermBank() if self.interning else None
+        printed = bank.printed if bank is not None else to_str
         config = self.instantiation
         stats = SmtStatistics()
         engine: Optional[EMatchEngine] = None
-        if config.mode == "ematch":
-            engine = EMatchEngine(assertions, config, deadline)
-            # Instantiation is purely model-driven: the first SAT model of
-            # the ground skeleton triggers round 1.  (An eager modelless
-            # round floods the SAT core with unfilterable instances — with
-            # no valuation, nothing counts as satisfied.)
-            ground = list(engine.ground)
-            stats.quantifiers = engine.stats.quantifiers
-        else:
-            grounding = ground_problem(
-                assertions, goal_terms=[F.Not(goal)], config=config
-            )
-            ground = grounding.formulas
-            stats.instances = grounding.instances
-            stats.dropped = grounding.dropped
+        with timer("instantiation"):
+            if config.mode == "ematch":
+                engine = EMatchEngine(assertions, config, deadline, bank=bank)
+                # Instantiation is purely model-driven: the first SAT model of
+                # the ground skeleton triggers round 1.  (An eager modelless
+                # round floods the SAT core with unfilterable instances — with
+                # no valuation, nothing counts as satisfied.)
+                ground = list(engine.ground)
+                stats.quantifiers = engine.stats.quantifiers
+            else:
+                grounding = ground_problem(
+                    assertions, goal_terms=[F.Not(goal)], config=config
+                )
+                ground = grounding.formulas
+                stats.instances = grounding.instances
+                stats.dropped = grounding.dropped
         if deadline.expired():
             return self._answer(
                 Verdict.TIMEOUT, stats, engine,
                 f"timeout during grounding: {len(ground)} ground formulas",
+                timer,
             )
 
-        encoder = _TseitinEncoder()
-        for formula in ground:
-            simplified = _split_integer_disequalities(formula)
-            if isinstance(simplified, F.BoolLit) and simplified.value:
-                continue
-            encoder.assert_formula(simplified)
+        encoder = _TseitinEncoder(printed=printed)
+        with timer("clausify"):
+            for formula in ground:
+                simplified = _split_integer_disequalities(formula)
+                if isinstance(simplified, F.BoolLit) and simplified.value:
+                    continue
+                encoder.assert_formula(simplified)
 
         if not encoder.clauses:
-            return self._answer(Verdict.UNKNOWN, stats, engine, "nothing to refute")
+            return self._answer(
+                Verdict.UNKNOWN, stats, engine, "nothing to refute", timer
+            )
 
-        clausifier = Clausifier()
-        #: Per-attempt memo of atom -> EUF literal translations (atoms are
-        #: incarnation-renamed per method, so a longer-lived memo would only
-        #: grow; this one shares the clausifier's lifetime).
-        euf_memo: Dict[str, object] = {}
-        solver = SatSolver(encoder.num_vars)
+        clausifier = Clausifier(bank=bank)
+        #: Per-attempt memo of SAT variable -> EUF literal translation (one
+        #: variable per distinct atom, so this is keyed O(1) instead of by
+        #: printed form; it shares the clausifier's lifetime).
+        euf_memo: Dict[int, object] = {}
+        solver = SatSolver(encoder.num_vars, incremental=self.incremental)
         solver.add_clauses(encoder.clauses)
         encoded_upto = len(encoder.clauses)
 
@@ -263,17 +332,21 @@ class SmtProver(Prover):
                     Verdict.TIMEOUT, stats, engine,
                     f"timeout in DPLL(T) loop: {_iteration} iterations, "
                     f"{stats.theory_conflicts} theory conflicts",
+                    timer,
                 )
-            result = solver.solve(deadline=deadline)
+            with timer("sat"):
+                result = solver.solve(deadline=deadline)
             if not result.satisfiable:
                 return self._answer(
                     Verdict.PROVED, stats, engine,
                     f"unsat: {stats.atoms} atoms, "
                     f"{stats.theory_conflicts} theory conflicts",
+                    timer,
                 )
-            blocking = self._theory_conflict(
-                result.assignment, encoder, clausifier, deadline, euf_memo
-            )
+            with timer("theory"):
+                blocking = self._theory_conflict(
+                    result.assignment, encoder, clausifier, deadline, euf_memo
+                )
             if blocking is not None:
                 stats.theory_conflicts += 1
                 solver.add_clause(blocking)
@@ -281,19 +354,21 @@ class SmtProver(Prover):
             # Theory-consistent model: in E-matching mode, let the model's
             # equalities refine the term graph and instantiate once more.
             if engine is not None and engine.stats.rounds < config.ematch_rounds:
-                pooled_before = len(engine.quantifiers)
-                new_instances = engine.round(
-                    self._model_equalities(result.assignment, encoder),
-                    valuation=self._model_valuation(result.assignment, encoder),
-                )
+                with timer("instantiation"):
+                    pooled_before = len(engine.quantifiers)
+                    new_instances = engine.round(
+                        self._model_equalities(result.assignment, encoder),
+                        valuation=self._model_valuation(result.assignment, encoder),
+                    )
                 if new_instances:
-                    for formula in new_instances:
-                        simplified = _split_integer_disequalities(formula)
-                        if isinstance(simplified, F.BoolLit) and simplified.value:
-                            continue
-                        encoder.assert_formula(simplified)
-                    solver.add_clauses(encoder.clauses[encoded_upto:])
-                    encoded_upto = len(encoder.clauses)
+                    with timer("clausify"):
+                        for formula in new_instances:
+                            simplified = _split_integer_disequalities(formula)
+                            if isinstance(simplified, F.BoolLit) and simplified.value:
+                                continue
+                            encoder.assert_formula(simplified)
+                        solver.add_clauses(encoder.clauses[encoded_upto:])
+                        encoded_upto = len(encoder.clauses)
                     continue
                 if len(engine.quantifiers) > pooled_before:
                     # No ground formula yet, but a nested-universal instance
@@ -303,9 +378,12 @@ class SmtProver(Prover):
             return self._answer(
                 Verdict.UNKNOWN, stats, engine,
                 "theory-consistent propositional model found",
+                timer,
             )
 
-        return self._answer(Verdict.UNKNOWN, stats, engine, "theory conflict limit reached")
+        return self._answer(
+            Verdict.UNKNOWN, stats, engine, "theory conflict limit reached", timer
+        )
 
     # -- helpers ---------------------------------------------------------------
 
@@ -327,10 +405,11 @@ class SmtProver(Prover):
         """Printed-atom truth values of the candidate model (the engine's
         relevancy filter: instances true under it cannot refute it)."""
         valuation: Dict[str, bool] = {}
+        printed = encoder._printed
         for var_id, atom in encoder.atoms.items():
             value = assignment.get(var_id)
             if value is not None:
-                valuation[to_str(atom)] = value
+                valuation[printed(atom)] = value
         return valuation
 
     def _answer(
@@ -339,6 +418,7 @@ class SmtProver(Prover):
         stats: SmtStatistics,
         engine: Optional[EMatchEngine],
         detail: str,
+        timer: Optional[PhaseTimer] = None,
     ) -> ProverAnswer:
         if engine is not None:
             stats.instances = engine.stats.instances
@@ -354,7 +434,11 @@ class SmtProver(Prover):
         if stats.dropped:
             detail += f" ({stats.dropped} instances dropped by limits)"
         return ProverAnswer(
-            verdict, self.name, detail=detail, instances=stats.instances
+            verdict,
+            self.name,
+            detail=detail,
+            instances=stats.instances,
+            phases=dict(timer.phases) if timer is not None else {},
         )
 
     # -- theory checking -------------------------------------------------------
@@ -365,7 +449,7 @@ class SmtProver(Prover):
         encoder: _TseitinEncoder,
         clausifier: Clausifier,
         deadline: Optional[Deadline] = None,
-        euf_memo: Optional[Dict[str, object]] = None,
+        euf_memo: Optional[Dict[int, object]] = None,
     ) -> Optional[List[int]]:
         """Check the assigned theory atoms; return a blocking clause or None.
 
@@ -386,7 +470,7 @@ class SmtProver(Prover):
         # their negation directly).
         equalities, disequalities, true_atoms, false_atoms = [], [], [], []
         for var_id, value, atom in literals:
-            translated = self._translate_euf(atom, clausifier, euf_memo)
+            translated = self._translate_euf(var_id, atom, clausifier, euf_memo)
             if translated is None:
                 continue
             tag = var_id if value else -var_id
@@ -426,18 +510,23 @@ class SmtProver(Prover):
     _MAX_CORE_MINIMIZATION = 600
 
     def _translate_euf(
-        self, atom: F.Term, clausifier: Clausifier, memo: Optional[Dict[str, object]]
+        self,
+        var_id: int,
+        atom: F.Term,
+        clausifier: Clausifier,
+        memo: Optional[Dict[int, object]],
     ):
         """Translate an atom into its EUF literal payload, once per atom.
 
         Returns ``("eq", lhs, rhs)`` or ``("atom", term)`` (or ``None`` for
-        untranslatable atoms); memoised per printed atom (the caller owns
-        the per-attempt memo) so repeated conflict checks pay no
-        translation cost.
+        untranslatable atoms); memoised per SAT variable (one variable per
+        distinct atom, so the key is an O(1) int; the caller owns the
+        per-attempt memo) so repeated conflict checks pay no translation
+        cost.
         """
         if memo is None:
             memo = {}
-        key = to_str(atom)
+        key = var_id
         if key in memo:
             return memo[key]
         try:

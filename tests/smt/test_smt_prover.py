@@ -141,6 +141,104 @@ def test_sat_agrees_with_brute_force_on_random_cnfs(seed):
         ), (seed, clauses, blocking)
 
 
+@pytest.mark.parametrize("seed", range(8))
+def test_sat_incremental_trail_agrees_with_scratch(seed):
+    """Differential test of the persistent-trail engine: one incremental
+    solver fed a stream of blocking clauses answers exactly like a fresh
+    from-scratch solver rebuilt on the accumulated clause set each step —
+    the lazy DPLL(T) loop's usage pattern."""
+    import random
+
+    rng = random.Random(seed)
+    for _ in range(25):
+        num_vars = rng.randint(2, 9)
+        clauses = [
+            [rng.choice([-1, 1]) * rng.randint(1, num_vars) for _ in range(rng.randint(1, 4))]
+            for _ in range(rng.randint(1, 25))
+        ]
+        incremental = SatSolver(num_vars, incremental=True)
+        incremental.add_clauses(clauses)
+        accumulated = list(clauses)
+        for _step in range(6):
+            scratch = SatSolver(num_vars, incremental=False)
+            scratch.add_clauses(accumulated)
+            live = incremental.solve()
+            reference = scratch.solve()
+            assert live.satisfiable == reference.satisfiable, (seed, accumulated)
+            assert live.satisfiable == _brute_force_satisfiable(num_vars, accumulated)
+            if not live.satisfiable:
+                break
+            model = live.assignment
+            assert all(
+                any((lit > 0) == model.get(abs(lit), False) for lit in clause)
+                for clause in accumulated
+            ), (seed, accumulated, model)
+            blocking = [-(v if val else -v) for v, val in model.items()]
+            incremental.add_clause(blocking)
+            accumulated.append(blocking)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_sat_assumptions_agree_and_do_not_poison(seed):
+    """``solve(assumptions=...)`` answers like a scratch solver with the
+    assumptions added as unit clauses, and an unsat-under-assumptions
+    answer leaves the solver reusable (assumption levels retract)."""
+    import random
+
+    rng = random.Random(seed)
+    for _ in range(25):
+        num_vars = rng.randint(2, 8)
+        clauses = [
+            [rng.choice([-1, 1]) * rng.randint(1, num_vars) for _ in range(rng.randint(1, 4))]
+            for _ in range(rng.randint(1, 20))
+        ]
+        assumptions = [
+            rng.choice([-1, 1]) * v
+            for v in rng.sample(range(1, num_vars + 1), rng.randint(1, num_vars))
+        ]
+        solver = SatSolver(num_vars, incremental=True)
+        solver.add_clauses(clauses)
+        plain = solver.solve().satisfiable
+        under = solver.solve(assumptions=assumptions).satisfiable
+        expected = _brute_force_satisfiable(
+            num_vars, clauses + [[lit] for lit in assumptions]
+        )
+        assert under == expected, (seed, clauses, assumptions)
+        # The assumption levels must fully retract: the plain problem's
+        # verdict is unchanged afterwards.
+        assert solver.solve().satisfiable == plain, (seed, clauses, assumptions)
+
+
+def test_sat_learned_clauses_and_trail_survive_between_solves():
+    """The incremental engine keeps its clause database (learned clauses
+    included) and its level-0 trail across ``solve()`` calls instead of
+    rebuilding from scratch."""
+    pigeons, holes = 4, 3
+    var = lambda p, h: p * holes + h + 1  # noqa: E731
+    clauses = [[var(p, h) for h in range(holes)] for p in range(pigeons)]
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append([-var(p1, h), -var(p2, h)])
+    # Drop one at-most-one clause so the instance is (barely) satisfiable:
+    # the solver must conflict and learn on the way to a model.
+    satisfiable_clauses = clauses[:-1]
+    solver = SatSolver(pigeons * holes, incremental=True)
+    solver.add_clauses(satisfiable_clauses)
+    assert solver.solve().satisfiable
+    learned_after_first = len(solver._learned)
+    db_after_first = len(solver._db)
+    assert solver.solve().satisfiable
+    # Nothing was thrown away between the calls.
+    assert len(solver._learned) >= learned_after_first
+    assert len(solver._db) >= db_after_first
+    # Adding back the dropped clause plus a contradiction flips to UNSAT
+    # on the same solver object.
+    solver.add_clause(clauses[-1])
+    final = solver.solve()
+    assert final.satisfiable == _brute_force_satisfiable(pigeons * holes, clauses)
+
+
 def test_sat_refutes_pigeonhole():
     """PHP(4,3) — 4 pigeons in 3 holes — is UNSAT and needs real search
     (clause learning), not just unit propagation."""
