@@ -1,0 +1,236 @@
+#!/usr/bin/env python3
+"""Racing-dispatch benchmark: learned-order race=K vs the fixed portfolio.
+
+Two cold passes over the selected Figure-15 structures, identical in every
+respect except the dispatch mode:
+
+* ``fixed`` — the classic fixed-order chain (``race=1``).  Its live
+  outcomes feed a :class:`repro.provers.ordering.ProverOrdering`, exactly
+  the table a warm daemon or a ``--race`` table run would have accumulated.
+* ``racing`` — ``race=K`` (default 2) with that learned table: the top-K
+  provers per feature bucket race with hedged starts, first PROVED wins,
+  losers are cancelled at their next checkpoint poll.
+
+Both passes run cold (no sequent cache), so the ratio isolates what racing
+itself buys: learned first-guesses plus hedged overtaking of engines that
+are grinding toward a timeout.  The run *asserts* the racing contract —
+identical proved counts per structure (wave fall-through means racing never
+changes *what* is proved) and per-structure wall no worse than fixed order
+within ``--tolerance`` — and reports the aggregate speedup over the
+FOL/SMT-heavy structures, where deadline burn is concentrated and the
+paper's portfolio ordering costs the most.
+
+Usage::
+
+    python benchmarks/bench_racing.py                   # full suite, writes BENCH json
+    python benchmarks/bench_racing.py --smoke           # 3-structure smoke scale
+    python benchmarks/bench_racing.py --smoke --check BENCH_racing.json
+
+``--check`` is the CI regression gate: re-measure the racing smoke run and
+fail if its wall regressed more than ``--tolerance`` against the committed
+reference, after normalising by the machine-speed calibration loop recorded
+alongside (mirrors ``bench_hot_paths.py --check``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+PROVERS = ["smt", "fol", "mona", "bapa"]
+OPTIONS = {"smt": {"timeout": 3.0}, "fol": {"timeout": 1.5}, "mona": {"timeout": 2.0}}
+#: Smoke scale: AssocList and PriorityQueue are the FOL/SMT-heavy rows
+#: (arithmetic/equality goals where smt/fol either prove or burn budget),
+#: SinglyLinkedList adds MONA reachability goals and open obligations.
+SMOKE_NAMES = ["AssocList", "SinglyLinkedList", "PriorityQueue"]
+#: Structures whose obligations are dominated by the FOL/SMT engines; the
+#: aggregate-speedup assertion runs over these.
+FOL_SMT_HEAVY = ["AssocList", "SinglyLinkedList"]
+
+
+def run_pass(names: List[str], race: int, ordering) -> Dict[str, dict]:
+    from repro import suite
+
+    results: Dict[str, dict] = {}
+    for name in names:
+        start = time.perf_counter()
+        report = suite.verify_structure(
+            name, provers=PROVERS, prover_options=OPTIONS, dedup=True,
+            race=race, ordering=ordering,
+        )
+        wall = time.perf_counter() - start
+        results[name] = {
+            "wall_s": round(wall, 3),
+            "proved": report.proved_sequents,
+            "total": report.total_sequents,
+            "races_run": report.races_run,
+            "race_wins": dict(report.race_wins),
+            "cancelled_answers": report.cancelled_answers,
+            "cancelled_reclaimed_s": round(report.cancelled_reclaimed, 3),
+        }
+        extra = ""
+        if report.races_run:
+            extra = (
+                f", {report.races_run} races, {report.cancelled_answers} cancelled"
+                f" ({report.cancelled_reclaimed:.1f}s reclaimed)"
+            )
+        print(
+            f"  {name}: {wall:.2f}s, "
+            f"{report.proved_sequents}/{report.total_sequents} proved{extra}",
+            flush=True,
+        )
+    return results
+
+
+def calibrate() -> float:
+    """The machine-speed yardstick the CI gate normalises by (identical to
+    the bench_hot_paths loop, so references are comparable)."""
+    start = time.perf_counter()
+    acc = 0
+    for i in range(2_000_000):
+        acc = (acc * 31 + i) % 1000003
+    assert acc >= 0
+    return time.perf_counter() - start
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help=f"run only {SMOKE_NAMES}")
+    parser.add_argument("--race", type=int, default=2, help="racers per wave (default: 2)")
+    parser.add_argument(
+        "--output", default="BENCH_racing.json", help="where to write the results json"
+    )
+    parser.add_argument(
+        "--check", metavar="JSON", default=None,
+        help="CI gate: compare the racing run against a committed reference "
+        "instead of writing a new one",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed relative per-structure wall overrun of racing vs fixed, "
+        "and the --check gate's allowed regression (default: 25%%)",
+    )
+    args = parser.parse_args()
+
+    from repro.provers.ordering import ProverOrdering
+
+    names = SMOKE_NAMES if args.smoke else None
+    if names is None:
+        from repro import suite
+
+        names = list(suite.FIGURE15_NAMES)
+    scale = "smoke" if args.smoke else "full"
+    calibration = calibrate()
+    print(f"scale={scale}, race={args.race}, calibration loop {calibration:.3f}s")
+
+    # Pass 1 always runs (even under --check): the racing pass needs the
+    # learned table, and a fixed-order pass is how a real deployment grows
+    # one before switching --race on.
+    ordering = ProverOrdering()
+    print("fixed-order pass (race=1, feeding the ordering table):", flush=True)
+    fixed = run_pass(names, race=1, ordering=ordering)
+    fixed_wall = sum(r["wall_s"] for r in fixed.values())
+    print(f"  learned {ordering.bucket_count()} feature buckets")
+
+    print(f"racing pass (race={args.race}, learned ordering):", flush=True)
+    racing = run_pass(names, race=args.race, ordering=ordering)
+    racing_wall = sum(r["wall_s"] for r in racing.values())
+
+    # The completeness contract: racing must prove exactly what fixed order
+    # proves, structure by structure.
+    mismatches = [
+        name for name in names
+        if racing[name]["proved"] != fixed[name]["proved"]
+        or racing[name]["total"] != fixed[name]["total"]
+    ]
+    if mismatches:
+        print(f"FAIL: proved counts differ between modes: {mismatches}", file=sys.stderr)
+        return 1
+
+    # Per-structure: racing is never worse than fixed order beyond the
+    # tolerance (hedged starts + the early-release wave make a well-ordered
+    # portfolio race at fixed-order speed; the tolerance absorbs scheduling
+    # noise on structures with nothing to win).
+    slower = [
+        name for name in names
+        if racing[name]["wall_s"] > fixed[name]["wall_s"] * (1.0 + args.tolerance) + 0.2
+    ]
+    if slower:
+        print(
+            f"FAIL: racing slower than fixed order beyond tolerance on: {slower}",
+            file=sys.stderr,
+        )
+        return 1
+
+    heavy = [n for n in FOL_SMT_HEAVY if n in names]
+    heavy_fixed = sum(fixed[n]["wall_s"] for n in heavy)
+    heavy_racing = sum(racing[n]["wall_s"] for n in heavy)
+    speedup = fixed_wall / racing_wall if racing_wall else float("inf")
+    heavy_speedup = heavy_fixed / heavy_racing if heavy_racing else float("inf")
+    print(
+        f"\ncold suite: fixed {fixed_wall:.2f}s, racing {racing_wall:.2f}s "
+        f"(speedup {speedup:.2f}x); FOL/SMT-heavy {heavy_fixed:.2f}s -> "
+        f"{heavy_racing:.2f}s (speedup {heavy_speedup:.2f}x)"
+    )
+    if heavy and heavy_speedup <= 1.0:
+        print(
+            f"FAIL: no aggregate speedup on FOL/SMT-heavy structures "
+            f"({heavy_speedup:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
+
+    if args.check:
+        with open(args.check) as fh:
+            reference = json.load(fh)
+        ref_scale = reference["scale"]
+        if ref_scale != scale:
+            ref_wall = reference.get("smoke_racing_wall_s")
+            if ref_wall is None:
+                print(f"reference is {ref_scale}-scale and has no smoke numbers", file=sys.stderr)
+                return 2
+        else:
+            ref_wall = reference["racing_wall_s"]
+        ref_calibration = reference["calibration_s"]
+        speed_ratio = calibration / ref_calibration
+        allowed = ref_wall * speed_ratio * (1.0 + args.tolerance)
+        verdict = "OK" if racing_wall <= allowed else "REGRESSION"
+        print(
+            f"gate: measured {racing_wall:.2f}s vs reference {ref_wall:.2f}s "
+            f"(machine x{speed_ratio:.2f}, allowed {allowed:.2f}s) -> {verdict}"
+        )
+        return 0 if racing_wall <= allowed else 1
+
+    payload = {
+        "benchmark": "racing_cold_suite",
+        "scale": scale,
+        "race": args.race,
+        "provers": PROVERS,
+        "prover_options": OPTIONS,
+        "calibration_s": round(calibration, 4),
+        "fixed_wall_s": round(fixed_wall, 3),
+        "racing_wall_s": round(racing_wall, 3),
+        "speedup": round(speedup, 3),
+        "fol_smt_heavy": heavy,
+        "fol_smt_heavy_speedup": round(heavy_speedup, 3),
+        "ordering_buckets": ordering.bucket_count(),
+        "structures": {
+            name: {"fixed": fixed[name], "racing": racing[name]} for name in names
+        },
+    }
+    if not args.smoke:
+        payload["smoke_racing_wall_s"] = round(
+            sum(racing[n]["wall_s"] for n in SMOKE_NAMES if n in racing), 3
+        )
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

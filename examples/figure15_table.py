@@ -82,6 +82,12 @@ def main() -> None:
         "prover runs (adds the Static column to the table)",
     )
     parser.add_argument(
+        "--race", type=int, default=1, metavar="K",
+        help="race the top-K provers per sequent instead of trying them in "
+        "order; the learned prover ordering is persisted beside --cache-dir "
+        "(daemon-side with --server)",
+    )
+    parser.add_argument(
         "--server", default=None, metavar="HOST:PORT",
         help="verify through a running daemon (python -m repro.server) "
         "instead of in-process; its sharded store replaces --cache-dir",
@@ -97,13 +103,20 @@ def main() -> None:
     names = args.names or list(suite.FIGURE15_NAMES)
     provers = ["smt", "fol", "mona", "bapa"]
     prover_options = {"smt": {"timeout": 3.0}, "fol": {"timeout": 1.5}}
-    client = cache = None
+    client = cache = ordering = None
     if args.server:
         from repro.server import VerifyClient
 
         client = VerifyClient.from_address(args.server)
     elif not args.no_cache:
         cache = SequentCache(cache_dir=args.cache_dir)
+    if args.race > 1 and client is None:
+        import os
+
+        from repro.provers.ordering import DEFAULT_FILENAME, ProverOrdering
+
+        path = None if args.no_cache else os.path.join(args.cache_dir, DEFAULT_FILENAME)
+        ordering = ProverOrdering(path=path)
     reports = []
     for name in names:
         print(f"verifying {name} ...", flush=True)
@@ -125,6 +138,8 @@ def main() -> None:
                 workers=args.workers,
                 sequent_budget=args.budget,
                 static_tier=args.static_tier,
+                race=args.race,
+                ordering=ordering,
             )
         reports.append(report)
         row = report.row(provers)
@@ -144,6 +159,24 @@ def main() -> None:
         f"{dispatched} sequents dispatched: {live} proved live, "
         f"{replayed} replayed (shared cache + dedup pre-pass)."
     )
+    races = sum(r.races_run for r in reports)
+    if races:
+        cancelled = sum(r.cancelled_answers for r in reports)
+        reclaimed = sum(r.cancelled_reclaimed for r in reports)
+        wins: dict = {}
+        for r in reports:
+            for prover, count in r.race_wins.items():
+                wins[prover] = wins.get(prover, 0) + count
+        won = ", ".join(f"{p} {n}" for p, n in sorted(wins.items(), key=lambda kv: -kv[1]))
+        # With --server the daemon chooses K; the client only sees the counters.
+        top = "server-side" if args.server else f"top-{args.race}"
+        print(
+            f"Raced {races} waves ({top}): {cancelled} attempts "
+            f"cancelled, {reclaimed:.1f} s of prover budget reclaimed"
+            + (f" [wins: {won}]" if won else ".")
+        )
+        if ordering is not None and ordering.path:
+            print(f"Learned prover ordering ({ordering.bucket_count()} buckets) at {ordering.path!r}.")
     statically = sum(r.statically_discharged for r in reports)
     if statically:
         print(

@@ -44,12 +44,14 @@ from ..provers.base import ProverStats
 from ..provers.cache import SequentCache
 from ..provers.dispatcher import (
     DEFAULT_ORDER,
+    DEFAULT_RACE_STAGGER,
     DispatchResult,
     Dispatcher,
     ParallelDispatcher,
     make_provers,
     resolve_prover_names,
 )
+from ..provers.ordering import ProverOrdering
 from ..vcgen.sequent import Sequent
 from ..vcgen.vcgen import generate_method_vc
 from .report import ClassReport, MethodReport
@@ -93,6 +95,9 @@ def verify(
     sequent_budget: Optional[float] = None,
     dedup: bool = False,
     static_tier: bool = False,
+    race: int = 1,
+    ordering: Optional[ProverOrdering] = None,
+    race_stagger: float = DEFAULT_RACE_STAGGER,
     dispatch: Optional[DispatchFn] = None,
 ) -> MethodReport:
     """Verify one method and return its report (Figure 7).
@@ -112,6 +117,16 @@ def verify(
     (:mod:`repro.analysis.discharge`): sequents provable from dataflow facts
     alone resolve with the ``STATIC`` verdict before the cache or any prover
     runs, counted in the report's ``statically_discharged``.
+
+    ``race >= 2`` switches every non-cached, non-static sequent to racing
+    dispatch: the top-``race`` provers by ``ordering`` (a learned
+    :class:`repro.provers.ordering.ProverOrdering`; portfolio order when
+    omitted) run concurrently with hedged starts (``race_stagger`` seconds
+    apart) and the first PROVED answer — wave order breaking ties — wins,
+    cancelling the losers via the shared-token ``Deadline`` contract.  The
+    report gains ``races_run`` / ``race_wins`` / ``cancelled_answers`` /
+    ``cancelled_reclaimed``; proved-sequent counts are unchanged because a
+    wave with no proof falls through to the remaining provers.
 
     ``dispatch`` replaces the dispatch backend entirely: the split sequents
     are handed to the callable and its :class:`DispatchResult` feeds the
@@ -141,12 +156,14 @@ def verify(
         dispatcher = ParallelDispatcher.from_names(
             names, workers=workers, backend=backend, cache=cache,
             sequent_budget=sequent_budget, dedup=dedup, static_tier=static_tier,
+            race=race, ordering=ordering, race_stagger=race_stagger,
             **options,
         )
     else:
         dispatcher = Dispatcher(
             make_provers(names, **options), cache=cache,
             sequent_budget=sequent_budget, dedup=dedup, static_tier=static_tier,
+            race=race, ordering=ordering, race_stagger=race_stagger,
         )
     if dispatch is not None:
         dispatched = dispatch(method_vc.sequents)
@@ -175,6 +192,11 @@ def verify(
         trusted_assumes=method_vc.trusted_assumes,
         statically_discharged=dispatched.statically_discharged,
         frontend_phases={"parse": parse_time, "vcgen": vcgen_time},
+        races_run=dispatched.races_run,
+        race_wins=dict(dispatched.race_wins),
+        cancelled_answers=dispatched.cancelled_answers,
+        cancelled_reclaimed=dispatched.cancelled_reclaimed,
+        batch_wall_time=dispatched.batch_wall_time,
     )
     return report
 
@@ -192,6 +214,9 @@ def verify_class(
     sequent_budget: Optional[float] = None,
     dedup: bool = False,
     static_tier: bool = False,
+    race: int = 1,
+    ordering: Optional[ProverOrdering] = None,
+    race_stagger: float = DEFAULT_RACE_STAGGER,
     dispatch: Optional[DispatchFn] = None,
 ) -> ClassReport:
     """Verify every contracted method of a class (one Figure 15 row).
@@ -230,6 +255,9 @@ def verify_class(
                 sequent_budget=sequent_budget,
                 dedup=dedup,
                 static_tier=static_tier,
+                race=race,
+                ordering=ordering,
+                race_stagger=race_stagger,
                 dispatch=dispatch,
             )
         )

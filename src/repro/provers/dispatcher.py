@@ -50,6 +50,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tupl
 from ..vcgen.sequent import Sequent
 from .base import Deadline, Prover, ProverAnswer, ProverStats, Verdict, registry
 from .cache import CacheStats, SequentCache
+from .ordering import ProverOrdering
 from .syntactic import SyntacticProver
 
 if TYPE_CHECKING:  # import-cycle guard: repro.analysis imports the prover layer
@@ -109,6 +110,16 @@ class SequentOutcome:
     answers: List[ProverAnswer] = field(default_factory=list)
     #: True when the per-sequent time budget ran out before the chain ended.
     budget_exhausted: bool = False
+    #: Contended racing waves run on this sequent (waves where >= 2 racers
+    #: actually started; single-starter waves are plain chain steps).
+    raced: int = 0
+    #: The prover whose PROVED answer won a contended wave (portfolio-order
+    #: tie-break when several proved); ``None`` when the sequent was settled
+    #: outside a race.
+    race_won_by: Optional[str] = None
+    #: CPU seconds reclaimed by cancelling losing racers: the unspent part
+    #: of each cancelled attempt's time slice.
+    reclaimed: float = 0.0
 
     @property
     def from_cache(self) -> bool:
@@ -145,6 +156,19 @@ class DispatchResult:
     #: sequent in the batch, by structural digest): their verdicts were fanned
     #: out from the representative's, not computed.
     dedup_replayed: int = 0
+    #: Racing instrumentation (all zero outside ``race >= 2`` dispatch):
+    #: contended waves run, winning PROVED answers per prover, attempts
+    #: cancelled mid-flight, and the CPU seconds those cancellations
+    #: reclaimed (the unspent remainder of each cancelled attempt's slice).
+    races_run: int = 0
+    race_wins: Dict[str, int] = field(default_factory=dict)
+    cancelled_answers: int = 0
+    cancelled_reclaimed: float = 0.0
+    #: Wall time of the merged daemon batch this result was sliced from
+    #: (zero for local dispatch): co-batched requests share one batch, so
+    #: a slice's own ``total_time``/``wall_time`` carry only its answer-time
+    #: sum while the shared batch wall lives here.
+    batch_wall_time: float = 0.0
 
     @property
     def total(self) -> int:
@@ -222,6 +246,11 @@ def _replayed_outcome(sequent: Sequent, representative: SequentOutcome) -> Seque
     """
     answers = []
     for answer in representative.answers:
+        if answer.verdict is Verdict.CANCELLED:
+            # A cancelled racing attempt says nothing about the sequent;
+            # replaying it would fabricate phantom cancellations on the
+            # duplicates.  The wave's real verdicts replay on their own.
+            continue
         detail = answer.detail if answer.cached else (
             f"dedup replay: {answer.detail}" if answer.detail else "dedup replay"
         )
@@ -308,15 +337,16 @@ def _run_prover_chain(
                 answer = entry.to_answer(prover.name)
         if answer is None:
             answer = prover.prove(sequent, deadline=deadline)
-            # A TIMEOUT produced under a truncating sequent budget reflects
-            # the budget's remainder, not the prover's configured timeout
-            # (which keys the cache entry); storing it would poison later
-            # runs that grant the prover its full budget.
-            truncated = (
-                sequent_budget is not None
-                and answer.verdict is Verdict.TIMEOUT
-            )
-            if cache is not None and not truncated:
+            # A *truncated* TIMEOUT — the chain deadline left the prover less
+            # than its configured timeout (the option that keys the cache
+            # entry) — reflects the budget's remainder, not the prover, and
+            # storing it would poison later runs that grant the full budget.
+            # ``Prover.prove`` sets the flag from the slack it actually had,
+            # so a TIMEOUT that did get its whole configured budget is a
+            # genuine verdict and stays cacheable even under a sequent
+            # budget.  (This used to blanket-suppress every TIMEOUT whenever
+            # ``sequent_budget`` was set, so cold runs re-paid them forever.)
+            if cache is not None and not answer.truncated:
                 cache.store(sequent, prover.name, answer, prover.options_signature())
         outcome.answers.append(answer)
         if answer.proved:
@@ -324,6 +354,205 @@ def _run_prover_chain(
             outcome.prover = prover.name
             break
     return outcome
+
+
+# ---------------------------------------------------------------------------
+# The racing prover chain (race=K dispatch mode, shared by both dispatchers)
+# ---------------------------------------------------------------------------
+
+#: Hedged-start delay between racers of one wave: racer ``i`` starts only
+#: after ``i * stagger`` seconds, and not at all if the wave has settled by
+#: then.  The bundled provers are pure Python, so concurrent racers share
+#: the GIL; staggering keeps a well-ordered portfolio at (almost) its
+#: fixed-order speed — the rank-0 prover runs contention-free until the
+#: hedge fires — while still letting a later prover overtake an engine that
+#: is heading for its timeout.  0.15 s sits above the bulk of the suite's
+#: genuine proof times (so winners rarely get contended) and far below the
+#: engine budgets the hedge is there to cut short (1.5-3 s).
+DEFAULT_RACE_STAGGER = 0.15
+
+
+def _run_wave(
+    wave: Sequence[Prover],
+    sequent: Sequent,
+    deadline: Deadline,
+    stagger: float,
+) -> Tuple[List[Optional[ProverAnswer]], List[float], int]:
+    """Race one wave of provers on one sequent.
+
+    Every racer runs under a copy of ``deadline`` sharing one cancellation
+    token; the first racer to answer ``PROVED`` sets the token and the rest
+    unwind with ``CANCELLED`` at their next checkpoint poll.  Racer ``i``
+    hedges its start by ``i * stagger`` seconds, releasing early when (a)
+    the wave settles — it then never starts at all, contributing no answer
+    and no statistics, exactly as if the fixed-order chain had stopped
+    before reaching it — or (b) ``i`` racers have already answered without
+    a proof (the interpreter is idle, so waiting out the hedge would just
+    sleep where the fixed-order chain falls straight through).
+
+    Returns the per-slot answers (``None`` for never-started racers), the
+    per-slot time slice each started racer was granted (for the reclaimed-
+    CPU accounting of cancelled attempts), and how many racers started.
+    """
+    if len(wave) == 1:
+        prover = wave[0]
+        slice_granted = min(deadline.remaining(), prover.timeout)
+        return [prover.prove(sequent, deadline=deadline)], [slice_granted], 1
+
+    cancel = threading.Event()
+    answers: List[Optional[ProverAnswer]] = [None] * len(wave)
+    slices: List[float] = [0.0] * len(wave)
+    started: List[bool] = [False] * len(wave)
+    progress = threading.Condition()
+    finished = [0]  # racers that have answered (proof or not), under progress
+
+    def racer(slot: int, prover: Prover) -> None:
+        hedge_until = time.monotonic() + slot * stagger
+        with progress:
+            while not cancel.is_set() and finished[0] < slot:
+                remaining = hedge_until - time.monotonic()
+                if remaining <= 0.0:
+                    break
+                progress.wait(remaining)
+        if cancel.is_set():
+            return  # a rival settled the sequent before this hedge fired
+        started[slot] = True
+        slices[slot] = min(deadline.remaining(), prover.timeout)
+        answer = prover.prove(sequent, deadline=deadline.with_cancel(cancel))
+        answers[slot] = answer
+        with progress:
+            finished[0] += 1
+            if answer.proved:
+                cancel.set()  # stop the losers at their next checkpoint poll
+            progress.notify_all()
+
+    threads = [
+        threading.Thread(
+            target=racer,
+            args=(slot, prover),
+            name=f"racer-{slot}-{prover.name}",
+            daemon=True,
+        )
+        for slot, prover in enumerate(wave)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return answers, slices, sum(started)
+
+
+def _race_prover_chain(
+    provers: Sequence[Prover],
+    sequent: Sequent,
+    race: int,
+    cache: Optional[SequentCache] = None,
+    sequent_budget: Optional[float] = None,
+    static: Optional["StaticDischarger"] = None,
+    ordering: Optional["ProverOrdering"] = None,
+    stagger: float = DEFAULT_RACE_STAGGER,
+) -> SequentOutcome:
+    """Offer one sequent to the portfolio in racing mode (``race >= 2``).
+
+    The chain runs in *waves*: the cache is scanned once over the whole
+    learned order (any cached ``PROVED`` settles the sequent without racing
+    anything), then the remaining provers race in groups of up to ``race``
+    — concurrently, under one shared cancellation token — with the order
+    chosen by ``ordering`` (portfolio order when no table is given or the
+    table has nothing for this sequent's feature bucket).
+
+    A wave with no ``PROVED`` answer falls through to the next, so every
+    prover still gets its turn and the set of provable sequents is exactly
+    the fixed-order chain's.  When several racers prove, the *wave-order*
+    (learned rank, portfolio tie-break) answer wins — completion order
+    never decides, so attribution is reproducible.  ``TIMEOUT`` answers
+    from contended waves are marked ``truncated`` (racers share the
+    interpreter, so a wall-clock timeout under contention says nothing a
+    cache entry should remember); cancelled attempts yield ``CANCELLED``
+    answers that are never cached and never counted as cache misses.
+    """
+    if static is not None:
+        reason = static.check(sequent)
+        if reason is not None:
+            return _static_outcome(sequent, reason)
+    outcome = SequentOutcome(sequent=sequent, proved=False)
+    deadline = Deadline.never() if sequent_budget is None else Deadline.after(sequent_budget)
+    if ordering is not None:
+        order = ordering.rank(sequent, [prover.name for prover in provers])
+    else:
+        order = list(range(len(provers)))
+
+    # Cache scan over the ranked order: replayed verdicts cost nothing, so
+    # every cached answer is collected up front and a cached PROVED wins
+    # outright — racing only ever spends CPU on genuinely open provers.
+    live: List[Prover] = []
+    for index in order:
+        prover = provers[index]
+        if cache is not None:
+            entry = cache.lookup(sequent, prover.name, prover.options_signature())
+            if entry is not None:
+                answer = entry.to_answer(prover.name)
+                outcome.answers.append(answer)
+                if answer.proved:
+                    outcome.proved = True
+                    outcome.prover = prover.name
+                    return outcome
+                continue
+        live.append(prover)
+
+    position = 0
+    while position < len(live):
+        if deadline.expired():
+            outcome.budget_exhausted = True
+            break
+        wave = live[position:position + race]
+        position += len(wave)
+        answers, slices, started_count = _run_wave(wave, sequent, deadline, stagger)
+        contended = started_count >= 2
+        if contended:
+            outcome.raced += 1
+        winner: Optional[ProverAnswer] = None
+        for slot, prover in enumerate(wave):
+            answer = answers[slot]
+            if answer is None:
+                continue  # hedge never fired: not an attempt, no record
+            if contended and answer.verdict is Verdict.TIMEOUT:
+                # Racers share the interpreter: a wall-clock deadline under
+                # contention clips real work, so the verdict reflects the
+                # race, not the configured budget — never cache it.
+                answer.truncated = True
+            if answer.verdict is Verdict.CANCELLED:
+                outcome.reclaimed += max(0.0, slices[slot] - answer.time)
+            elif cache is not None and not answer.truncated:
+                cache.store(sequent, prover.name, answer, prover.options_signature())
+            outcome.answers.append(answer)
+            if winner is None and answer.proved:
+                winner = answer
+        if winner is not None:
+            outcome.proved = True
+            outcome.prover = winner.prover
+            if contended:
+                outcome.race_won_by = winner.prover
+            break
+    return outcome
+
+
+def _observe_outcomes(
+    ordering: Optional["ProverOrdering"], outcomes: Sequence[SequentOutcome]
+) -> None:
+    """Feed a batch's live answers to the learned ordering and persist it.
+
+    Replays, ``CANCELLED`` and truncated answers teach nothing (the
+    ordering skips them itself); the table is saved after the batch when it
+    has a path and learned anything new.
+    """
+    if ordering is None:
+        return
+    for outcome in outcomes:
+        for answer in outcome.answers:
+            ordering.observe(outcome.sequent, answer)
+    if ordering.dirty and ordering.path:
+        ordering.save()
 
 
 def _record_answer(result: DispatchResult, answer: ProverAnswer, cache_enabled: bool) -> None:
@@ -339,6 +568,15 @@ def _record_answer(result: DispatchResult, answer: ProverAnswer, cache_enabled: 
         return
     if answer.verdict is Verdict.STATIC:
         result.stats.setdefault(answer.prover, ProverStats()).record(answer)
+        return
+    if answer.verdict is Verdict.CANCELLED:
+        # A cancelled racing attempt is neither a hit nor a miss — the
+        # lookup happened, but no verdict was computed or stored — and it
+        # is not an *attempt* in the Figure 7 sense: only the dedicated
+        # cancellation counters (and the real CPU it burned) are recorded.
+        result.cancelled_answers += 1
+        result.cpu_time += answer.time
+        result.stats.setdefault(answer.prover, ProverStats()).cancelled += 1
         return
     if cache_enabled:
         result.cache_stats.misses += 1
@@ -362,6 +600,12 @@ def _merge_outcomes(
         result.outcomes.append(outcome)
         for answer in outcome.answers:
             _record_answer(result, answer, cache_enabled)
+        result.races_run += outcome.raced
+        result.cancelled_reclaimed += outcome.reclaimed
+        if outcome.race_won_by:
+            result.race_wins[outcome.race_won_by] = (
+                result.race_wins.get(outcome.race_won_by, 0) + 1
+            )
         if stop_on_failure and not outcome.proved:
             break
 
@@ -388,6 +632,9 @@ class Dispatcher:
         sequent_budget: Optional[float] = None,
         dedup: bool = False,
         static_tier: bool = False,
+        race: int = 1,
+        ordering: Optional[ProverOrdering] = None,
+        race_stagger: float = DEFAULT_RACE_STAGGER,
     ) -> None:
         self.provers = list(provers)
         self.stop_on_failure = stop_on_failure
@@ -395,16 +642,49 @@ class Dispatcher:
         self.sequent_budget = sequent_budget
         self.dedup = dedup
         self.static = _make_static_tier(static_tier)
+        #: ``race >= 2`` switches every non-cached, non-static sequent to the
+        #: racing chain (:func:`_race_prover_chain`): the top-``race``
+        #: provers by the learned ``ordering`` run concurrently and the
+        #: first PROVED answer (wave order breaking ties) wins.
+        self.race = max(1, int(race))
+        self.ordering = ordering
+        self.race_stagger = race_stagger
 
     @classmethod
-    def from_names(cls, names: Sequence[str] = DEFAULT_ORDER, **options) -> "Dispatcher":
-        return cls(make_provers(names, **options))
+    def from_names(
+        cls,
+        names: Sequence[str] = DEFAULT_ORDER,
+        race: int = 1,
+        ordering: Optional[ProverOrdering] = None,
+        race_stagger: float = DEFAULT_RACE_STAGGER,
+        **options,
+    ) -> "Dispatcher":
+        return cls(
+            make_provers(names, **options),
+            race=race,
+            ordering=ordering,
+            race_stagger=race_stagger,
+        )
+
+    def _chain(self, sequent: Sequent) -> SequentOutcome:
+        if self.race > 1:
+            return _race_prover_chain(
+                self.provers,
+                sequent,
+                self.race,
+                self.cache,
+                self.sequent_budget,
+                self.static,
+                ordering=self.ordering,
+                stagger=self.race_stagger,
+            )
+        return _run_prover_chain(
+            self.provers, sequent, self.cache, self.sequent_budget, self.static
+        )
 
     def prove_sequent(self, sequent: Sequent, result: DispatchResult) -> SequentOutcome:
         """Prove one sequent, recording stats into ``result`` (legacy API)."""
-        outcome = _run_prover_chain(
-            self.provers, sequent, self.cache, self.sequent_budget, self.static
-        )
+        outcome = self._chain(sequent)
         for answer in outcome.answers:
             _record_answer(result, answer, self.cache is not None)
         return outcome
@@ -419,13 +699,12 @@ class Dispatcher:
                 outcome = _replayed_outcome(sequent, outcomes[rep[index]])
                 result.dedup_replayed += 1
             else:
-                outcome = _run_prover_chain(
-                    self.provers, sequent, self.cache, self.sequent_budget, self.static
-                )
+                outcome = self._chain(sequent)
             outcomes.append(outcome)
             if self.stop_on_failure and not outcome.proved:
                 break
         _merge_outcomes(result, outcomes, self.stop_on_failure, self.cache is not None)
+        _observe_outcomes(self.ordering, outcomes)
         result.total_time = time.perf_counter() - start
         result.wall_time = result.total_time
         return result
@@ -443,19 +722,33 @@ _PROCESS_PORTFOLIOS: Dict[Tuple, List[Prover]] = {}
 
 
 def _process_worker_chain(
-    payload: Tuple[Sequence[str], dict, Optional[float], Sequent, int]
+    payload: Tuple[
+        Sequence[str], dict, Optional[float], Sequent, int, int,
+        Optional[Sequence[int]], float,
+    ]
 ) -> SequentOutcome:
     """Top-level function (picklable) executed inside process-pool workers.
 
     ``start`` skips the provers whose verdicts the parent already replayed
-    from its cache (the cached prefix of the chain).
+    from its cache (the cached prefix of the chain).  With ``race >= 2``
+    the worker races instead: ``order`` lists the portfolio indices of the
+    provers still open for this sequent, already in learned-rank order (the
+    parent ranks and cache-scans; the ordering table and the cache both
+    live in the parent), and the worker runs the racing chain over exactly
+    those provers with its own in-process racer threads.
     """
-    names, options, sequent_budget, sequent, start = payload
+    names, options, sequent_budget, sequent, start, race, order, stagger = payload
     key = (tuple(names), repr(sorted(options.items())))
     provers = _PROCESS_PORTFOLIOS.get(key)
     if provers is None:
         provers = make_provers(names, **options)
         _PROCESS_PORTFOLIOS[key] = provers
+    if race > 1:
+        chain = [provers[index] for index in (order or range(len(provers)))]
+        return _race_prover_chain(
+            chain, sequent, race, cache=None, sequent_budget=sequent_budget,
+            stagger=stagger,
+        )
     return _run_prover_chain(
         provers[start:], sequent, cache=None, sequent_budget=sequent_budget
     )
@@ -495,6 +788,9 @@ class ParallelDispatcher:
         sequent_budget: Optional[float] = None,
         dedup: bool = False,
         static_tier: bool = False,
+        race: int = 1,
+        ordering: Optional[ProverOrdering] = None,
+        race_stagger: float = DEFAULT_RACE_STAGGER,
         _names: Optional[List[str]] = None,
         _options: Optional[dict] = None,
     ) -> None:
@@ -515,6 +811,12 @@ class ParallelDispatcher:
         # statically discharged sequents never reach a worker, and the
         # discharger's counters stay single-threaded.
         self.static = _make_static_tier(static_tier)
+        # Racing (race >= 2): each worker slot races the top-``race``
+        # provers of its sequent; the learned ordering (and the cache scan,
+        # for the process backend) always runs in the parent.
+        self.race = max(1, int(race))
+        self.ordering = ordering
+        self.race_stagger = race_stagger
         self._names = list(_names) if _names is not None else None
         self._options = dict(_options) if _options is not None else {}
 
@@ -529,6 +831,9 @@ class ParallelDispatcher:
         sequent_budget: Optional[float] = None,
         dedup: bool = False,
         static_tier: bool = False,
+        race: int = 1,
+        ordering: Optional[ProverOrdering] = None,
+        race_stagger: float = DEFAULT_RACE_STAGGER,
         **options,
     ) -> "ParallelDispatcher":
         resolved = resolve_prover_names(names)
@@ -541,6 +846,9 @@ class ParallelDispatcher:
             sequent_budget=sequent_budget,
             dedup=dedup,
             static_tier=static_tier,
+            race=race,
+            ordering=ordering,
+            race_stagger=race_stagger,
             _names=resolved,
             _options=options,
         )
@@ -561,6 +869,7 @@ class ParallelDispatcher:
                 1 for index in range(len(outcomes)) if rep[index] != index
             )
         _merge_outcomes(result, outcomes, self.stop_on_failure, self.cache is not None)
+        _observe_outcomes(self.ordering, outcomes)
         result.total_time = time.perf_counter() - start
         result.wall_time = result.total_time
         if result.wall_time > 0:
@@ -591,7 +900,15 @@ class ParallelDispatcher:
                 provers = self._factory()
                 local.provers = provers
             started = time.perf_counter()
-            outcome = _run_prover_chain(provers, sequent, self.cache, self.sequent_budget)
+            if self.race > 1:
+                outcome = _race_prover_chain(
+                    provers, sequent, self.race, self.cache, self.sequent_budget,
+                    ordering=self.ordering, stagger=self.race_stagger,
+                )
+            else:
+                outcome = _run_prover_chain(
+                    provers, sequent, self.cache, self.sequent_budget
+                )
             elapsed = time.perf_counter() - started
             name = threading.current_thread().name
             with busy_lock:
@@ -649,6 +966,37 @@ class ParallelDispatcher:
                 return answers, True
         return answers, True
 
+    def _cached_race_scan(
+        self,
+        sequent: Sequent,
+        signatures: List[Tuple[str, str]],
+        ranked: Sequence[int],
+    ) -> Tuple[List[ProverAnswer], List[int], bool]:
+        """The racing chain's cache scan, run parent-side (the cache never
+        crosses into process workers).
+
+        Mirrors :func:`_race_prover_chain`'s scan phase exactly: cached
+        answers replay in ranked order, a cached PROVED completes the
+        sequent outright, and the returned ``live`` indices — the provers
+        still open, in rank order — are what the worker will race.
+        """
+        answers: List[ProverAnswer] = []
+        live: List[int] = []
+        for index in ranked:
+            prover_name, signature = signatures[index]
+            entry = (
+                self.cache.lookup(sequent, prover_name, signature)
+                if self.cache is not None
+                else None
+            )
+            if entry is None:
+                live.append(index)
+                continue
+            answers.append(entry.to_answer(prover_name))
+            if entry.verdict is Verdict.PROVED:
+                return answers, live, True
+        return answers, live, not live
+
     def _prove_all_processes(
         self, sequents: Sequence[Sequent], rep: Optional[List[int]] = None
     ) -> Tuple[List[SequentOutcome], Dict[str, float]]:
@@ -662,11 +1010,16 @@ class ParallelDispatcher:
             (except budget-truncated TIMEOUTs — see _run_prover_chain)."""
             for answer in tail.answers:
                 prover = by_prover.get(answer.prover)
-                truncated = (
-                    self.sequent_budget is not None
-                    and answer.verdict is Verdict.TIMEOUT
-                )
-                if self.cache is not None and prover is not None and not truncated:
+                if (
+                    self.cache is not None
+                    and prover is not None
+                    and not answer.truncated
+                ):
+                    # ``truncated`` travels on the pickled answer, so the
+                    # parent applies the same suppression rule as the
+                    # in-process chain (budget-clipped or race-contended
+                    # TIMEOUTs only; genuine verdicts are stored).  The
+                    # cache itself refuses CANCELLED.
                     self.cache.store(
                         sequent, answer.prover, answer, prover.options_signature()
                     )
@@ -676,6 +1029,9 @@ class ParallelDispatcher:
                 prover=tail.prover,
                 answers=prefix + tail.answers,
                 budget_exhausted=tail.budget_exhausted,
+                raced=tail.raced,
+                race_won_by=tail.race_won_by,
+                reclaimed=tail.reclaimed,
             )
             return outcome
 
@@ -689,12 +1045,31 @@ class ParallelDispatcher:
             else self._static_check(sequent)
             for index, sequent in enumerate(sequents)
         ]
-        prefixes: List[Tuple[List[ProverAnswer], bool]] = [
-            ([], False)
-            if statics[index] is not None or (rep is not None and rep[index] != index)
-            else self._cached_chain_prefix(sequent, signatures)
-            for index, sequent in enumerate(sequents)
-        ]
+        # ``prefixes[i]`` is (cached answers, complete); ``race_orders[i]``
+        # additionally carries, in racing mode, the ranked indices of the
+        # provers the worker should race (the ordering table and the cache
+        # both live parent-side, so ranking and the scan happen here).
+        prefixes: List[Tuple[List[ProverAnswer], bool]] = []
+        race_orders: List[Optional[List[int]]] = []
+        names_in_order = [prover.name for prover in probe]
+        for index, sequent in enumerate(sequents):
+            if statics[index] is not None or (rep is not None and rep[index] != index):
+                prefixes.append(([], False))
+                race_orders.append(None)
+            elif self.race > 1:
+                ranked = (
+                    self.ordering.rank(sequent, names_in_order)
+                    if self.ordering is not None
+                    else list(range(len(signatures)))
+                )
+                answers, live, complete = self._cached_race_scan(
+                    sequent, signatures, ranked
+                )
+                prefixes.append((answers, complete))
+                race_orders.append(live)
+            else:
+                prefixes.append(self._cached_chain_prefix(sequent, signatures))
+                race_orders.append(None)
 
         busy: Dict[str, float] = {}
         outcomes: List[SequentOutcome] = []
@@ -709,7 +1084,8 @@ class ParallelDispatcher:
                     futures.append(None)
                     continue
                 payload = (
-                    self._names, self._options, self.sequent_budget, sequent, len(prefix)
+                    self._names, self._options, self.sequent_budget, sequent,
+                    len(prefix), self.race, race_orders[index], self.race_stagger,
                 )
                 futures.append(pool.submit(_process_worker_chain, payload))
             for index, (sequent, (prefix, complete)) in enumerate(zip(sequents, prefixes)):

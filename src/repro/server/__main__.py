@@ -43,6 +43,11 @@ def main() -> None:
         "--request-workers", type=int, default=8,
         help="threads serving verify_class/verify_method requests",
     )
+    parser.add_argument(
+        "--race", type=int, default=1,
+        help="race the top-K provers per sequent (learned ordering persisted "
+        "beside --store-dir; default: fixed portfolio order)",
+    )
     args = parser.parse_args()
 
     server = VerifyServer(
@@ -55,6 +60,7 @@ def main() -> None:
         workers=args.workers,
         backend=args.backend,
         request_workers=args.request_workers,
+        race=args.race,
     )
     where = args.store_dir or "memory"
     print(

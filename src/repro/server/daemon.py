@@ -74,6 +74,8 @@ from ..provers.dispatcher import (
     make_provers,
     resolve_prover_names,
 )
+from ..provers.ordering import DEFAULT_FILENAME as ORDERING_FILENAME
+from ..provers.ordering import ProverOrdering
 from ..vcgen.sequent import Sequent
 from .store import ShardedVerdictStore
 from .wire import (
@@ -162,12 +164,26 @@ class VerifyService:
         max_batch: int = 512,
         workers: int = 1,
         backend: str = "thread",
+        race: int = 1,
+        ordering: Optional[ProverOrdering] = None,
     ) -> None:
         self.store = store
         self.window = window
         self.max_batch = max_batch
         self.workers = workers
         self.backend = backend
+        # Racing is a server-wide *scheduling* knob, deliberately not part
+        # of ``_config_key``: it never changes which verdicts are computed
+        # (contended TIMEOUTs are truncated and never stored), so racing
+        # and fixed-order requests may share one batch and one store.
+        self.race = max(1, int(race))
+        self.ordering = ordering
+        if self.ordering is None and self.race > 1 and store.root_dir is not None:
+            # Learn beside the verdict store by default, so a daemon's
+            # ranking table survives restarts next to the verdicts it ranks.
+            self.ordering = ProverOrdering(
+                path=str(store.root_dir / ORDERING_FILENAME)
+            )
         self.stats = ServiceStats()
         self._pending: List[_PendingRequest] = []
         self._wakeup = asyncio.Event()
@@ -338,6 +354,8 @@ class VerifyService:
                 cache=self.store,
                 sequent_budget=sequent_budget,
                 dedup=True,
+                race=self.race,
+                ordering=self.ordering,
                 **options,
             )
         else:
@@ -346,6 +364,8 @@ class VerifyService:
                 cache=self.store,
                 sequent_budget=sequent_budget,
                 dedup=True,
+                race=self.race,
+                ordering=self.ordering,
             )
         return rep, dispatcher.prove_all(merged)
 
@@ -386,7 +406,15 @@ def _slice_result(
         result, merged.outcomes[start:stop], stop_on_failure=False, cache_enabled=True
     )
     result.dedup_replayed = sum(1 for i in range(start, stop) if rep[i] != i)
-    result.total_time = result.wall_time = merged.total_time
+    # The slice's own answer-time sum, not the merged batch's wall: stamping
+    # ``merged.total_time`` on every slice used to bill each co-batched
+    # client for the whole window, inflating per-request stats by the number
+    # of clients sharing the batch.  ``cpu_time`` was accumulated answer by
+    # answer just above, so it is exactly what a standalone dispatch of this
+    # slice would have measured (replays cost zero); the shared batch wall
+    # stays available separately.
+    result.total_time = result.wall_time = result.cpu_time
+    result.batch_wall_time = merged.total_time
     return result
 
 
@@ -417,6 +445,7 @@ class VerifyServer:
         backend: str = "thread",
         request_workers: int = 8,
         drain_timeout: float = 30.0,
+        race: int = 1,
     ) -> None:
         self.host = host
         self.port = port
@@ -427,6 +456,7 @@ class VerifyServer:
         self.max_batch = max_batch
         self.workers = workers
         self.backend = backend
+        self.race = max(1, int(race))
         self.drain_timeout = drain_timeout
         self.service: Optional[VerifyService] = None
         self.started_at: Optional[float] = None
@@ -497,6 +527,7 @@ class VerifyServer:
             max_batch=self.max_batch,
             workers=self.workers,
             backend=self.backend,
+            race=self.race,
         )
         await self.service.start()
         server = await asyncio.start_server(self._handle_connection, self.host, self.port)
@@ -602,6 +633,13 @@ class VerifyServer:
             "replayed": result.replayed,
             "proved_from_cache": result.proved_from_cache,
             "dedup_replayed": result.dedup_replayed,
+            # Per-slice latency accounting (see _slice_result): this
+            # request's own answer-time sum, with the shared batch wall
+            # reported separately instead of billed to every client.
+            "total_time": result.total_time,
+            "wall_time": result.wall_time,
+            "cpu_time": result.cpu_time,
+            "batch_wall_time": result.batch_wall_time,
             "outcomes": [outcome_to_wire(o) for o in result.outcomes],
         }
 

@@ -78,6 +78,7 @@ def answer_to_wire(answer: ProverAnswer) -> Dict[str, Any]:
         "detail": answer.detail,
         "cached": answer.cached,
         "instances": answer.instances,
+        "truncated": answer.truncated,
     }
 
 
@@ -90,6 +91,7 @@ def answer_from_wire(payload: Dict[str, Any]) -> ProverAnswer:
         instances=payload.get("instances", 0),
     )
     answer.cached = payload.get("cached", False)
+    answer.truncated = payload.get("truncated", False)
     return answer
 
 
@@ -101,6 +103,9 @@ def outcome_to_wire(outcome: "SequentOutcome") -> Dict[str, Any]:  # noqa: F821
         "from_cache": outcome.from_cache,
         "origin": outcome.sequent.origin,
         "answers": [answer_to_wire(a) for a in outcome.answers],
+        "raced": outcome.raced,
+        "race_won_by": outcome.race_won_by,
+        "reclaimed": outcome.reclaimed,
     }
 
 

@@ -254,6 +254,32 @@ def test_budget_truncated_timeouts_are_not_cached():
     assert entry is not None and entry.verdict is Verdict.TIMEOUT
 
 
+def test_full_budget_timeouts_are_cached_even_under_sequent_budget():
+    """The converse of the truncation rule: when the sequent budget's
+    remaining slack at prove-start covers the prover's whole configured
+    timeout, a TIMEOUT is a genuine (cacheable) verdict — the budget never
+    clipped the attempt.  Blanket-suppressing every TIMEOUT whenever
+    ``sequent_budget`` was set made budgeted cold runs re-pay their
+    timeouts on every warm rerun."""
+    from repro.provers.cache import SequentCache
+
+    cache = SequentCache()
+    seq = _bapa_adversarial()
+    prover = BapaProver(timeout=0.1)
+    # Budget far above the prover's own timeout: slack >= timeout at start.
+    first = Dispatcher([prover], cache=cache, sequent_budget=30.0).prove_all([seq])
+    assert first.stats["bapa"].attempted == 1
+    entry = cache.lookup(seq, "bapa", prover.options_signature())
+    assert entry is not None and entry.verdict is Verdict.TIMEOUT
+    assert not first.outcomes[0].answers[0].truncated
+    # The warm rerun replays the cached TIMEOUT instead of re-grinding.
+    warm = Dispatcher(
+        [BapaProver(timeout=0.1)], cache=cache, sequent_budget=30.0
+    ).prove_all([seq])
+    assert warm.cache_stats.hits == 1
+    assert not warm.stats
+
+
 def test_interactive_timeout_is_reported_as_timeout_not_unknown():
     """Budget expiry inside the kernel's `auto` tactic must surface as a
     TIMEOUT verdict (budget exhausted), not UNKNOWN (cannot prove)."""

@@ -166,6 +166,108 @@ def test_request_budget_expires_queued_work(client):
     assert stats["live_proved"] == 0
 
 
+def _pigeonhole(n=8, bound=None):
+    """An smt-grinding sequent: n pairwise-distinct integers in [0, n-2]."""
+    bound = (n - 2) if bound is None else bound
+    assumptions = []
+    for i in range(n):
+        assumptions += [parse(f"0 <= y{i}"), parse(f"y{i} <= {bound}")]
+    for i in range(n):
+        for j in range(i + 1, n):
+            assumptions.append(parse(f"y{i} < y{j} | y{j} < y{i}"))
+    return sequent(assumptions, parse(f"y{n-1} < y0"))
+
+
+def test_cobatched_clients_are_billed_their_own_latency(tmp_path):
+    """Two clients sharing one batch window: the cheap client's slice must
+    report *its own* answer-time sum, not the merged batch's wall (which the
+    slow client's grinding sequent dominates).  Stamping the batch wall on
+    every slice used to bill each co-batched client for the whole window."""
+    slow_options = {"smt": {"timeout": 1.2}}
+    server = VerifyServer(
+        port=0, store_dir=str(tmp_path / "store"), shards=4, window=0.5
+    ).start()
+    try:
+        responses = {}
+        errors = []
+
+        def submit(tag, batch):
+            try:
+                with VerifyClient(port=server.port) as c:
+                    responses[tag] = c.prove_sequents(
+                        batch, provers=PROVERS, prover_options=slow_options
+                    )
+            except Exception as exc:  # noqa: BLE001
+                errors.append(repr(exc))
+
+        threads = [
+            threading.Thread(target=submit, args=("slow", [_pigeonhole()])),
+            threading.Thread(
+                target=submit,
+                args=("cheap", [sequent([parse(f"p{k}")], parse(f"p{k}")) for k in range(3)]),
+            ),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        with VerifyClient(port=server.port) as c:
+            stats = _service_stats(c)
+    finally:
+        server.stop()
+
+    # Both requests landed in one merged batch (the 0.5s window caught them).
+    assert stats["batches"] == 1
+    cheap, slow = responses["cheap"], responses["slow"]
+    assert cheap["proved"] == 3
+    # The batch wall is dominated by the pigeonhole grind (~1.2s timeout)
+    # and is reported identically to every slice of the batch...
+    assert cheap["batch_wall_time"] >= 1.0
+    assert cheap["batch_wall_time"] == pytest.approx(slow["batch_wall_time"])
+    # ...but the cheap client's own latency is its three syntactic answers,
+    # nowhere near the batch wall it used to be billed for.
+    assert cheap["wall_time"] < 0.5
+    assert cheap["total_time"] == pytest.approx(cheap["wall_time"])
+    assert slow["wall_time"] >= 1.0
+
+
+def test_daemon_racing_mode_matches_fixed_order(tmp_path):
+    """A race=2 daemon proves exactly what a fixed-order daemon proves and
+    leaves its learned ordering table beside the verdict store."""
+    import os
+
+    from repro.provers.ordering import DEFAULT_FILENAME
+
+    batch = _corpus(4)
+    fixed = VerifyServer(
+        port=0, store_dir=str(tmp_path / "fixed"), shards=4, window=0.01
+    ).start()
+    try:
+        with VerifyClient(port=fixed.port) as c:
+            baseline = c.prove_sequents(batch, provers=PROVERS, prover_options=OPTIONS)
+    finally:
+        fixed.stop()
+
+    racing_dir = str(tmp_path / "racing")
+    racing = VerifyServer(
+        port=0, store_dir=racing_dir, shards=4, window=0.01, race=2
+    ).start()
+    try:
+        with VerifyClient(port=racing.port) as c:
+            raced = c.prove_sequents(batch, provers=PROVERS, prover_options=OPTIONS)
+    finally:
+        racing.stop()
+
+    assert raced["proved"] == baseline["proved"] == 4
+    assert [o["proved"] for o in raced["outcomes"]] == [
+        o["proved"] for o in baseline["outcomes"]
+    ]
+    # No CANCELLED verdict ever crosses the wire into a stored outcome's
+    # deciding answer, and the ordering learned beside the store.
+    assert os.path.exists(os.path.join(racing_dir, DEFAULT_FILENAME))
+
+
 # -- server-backed verify: byte-identical reports -----------------------------
 
 
