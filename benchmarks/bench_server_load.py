@@ -179,3 +179,137 @@ def test_server_load_warm_wave_is_pure_replay(benchmark, tmp_path):
         f"{warm['p50_ms']:.1f}/{warm['p95_ms']:.1f}/{warm['p99_ms']:.1f} ms "
         f"({warm['rps']:.0f} req/s warm, cold p50 {cold['p50_ms']:.1f} ms)"
     )
+
+
+# -- mixed-config lanes -------------------------------------------------------
+
+N_CONFIGS = 4
+REQS_PER_CONFIG = 6
+WORKERS = int(os.environ.get("SERVER_LOAD_WORKERS", "1"))
+
+
+def _register_sleepy():
+    """Register the sleepy prover: proves everything after ``delay`` seconds
+    of deadline-polled sleep — a wall-clock-heavy, CPU-free stand-in for a
+    slow decision procedure, so the lane-overlap speedup below is
+    deterministic even on a single core."""
+
+    from repro.provers.base import Prover, ProverAnswer, Verdict, registry
+    from repro.provers.dispatcher import make_provers
+
+    make_provers(["syntactic"])  # seed the default registry
+    if "sleepy" in registry.known():
+        return
+
+    class SleepyProver(Prover):
+        name = "sleepy"
+
+        def __init__(self, timeout=30.0, delay=0.08):
+            super().__init__(timeout=timeout)
+            self.delay = delay
+
+        def attempt(self, sequent, deadline=None):
+            end = time.monotonic() + self.delay
+            while time.monotonic() < end:
+                if deadline is not None:
+                    deadline.checkpoint(detail="sleeping")
+                time.sleep(0.005)
+            return ProverAnswer(Verdict.PROVED, self.name, detail="slept")
+
+    registry.register("sleepy", SleepyProver)
+
+
+def _mixed_config_wave(port):
+    """One client thread per prover configuration, each submitting its
+    requests *sequentially* (a pipelined client): per-config work is a
+    serial chain, so total wall time measures how well the daemon overlaps
+    different configurations across lanes."""
+    results = {}
+    failures = []
+
+    def one_config(config):
+        delay = 0.08 + config * 0.001  # distinct options -> distinct config key
+        verdicts = []
+        try:
+            with VerifyClient(port=port, timeout=120.0) as client:
+                for r in range(REQS_PER_CONFIG):
+                    response = client.prove_sequents(
+                        [CORPUS[config * REQS_PER_CONFIG + r]],
+                        provers=["sleepy"],
+                        prover_options={"sleepy": {"delay": delay}},
+                    )
+                    verdicts.append(
+                        tuple(o["proved"] for o in response["outcomes"])
+                    )
+        except Exception as exc:  # noqa: BLE001
+            failures.append(f"config {config}: {exc!r}")
+            return
+        results[config] = verdicts
+
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=N_CONFIGS) as pool:
+        list(pool.map(one_config, range(N_CONFIGS)))
+    wall = time.perf_counter() - started
+    assert not failures, failures[:5]
+    return wall, results
+
+
+def _lanes_run(lanes):
+    server = VerifyServer(
+        port=0, window=0.01, lanes=lanes, workers=WORKERS, backend="thread"
+    ).start()
+    control = VerifyClient(port=server.port)
+    try:
+        wall, results = _mixed_config_wave(server.port)
+        stats = control.stats()
+    finally:
+        control.close()
+        server.stop()
+    return wall, results, stats
+
+
+def test_server_mixed_config_lanes_throughput(benchmark):
+    """The multi-lane acceptance gate: a mixed-config workload (N config
+    keys, each a serial client pipeline) runs >= 1.5x faster on a multi-lane
+    daemon than on a single-lane one, with identical verdicts and zero
+    cross-lane re-proofs.  The workload's provers sleep instead of burning
+    CPU, so the overlap — and the gate — hold on any core count."""
+    _register_sleepy()
+
+    single_wall, single_results, single_stats = _lanes_run(lanes=1)
+    multi_wall, multi_results, multi_stats = run_once(
+        benchmark, lambda: _lanes_run(lanes=N_CONFIGS)
+    )
+
+    # Identical verdicts, request by request, on both daemons.
+    assert multi_results == single_results
+    assert all(
+        verdicts == [(True,)] * REQS_PER_CONFIG
+        for verdicts in multi_results.values()
+    )
+    # Single-flight held across lanes.
+    assert multi_stats["service"]["live_reproofs"] == 0
+    assert single_stats["service"]["live_reproofs"] == 0
+    assert multi_stats["lanes"]["peak_busy"] >= 2, "lanes never overlapped"
+    assert single_stats["lanes"]["peak_busy"] == 1
+    assert multi_stats["lanes"]["workers"] == WORKERS
+
+    speedup = single_wall / multi_wall if multi_wall else 0.0
+    benchmark.extra_info.update(
+        {
+            "configs": N_CONFIGS,
+            "requests_per_config": REQS_PER_CONFIG,
+            "farm_workers": WORKERS,
+            "single_lane_wall_s": round(single_wall, 3),
+            "multi_lane_wall_s": round(multi_wall, 3),
+            "lane_speedup": round(speedup, 2),
+            "peak_lanes_busy": multi_stats["lanes"]["peak_busy"],
+        }
+    )
+    print(
+        f"\nmixed-config lanes: {N_CONFIGS} configs x {REQS_PER_CONFIG} requests; "
+        f"single-lane {single_wall:.2f}s, {N_CONFIGS} lanes {multi_wall:.2f}s "
+        f"({speedup:.1f}x, peak {multi_stats['lanes']['peak_busy']} lanes busy, "
+        f"{WORKERS} farm workers)"
+    )
+    assert speedup >= 1.5, f"lane speedup {speedup:.2f}x < 1.5x"

@@ -50,6 +50,7 @@ import itertools
 import json
 import os
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -232,6 +233,69 @@ class SequentCache:
                 pass
 
     # -- maintenance ----------------------------------------------------------
+
+    #: Staging files older than this are leftovers of a crashed writer (the
+    #: write-then-replace window is milliseconds) and are swept by compact().
+    STALE_TMP_SECONDS = 60.0
+
+    def compact(
+        self,
+        max_entries: Optional[int] = None,
+        max_age: Optional[float] = None,
+    ) -> int:
+        """Evict disk-tier entries beyond the given caps; returns the count.
+
+        ``max_age`` drops entries older than that many seconds; ``max_entries``
+        then drops the oldest survivors down to the cap (eviction is by file
+        mtime — the disk tier is content-addressed, so age-of-write is the
+        only order it has).  Stale ``*.tmp`` staging files left by crashed
+        writers are swept too.  The memory LRU is bounded separately by
+        ``max_entries`` at construction and is not touched: a memory entry
+        whose disk file was evicted simply stops being disk-backed.
+
+        Concurrent-writer safety: eviction is a plain ``unlink`` of published
+        entries, which readers already treat as a miss, and a concurrent
+        ``store`` of the same key lands under a fresh staging name — the
+        worst case is re-proving an evicted verdict, never a torn entry.
+        """
+        if self.cache_dir is None:
+            return 0
+        now = time.time()
+        entries = []
+        for path in self.cache_dir.glob("*.json"):
+            try:
+                entries.append((path.stat().st_mtime, path))
+            except OSError:
+                continue  # evicted or replaced under us
+        entries.sort()
+        doomed = []
+        if max_age is not None:
+            cutoff = now - max_age
+            while entries and entries[0][0] < cutoff:
+                doomed.append(entries.pop(0)[1])
+        if max_entries is not None and len(entries) > max_entries:
+            excess = len(entries) - max_entries
+            doomed.extend(path for _, path in entries[:excess])
+        evicted = 0
+        for path in doomed:
+            try:
+                path.unlink()
+                evicted += 1
+            except OSError:
+                pass
+        for tmp in self.cache_dir.glob("*.tmp"):
+            try:
+                if now - tmp.stat().st_mtime > self.STALE_TMP_SECONDS:
+                    tmp.unlink()
+            except OSError:
+                pass
+        return evicted
+
+    def disk_entries(self) -> int:
+        """Number of published entries in the disk tier (0 when memory-only)."""
+        if self.cache_dir is None:
+            return 0
+        return sum(1 for _ in self.cache_dir.glob("*.json"))
 
     def clear(self, disk: bool = False) -> None:
         with self._lock:

@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -300,12 +300,27 @@ def _static_outcome(sequent: Sequent, reason: str) -> SequentOutcome:
 # ---------------------------------------------------------------------------
 
 
+def _chain_deadline(
+    sequent_budget: Optional[float], deadline: Optional[Deadline]
+) -> Deadline:
+    """The deadline one sequent's chain runs under: the per-sequent budget
+    bounded by an outer (request-level) deadline when the caller has one.
+    ``bounded_by`` keeps the outer cancellation token, so a request deadline
+    expiring mid-batch still cuts provers off cooperatively."""
+    if deadline is not None:
+        return deadline.bounded_by(sequent_budget)
+    if sequent_budget is None:
+        return Deadline.never()
+    return Deadline.after(sequent_budget)
+
+
 def _run_prover_chain(
     provers: Sequence[Prover],
     sequent: Sequent,
     cache: Optional[SequentCache] = None,
     sequent_budget: Optional[float] = None,
     static: Optional["StaticDischarger"] = None,
+    deadline: Optional[Deadline] = None,
 ) -> SequentOutcome:
     """Offer one sequent to the provers in order, consulting the cache first.
 
@@ -313,7 +328,10 @@ def _run_prover_chain(
     chain: each prover runs under the earlier of the chain deadline and its
     own timeout, so a stuck decision procedure is cut off mid-flight (a
     cooperative ``TIMEOUT``) and the next prover still gets its turn while
-    budget remains.
+    budget remains.  An outer ``deadline`` (a request-level budget threaded
+    through the daemon's batch dispatch) bounds the chain further: once it
+    passes, remaining provers are skipped and the outcome is marked
+    ``budget_exhausted``.
 
     ``static`` (the dispatcher's :class:`StaticDischarger`, when the static
     tier is enabled) is consulted before the cache and before any prover: a
@@ -325,7 +343,7 @@ def _run_prover_chain(
         if reason is not None:
             return _static_outcome(sequent, reason)
     outcome = SequentOutcome(sequent=sequent, proved=False)
-    deadline = Deadline.never() if sequent_budget is None else Deadline.after(sequent_budget)
+    deadline = _chain_deadline(sequent_budget, deadline)
     for prover in provers:
         if deadline.expired():
             outcome.budget_exhausted = True
@@ -451,6 +469,7 @@ def _race_prover_chain(
     static: Optional["StaticDischarger"] = None,
     ordering: Optional["ProverOrdering"] = None,
     stagger: float = DEFAULT_RACE_STAGGER,
+    deadline: Optional[Deadline] = None,
 ) -> SequentOutcome:
     """Offer one sequent to the portfolio in racing mode (``race >= 2``).
 
@@ -476,7 +495,7 @@ def _race_prover_chain(
         if reason is not None:
             return _static_outcome(sequent, reason)
     outcome = SequentOutcome(sequent=sequent, proved=False)
-    deadline = Deadline.never() if sequent_budget is None else Deadline.after(sequent_budget)
+    deadline = _chain_deadline(sequent_budget, deadline)
     if ordering is not None:
         order = ordering.rank(sequent, [prover.name for prover in provers])
     else:
@@ -666,7 +685,9 @@ class Dispatcher:
             race_stagger=race_stagger,
         )
 
-    def _chain(self, sequent: Sequent) -> SequentOutcome:
+    def _chain(
+        self, sequent: Sequent, deadline: Optional[Deadline] = None
+    ) -> SequentOutcome:
         if self.race > 1:
             return _race_prover_chain(
                 self.provers,
@@ -677,9 +698,15 @@ class Dispatcher:
                 self.static,
                 ordering=self.ordering,
                 stagger=self.race_stagger,
+                deadline=deadline,
             )
         return _run_prover_chain(
-            self.provers, sequent, self.cache, self.sequent_budget, self.static
+            self.provers,
+            sequent,
+            self.cache,
+            self.sequent_budget,
+            self.static,
+            deadline=deadline,
         )
 
     def prove_sequent(self, sequent: Sequent, result: DispatchResult) -> SequentOutcome:
@@ -689,7 +716,13 @@ class Dispatcher:
             _record_answer(result, answer, self.cache is not None)
         return outcome
 
-    def prove_all(self, sequents: Sequence[Sequent]) -> DispatchResult:
+    def prove_all(
+        self, sequents: Sequence[Sequent], deadline: Optional[Deadline] = None
+    ) -> DispatchResult:
+        """Prove a batch in order.  ``deadline`` is an optional *batch-level*
+        bound (e.g. a request budget): every sequent's chain runs under the
+        earlier of it and the per-sequent budget, and sequents reached after
+        it passes come back unproved with ``budget_exhausted``."""
         result = DispatchResult()
         start = time.perf_counter()
         rep = _dedup_representatives(sequents) if self.dedup else None
@@ -699,7 +732,7 @@ class Dispatcher:
                 outcome = _replayed_outcome(sequent, outcomes[rep[index]])
                 result.dedup_replayed += 1
             else:
-                outcome = self._chain(sequent)
+                outcome = self._chain(sequent, deadline)
             outcomes.append(outcome)
             if self.stop_on_failure and not outcome.proved:
                 break
@@ -776,6 +809,14 @@ class ParallelDispatcher:
     and per-prover statistics are recorded in the sequence the sequential
     :class:`Dispatcher` would use, so results (and, for ``workers=1``,
     statistics) are reproducible.
+
+    ``executor=`` lends the dispatcher a long-lived pool (matching the
+    backend: a ``ThreadPoolExecutor`` for threads, a ``ProcessPoolExecutor``
+    for processes) instead of building one per ``prove_all`` call.  A
+    borrowed pool is never shut down here — the owner (e.g. the verify
+    daemon's prover farm, shared by every batch lane) manages its lifetime —
+    and its workers persist across batches, so per-thread prover portfolios
+    and per-process portfolio caches are built once and reused.
     """
 
     def __init__(
@@ -791,6 +832,7 @@ class ParallelDispatcher:
         race: int = 1,
         ordering: Optional[ProverOrdering] = None,
         race_stagger: float = DEFAULT_RACE_STAGGER,
+        executor: Optional[Executor] = None,
         _names: Optional[List[str]] = None,
         _options: Optional[dict] = None,
     ) -> None:
@@ -817,8 +859,15 @@ class ParallelDispatcher:
         self.race = max(1, int(race))
         self.ordering = ordering
         self.race_stagger = race_stagger
+        self.executor = executor
         self._names = list(_names) if _names is not None else None
         self._options = dict(_options) if _options is not None else {}
+        # Instance-level (not call-local) per-thread portfolios: with a
+        # persistent executor the same worker threads serve many prove_all
+        # calls, so their portfolios survive across batches.  A worker thread
+        # runs one task at a time, so a portfolio is never shared.
+        self._worker_local = threading.local()
+        self._probe: Optional[List[Prover]] = None
 
     @classmethod
     def from_names(
@@ -834,6 +883,7 @@ class ParallelDispatcher:
         race: int = 1,
         ordering: Optional[ProverOrdering] = None,
         race_stagger: float = DEFAULT_RACE_STAGGER,
+        executor: Optional[Executor] = None,
         **options,
     ) -> "ParallelDispatcher":
         resolved = resolve_prover_names(names)
@@ -849,21 +899,30 @@ class ParallelDispatcher:
             race=race,
             ordering=ordering,
             race_stagger=race_stagger,
+            executor=executor,
             _names=resolved,
             _options=options,
         )
 
     # -- main entry point ------------------------------------------------------
 
-    def prove_all(self, sequents: Sequence[Sequent]) -> DispatchResult:
+    def prove_all(
+        self, sequents: Sequence[Sequent], deadline: Optional[Deadline] = None
+    ) -> DispatchResult:
+        """Prove a batch on the worker pool.  ``deadline`` is an optional
+        batch-level bound (e.g. a request budget): thread workers enforce it
+        cooperatively inside the chains; process workers receive their
+        sequent budget clipped to the deadline's remaining slack at submit
+        time (a conservative approximation — a Deadline's monotonic expiry
+        instant cannot cross a process boundary)."""
         result = DispatchResult()
         result.workers = self.workers
         start = time.perf_counter()
         rep = _dedup_representatives(sequents) if self.dedup else None
         if self.backend == "thread":
-            outcomes, busy = self._prove_all_threads(sequents, rep)
+            outcomes, busy = self._prove_all_threads(sequents, rep, deadline)
         else:
-            outcomes, busy = self._prove_all_processes(sequents, rep)
+            outcomes, busy = self._prove_all_processes(sequents, rep, deadline)
         if rep is not None:
             result.dedup_replayed = sum(
                 1 for index in range(len(outcomes)) if rep[index] != index
@@ -888,9 +947,12 @@ class ParallelDispatcher:
     # -- thread backend --------------------------------------------------------
 
     def _prove_all_threads(
-        self, sequents: Sequence[Sequent], rep: Optional[List[int]] = None
+        self,
+        sequents: Sequence[Sequent],
+        rep: Optional[List[int]] = None,
+        deadline: Optional[Deadline] = None,
     ) -> Tuple[List[SequentOutcome], Dict[str, float]]:
-        local = threading.local()
+        local = self._worker_local
         busy: Dict[str, float] = {}
         busy_lock = threading.Lock()
 
@@ -904,10 +966,12 @@ class ParallelDispatcher:
                 outcome = _race_prover_chain(
                     provers, sequent, self.race, self.cache, self.sequent_budget,
                     ordering=self.ordering, stagger=self.race_stagger,
+                    deadline=deadline,
                 )
             else:
                 outcome = _run_prover_chain(
-                    provers, sequent, self.cache, self.sequent_budget
+                    provers, sequent, self.cache, self.sequent_budget,
+                    deadline=deadline,
                 )
             elapsed = time.perf_counter() - started
             name = threading.current_thread().name
@@ -916,9 +980,13 @@ class ParallelDispatcher:
             return outcome
 
         outcomes: List[SequentOutcome] = []
-        with ThreadPoolExecutor(
-            max_workers=self.workers, thread_name_prefix="prover-worker"
-        ) as pool:
+        pool = self.executor
+        owned: Optional[ThreadPoolExecutor] = None
+        if pool is None:
+            owned = pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="prover-worker"
+            )
+        try:
             # Only group representatives that the static pre-pass did not
             # already resolve are submitted; duplicates are fanned out from
             # the representative's outcome at merge time.
@@ -945,6 +1013,9 @@ class ParallelDispatcher:
                         if pending is not None and not isinstance(pending, SequentOutcome):
                             pending.cancel()
                     break
+        finally:
+            if owned is not None:
+                owned.shutdown(wait=True)
         return outcomes, busy
 
     # -- process backend -------------------------------------------------------
@@ -998,9 +1069,17 @@ class ParallelDispatcher:
         return answers, live, not live
 
     def _prove_all_processes(
-        self, sequents: Sequence[Sequent], rep: Optional[List[int]] = None
+        self,
+        sequents: Sequence[Sequent],
+        rep: Optional[List[int]] = None,
+        deadline: Optional[Deadline] = None,
     ) -> Tuple[List[SequentOutcome], Dict[str, float]]:
-        probe = self._factory()
+        # The probe portfolio only supplies names/signatures for the
+        # parent-side cache scans — build it once per dispatcher, not once
+        # per batch.
+        probe = self._probe
+        if probe is None:
+            probe = self._probe = self._factory()
         signatures = [(p.name, p.options_signature()) for p in probe]
         by_prover = {p.name: p for p in probe}
 
@@ -1073,7 +1152,12 @@ class ParallelDispatcher:
 
         busy: Dict[str, float] = {}
         outcomes: List[SequentOutcome] = []
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+        expired = [False] * len(sequents)
+        pool = self.executor
+        owned: Optional[ProcessPoolExecutor] = None
+        if pool is None:
+            owned = pool = ProcessPoolExecutor(max_workers=self.workers)
+        try:
             futures = []
             for index, (sequent, (prefix, complete)) in enumerate(zip(sequents, prefixes)):
                 if (
@@ -1083,8 +1167,19 @@ class ParallelDispatcher:
                 ):
                     futures.append(None)
                     continue
+                # A Deadline cannot cross the process boundary (its expiry
+                # instant is this process's monotonic clock), so the batch
+                # deadline clips each worker's sequent budget at submit time.
+                budget = self.sequent_budget
+                if deadline is not None:
+                    slack = deadline.remaining()
+                    if slack <= 0:
+                        expired[index] = True
+                        futures.append(None)
+                        continue
+                    budget = slack if budget is None else min(budget, slack)
                 payload = (
-                    self._names, self._options, self.sequent_budget, sequent,
+                    self._names, self._options, budget, sequent,
                     len(prefix), self.race, race_orders[index], self.race_stagger,
                 )
                 futures.append(pool.submit(_process_worker_chain, payload))
@@ -1093,6 +1188,11 @@ class ParallelDispatcher:
                     outcome = _replayed_outcome(sequent, outcomes[rep[index]])
                 elif statics[index] is not None:
                     outcome = statics[index]
+                elif expired[index]:
+                    outcome = SequentOutcome(
+                        sequent=sequent, proved=False, answers=list(prefix),
+                        budget_exhausted=True,
+                    )
                 elif complete:
                     outcome = SequentOutcome(sequent=sequent, proved=False, answers=prefix)
                     if prefix and prefix[-1].proved:
@@ -1114,4 +1214,7 @@ class ParallelDispatcher:
                         if pending is not None:
                             pending.cancel()
                     break
+        finally:
+            if owned is not None:
+                owned.shutdown(wait=True)
         return outcomes, busy

@@ -3,11 +3,18 @@
 The per-process pipeline (split → dispatch → cache) becomes a long-lived
 daemon: many concurrent clients submit ``verify_class`` / ``verify_method``
 / raw sequent-batch requests, the daemon accumulates their sequents into
-cross-request dispatch batches (a small time/size window), runs the digest
-dedup pre-pass over the *merged* batch so identical obligations from
-different clients are proved once, and backs every verdict with a sharded,
-content-addressed store safe under concurrent multi-process access.  Warm
-traffic — the "heavy traffic from millions of users" regime — is O(lookup).
+cross-request dispatch batches (a small time/size window) grouped by prover
+configuration, and dispatches batches for *different* configurations
+concurrently on per-config batch lanes (``--lanes``) sharing one persistent
+process-pool prover farm sized to the machine (``--workers``).  The digest
+dedup pre-pass runs over each *merged* batch so identical obligations from
+different clients are proved once, an in-flight registry keeps the
+single-flight guarantee per (digest, configuration) *across* lanes, and
+every verdict is backed by a sharded, content-addressed store safe under
+concurrent multi-process access (bounded, for long-lived deployments, by
+``--store-max-entries`` / ``--store-max-age`` compaction).  Warm traffic —
+the "heavy traffic from millions of users" regime — is O(lookup).  See
+``docs/server.md`` for operating the daemon.
 
 Start a daemon::
 

@@ -5,7 +5,37 @@ from __future__ import annotations
 import argparse
 
 from .client import DEFAULT_PORT
-from .daemon import VerifyServer
+from .daemon import DEFAULT_COMPACT_INTERVAL, DEFAULT_LANES, VerifyServer
+from .wire import DEFAULT_MAX_REQUEST_BYTES
+
+
+def _announce(server: VerifyServer) -> None:
+    """Print the daemon's listening address once it is *actually* bound.
+
+    Called via ``on_ready`` — after ``asyncio.start_server`` returned — so
+    ``--port 0`` prints the kernel-assigned ephemeral port instead of the
+    requested ``:0`` (scripts parse this line to find the daemon).
+    """
+    store = server.store
+    where = str(store.root_dir) if store.root_dir is not None else "memory"
+    caps = []
+    if store.max_disk_entries is not None:
+        caps.append(f"max {store.max_disk_entries} entries")
+    if store.max_disk_age is not None:
+        caps.append(f"max age {store.max_disk_age:g}s")
+    compaction = (
+        f"; compaction: {', '.join(caps)} every {server.compact_interval:g}s"
+        if caps
+        else ""
+    )
+    service = server.service
+    print(
+        f"verify daemon on {server.host}:{server.port} "
+        f"(store: {where}, {store.shards} shards; window {server.window}s; "
+        f"{service.lanes} lanes x {service.workers} {service.backend} workers"
+        f"{compaction})",
+        flush=True,
+    )
 
 
 def main() -> None:
@@ -32,12 +62,17 @@ def main() -> None:
         help="dispatch a batch early once it holds this many sequents",
     )
     parser.add_argument(
-        "--workers", type=int, default=1,
-        help="dispatcher worker pool per batch (default: sequential)",
+        "--lanes", type=int, default=DEFAULT_LANES,
+        help="concurrent batch lanes — batches for different prover "
+        "configurations dispatch in parallel (default: %(default)s)",
     )
     parser.add_argument(
-        "--backend", choices=("thread", "process"), default="thread",
-        help="worker backend when --workers > 1",
+        "--workers", type=int, default=0,
+        help="prover farm width shared by all lanes (default: one per core)",
+    )
+    parser.add_argument(
+        "--backend", choices=("thread", "process"), default=None,
+        help="farm backend (default: process when the farm is wider than 1)",
     )
     parser.add_argument(
         "--request-workers", type=int, default=8,
@@ -48,6 +83,26 @@ def main() -> None:
         help="race the top-K provers per sequent (learned ordering persisted "
         "beside --store-dir; default: fixed portfolio order)",
     )
+    parser.add_argument(
+        "--max-request-bytes", type=int, default=DEFAULT_MAX_REQUEST_BYTES,
+        help="cap on one request frame; oversized frames get a structured "
+        "error, not a dropped connection (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--store-max-entries", type=int, default=None,
+        help="cap on published disk-store entries; compacted oldest-first "
+        "at startup and every --compact-interval (default: unbounded)",
+    )
+    parser.add_argument(
+        "--store-max-age", type=float, default=None,
+        help="evict disk-store entries older than this many seconds "
+        "(default: unbounded)",
+    )
+    parser.add_argument(
+        "--compact-interval", type=float, default=DEFAULT_COMPACT_INTERVAL,
+        help="seconds between periodic store compactions when a cap is set "
+        "(default: %(default)s)",
+    )
     args = parser.parse_args()
 
     server = VerifyServer(
@@ -57,16 +112,16 @@ def main() -> None:
         shards=args.shards,
         window=args.window,
         max_batch=args.max_batch,
-        workers=args.workers,
+        lanes=args.lanes,
+        workers=args.workers or None,
         backend=args.backend,
         request_workers=args.request_workers,
         race=args.race,
-    )
-    where = args.store_dir or "memory"
-    print(
-        f"verify daemon on {args.host}:{args.port} "
-        f"(store: {where}, {args.shards} shards; window {args.window}s)",
-        flush=True,
+        max_request_bytes=args.max_request_bytes,
+        store_max_entries=args.store_max_entries,
+        store_max_age=args.store_max_age,
+        compact_interval=args.compact_interval,
+        on_ready=_announce,
     )
     server.run_forever()
 

@@ -228,6 +228,16 @@ class VerifyClient:
         )
         return class_report_from_wire(response["report"])
 
+    def compact(
+        self,
+        max_entries: Optional[int] = None,
+        max_age: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Compact the daemon's disk store now; returns ``{"evicted": N,
+        "disk_entries": M}``.  Without arguments the daemon's own
+        ``--store-max-entries`` / ``--store-max-age`` caps apply."""
+        return self.call("compact", max_entries=max_entries, max_age=max_age)
+
     def shutdown(self, drain: bool = True) -> None:
         """Ask the daemon to stop (draining queued work by default)."""
         try:

@@ -8,31 +8,51 @@ sharded verdict store:
 * :class:`VerifyService` is the cross-request batcher.  Incoming sequents
   (from ``verify_class`` / ``verify_method`` / raw batch requests) accumulate
   in a small time window (``window`` seconds, capped at ``max_batch``
-  sequents) and are dispatched as *one merged batch* per prover
-  configuration.  The existing digest-dedup pre-pass then runs over the
-  merged batch, so identical obligations submitted by different clients are
-  proved once and fanned back out — dedup subsumes the cache's replay
-  bookkeeping across requests, exactly as it already did within one
-  ``prove_all`` call.  Batches are processed one at a time (new requests
-  queue for the next window), which, together with the store-before-respond
-  ordering, guarantees each distinct digest is proved at most once per
-  batch window — warm traffic is O(lookup).
+  sequents) and are dispatched as merged batches per prover configuration.
+  Batches for *different* configurations run concurrently on up to ``lanes``
+  batch lanes — clients with different prover options no longer serialize
+  behind each other — while an in-flight digest registry keeps the
+  single-flight guarantee *per (digest, configuration)*: a lane assembling a
+  batch skips digests currently being proved by another lane under the same
+  configuration and picks their verdicts from the store once that dispatch
+  lands (``ServiceStats.live_reproofs == 0`` pins this across lanes).
+* The prover farm is real: batch dispatch always runs a
+  :class:`repro.provers.dispatcher.ParallelDispatcher` whose worker pool is
+  *persistent* — one process pool sized to the machine (``workers``,
+  ``backend="process"`` by default on multi-core hosts) shared by every lane,
+  or one thread pool per cached dispatcher for ``backend="thread"`` — so
+  workers and their per-worker prover portfolios are reused across batches
+  instead of being rebuilt per dispatch.
 * :class:`ShardedVerdictStore` (``repro.server.store``) backs the verdicts:
   content-addressed by structural digest, N shard directories with per-shard
-  locks and LRU tiers, safe under concurrent multi-process access.
+  locks and LRU tiers, safe under concurrent multi-process access — several
+  daemons may share one store root.  Long-lived deployments bound the disk
+  tier with ``--store-max-entries`` / ``--store-max-age``; the daemon
+  compacts at startup and every ``compact_interval`` seconds (and on the
+  ``compact`` op).
 * :class:`VerifyServer` is the protocol front end: newline-delimited JSON
   over TCP (see ``repro.server.wire``), ops ``ping`` / ``stats`` /
-  ``prove_sequents`` / ``verify_method`` / ``verify_class`` / ``shutdown``.
-  ``verify_*`` requests run :func:`repro.core.verifier.verify` with a
-  ``dispatch`` hook that routes the split sequents through the batcher —
-  report assembly is byte-for-byte the local code path, which is what makes
-  a server-backed run's report identical to a local warm-cache run's.
+  ``prove_sequents`` / ``verify_method`` / ``verify_class`` / ``compact`` /
+  ``shutdown``.  Request frames are bounded by ``max_request_bytes``
+  (default 16 MiB — not asyncio's 64 KiB line limit); an oversized frame is
+  drained and answered with a structured error instead of dropping the
+  connection.  ``verify_*`` requests run :func:`repro.core.verifier.verify`
+  with a ``dispatch`` hook that routes the split sequents through the
+  batcher — report assembly is byte-for-byte the local code path, which is
+  what makes a server-backed run's report identical to a local warm-cache
+  run's (request slices deliberately report ``workers=1``: farm occupancy is
+  a daemon-level number surfaced by the ``stats`` op, not a per-request
+  one).
 
 Per-request budgets reuse :class:`repro.provers.base.Deadline`: a request
 carrying ``budget=T`` seconds is dropped from its batch (and answered
-``budget_exhausted``) once its deadline passes while queued; per-sequent
-prover budgets (``sequent_budget``) are enforced inside the engines as
-everywhere else.
+``budget_exhausted``) once its deadline passes while queued, and — unlike
+the pre-lane daemon, which only checked *before* dispatch — the deadline is
+threaded into the dispatch itself: a deadlined request dispatches alone
+under its own deadline (so a short budget never clips co-batched unbudgeted
+work), the prover chains enforce it cooperatively, and outcomes reached
+after it passes come back ``budget_exhausted``.  Per-sequent prover budgets
+(``sequent_budget``) are enforced inside the engines as everywhere else.
 
 Starting a daemon::
 
@@ -48,30 +68,41 @@ or in-process (tests, benchmarks)::
 
 Graceful shutdown: ``stop(drain=True)`` (or the ``shutdown`` op) stops
 accepting connections, flushes the pending batch queue, completes in-flight
-requests, then exits.
+lanes, then exits.
 """
 
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
+import os
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from collections import OrderedDict, deque
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..core.verifier import verify, verify_class
 from ..provers.base import Deadline
 from ..provers.dispatcher import (
     DEFAULT_ORDER,
-    Dispatcher,
     DispatchResult,
     ParallelDispatcher,
     SequentOutcome,
     _dedup_representatives,
     _merge_outcomes,
-    make_provers,
     resolve_prover_names,
 )
 from ..provers.ordering import DEFAULT_FILENAME as ORDERING_FILENAME
@@ -79,11 +110,24 @@ from ..provers.ordering import ProverOrdering
 from ..vcgen.sequent import Sequent
 from .store import ShardedVerdictStore
 from .wire import (
+    DEFAULT_MAX_REQUEST_BYTES,
     class_report_to_wire,
     method_report_to_wire,
     outcome_to_wire,
     sequents_from_wire,
 )
+
+#: Default batch-lane count: enough concurrent config keys for a mixed
+#: workload without oversubscribing the farm (lanes share one process pool).
+DEFAULT_LANES = 4
+
+#: Cached per-config dispatchers (LRU): above this many distinct prover
+#: configurations the least-recently-dispatched one is dropped (and its
+#: thread pool, for the thread backend, shut down).
+_MAX_CACHED_DISPATCHERS = 32
+
+#: Seconds between periodic store compactions (when disk caps are set).
+DEFAULT_COMPACT_INTERVAL = 300.0
 
 
 class ServiceStopped(RuntimeError):
@@ -113,6 +157,9 @@ class _PendingRequest:
     sequents: List[Sequent]
     future: "asyncio.Future[DispatchResult]"
     deadline: Optional[Deadline] = None
+    #: Event-loop timestamp of arrival: a key's batch dispatches once its
+    #: oldest request has waited out the window (or the batch is full).
+    arrived: float = 0.0
 
     @property
     def key(self) -> str:
@@ -129,10 +176,17 @@ class ServiceStats:
     sequents: int = 0
     live_proved: int = 0
     replayed: int = 0
-    #: Live proofs of a digest the service had already proved live before —
-    #: zero as long as the store + single-flight batching work as designed.
+    #: Live proofs of a (digest, configuration) pair the service had already
+    #: proved live before — zero as long as the store + the cross-lane
+    #: single-flight registry work as designed.
     live_reproofs: int = 0
     distinct_live_digests: int = 0
+    #: Sequents a lane deferred because their digest was in flight on
+    #: another lane under the same configuration (their verdicts were picked
+    #: from the store afterwards instead of re-proved).
+    deferred_sequents: int = 0
+    #: High-water mark of concurrently running batch lanes.
+    peak_lanes_busy: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -144,17 +198,22 @@ class ServiceStats:
             "replayed": self.replayed,
             "live_reproofs": self.live_reproofs,
             "distinct_live_digests": self.distinct_live_digests,
+            "deferred_sequents": self.deferred_sequents,
+            "peak_lanes_busy": self.peak_lanes_busy,
         }
 
 
 class VerifyService:
     """Accumulates sequents from concurrent requests into merged batches.
 
-    One batch is in flight at a time: requests arriving while a batch is
-    being proved queue for the next window.  Since every batch consults the
-    verdict store before running provers — and stores its verdicts before
-    the next batch is assembled — a digest is proved live at most once
-    across the daemon's lifetime (``ServiceStats.live_reproofs`` pins this).
+    Batches are grouped by prover configuration (``_config_key``) and up to
+    ``lanes`` of them dispatch concurrently on a shared, persistent prover
+    farm.  Single-flight is per (digest, configuration), not per daemon: the
+    in-flight registry lets a lane defer digests another lane is already
+    proving under the same configuration and replay their verdicts from the
+    store once that dispatch lands, so a digest is proved live at most once
+    per configuration across the daemon's lifetime
+    (``ServiceStats.live_reproofs`` pins this).
     """
 
     def __init__(
@@ -162,16 +221,26 @@ class VerifyService:
         store: ShardedVerdictStore,
         window: float = 0.05,
         max_batch: int = 512,
-        workers: int = 1,
-        backend: str = "thread",
+        lanes: int = DEFAULT_LANES,
+        workers: Optional[int] = None,
+        backend: Optional[str] = None,
         race: int = 1,
         ordering: Optional[ProverOrdering] = None,
     ) -> None:
         self.store = store
         self.window = window
         self.max_batch = max_batch
-        self.workers = workers
-        self.backend = backend
+        self.lanes = max(1, int(lanes))
+        # The farm defaults to the machine: every core a process worker.  On
+        # a single core the thread backend avoids pointless fork overhead.
+        self.workers = max(1, int(workers)) if workers else (os.cpu_count() or 1)
+        self.backend = backend if backend is not None else (
+            "process" if self.workers > 1 else "thread"
+        )
+        if self.backend not in ("thread", "process"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; use 'thread' or 'process'"
+            )
         # Racing is a server-wide *scheduling* knob, deliberately not part
         # of ``_config_key``: it never changes which verdicts are computed
         # (contended TIMEOUTs are truncated and never stored), so racing
@@ -181,19 +250,42 @@ class VerifyService:
         if self.ordering is None and self.race > 1 and store.root_dir is not None:
             # Learn beside the verdict store by default, so a daemon's
             # ranking table survives restarts next to the verdicts it ranks.
+            # ProverOrdering is internally locked, so concurrent lanes may
+            # share it.
             self.ordering = ProverOrdering(
                 path=str(store.root_dir / ORDERING_FILENAME)
             )
         self.stats = ServiceStats()
-        self._pending: List[_PendingRequest] = []
+        self._pending: Deque[_PendingRequest] = deque()
         self._wakeup = asyncio.Event()
         self._stopping = False
-        self._processing = False
         self._task: Optional[asyncio.Task] = None
-        # One dispatch thread: batches run strictly one at a time (the
-        # single-flight guarantee); parallelism lives inside the dispatcher.
-        self._executor = ThreadPoolExecutor(1, thread_name_prefix="verify-batch")
-        self._live_digests: set = set()
+        # Lane executor: each concurrently dispatching batch occupies one
+        # thread here while its prove_all blocks (the real parallelism lives
+        # in the shared farm below).
+        self._executor = ThreadPoolExecutor(self.lanes, thread_name_prefix="verify-lane")
+        # The persistent prover farm (process backend): one pool shared by
+        # every lane and every configuration, its workers — and their
+        # per-process portfolio caches — reused across batches.
+        self._farm: Optional[ProcessPoolExecutor] = (
+            ProcessPoolExecutor(max_workers=self.workers)
+            if self.backend == "process"
+            else None
+        )
+        # Per-configuration dispatcher cache (LRU): the dispatcher, and the
+        # persistent thread pool it owns when the backend is "thread".
+        self._dispatchers: "OrderedDict[str, Tuple[ParallelDispatcher, Optional[ThreadPoolExecutor]]]" = (
+            OrderedDict()
+        )
+        self._dispatching: Dict[str, int] = {}
+        self._lane_tasks: Dict[int, asyncio.Task] = {}
+        self._lane_counter = 0
+        # The cross-lane single-flight registry: (digest, config key) ->
+        # event set once the dispatch proving that digest has stored its
+        # verdicts.  Only touched from the event loop.
+        self._inflight: Dict[Tuple[str, str], asyncio.Event] = {}
+        self._live_proofs: Set[Tuple[str, str]] = set()
+        self._live_digests: Set[str] = set()
 
     # -- client-facing --------------------------------------------------------
 
@@ -202,8 +294,12 @@ class VerifyService:
         return sum(len(r.sequents) for r in self._pending)
 
     @property
+    def lanes_busy(self) -> int:
+        return len(self._lane_tasks)
+
+    @property
     def busy(self) -> bool:
-        return self._processing or bool(self._pending)
+        return bool(self._lane_tasks) or bool(self._pending)
 
     async def start(self) -> "VerifyService":
         if self._task is None:
@@ -223,13 +319,15 @@ class VerifyService:
             raise ServiceStopped("the verify service is shutting down")
         if not sequents:
             return DispatchResult()
+        loop = asyncio.get_running_loop()
         request = _PendingRequest(
             names=tuple(resolve_prover_names(provers)),
             options=prover_options or {},
             sequent_budget=sequent_budget,
             sequents=list(sequents),
-            future=asyncio.get_running_loop().create_future(),
+            future=loop.create_future(),
             deadline=deadline,
+            arrived=loop.time(),
         )
         self._pending.append(request)
         self.stats.requests += 1
@@ -254,132 +352,309 @@ class VerifyService:
                 request.future.set_exception(ServiceStopped("service stopped"))
         self._pending.clear()
         self._executor.shutdown(wait=True)
+        for _, pool in self._dispatchers.values():
+            if pool is not None:
+                pool.shutdown(wait=False)
+        self._dispatchers.clear()
+        if self._farm is not None:
+            self._farm.shutdown(wait=True)
 
-    # -- the batch loop -------------------------------------------------------
+    # -- the lane scheduler ---------------------------------------------------
+
+    def _key_state(self) -> Tuple[Dict[str, float], Dict[str, int]]:
+        """Oldest arrival and pending sequent count per config key."""
+        oldest: Dict[str, float] = {}
+        count: Dict[str, int] = {}
+        for request in self._pending:
+            key = request.key
+            oldest.setdefault(key, request.arrived)
+            count[key] = count.get(key, 0) + len(request.sequents)
+        return oldest, count
+
+    def _next_due_in(self, now: float) -> Optional[float]:
+        """Seconds until the next batch window closes (None = nothing to
+        schedule until a wakeup: empty queue or every lane occupied)."""
+        if not self._pending or len(self._lane_tasks) >= self.lanes:
+            return None
+        oldest, count = self._key_state()
+        soonest = min(
+            0.0 if count[key] >= self.max_batch else (arrived + self.window - now)
+            for key, arrived in oldest.items()
+        )
+        return max(0.0, soonest)
+
+    def _launch_due_lanes(self, now: float) -> None:
+        """Start a lane task per due config key while lanes are free.  A key
+        is due once its oldest request has waited out the window or its
+        pending sequents fill a batch; keys go oldest-first, and a key whose
+        earlier batch is still in flight may get a second lane — the
+        in-flight registry keeps the two from proving a digest twice."""
+        oldest, count = self._key_state()
+        for key in sorted(oldest, key=oldest.__getitem__):
+            if len(self._lane_tasks) >= self.lanes:
+                break
+            due = (
+                self._stopping
+                or count[key] >= self.max_batch
+                or now - oldest[key] >= self.window - 1e-6
+            )
+            if not due:
+                continue
+            batch = self._take_batch(key)
+            if not batch:
+                continue
+            self._lane_counter += 1
+            lane_id = self._lane_counter
+            task = asyncio.create_task(
+                self._lane(lane_id, batch), name=f"verify-lane-{lane_id}"
+            )
+            self._lane_tasks[lane_id] = task
+            self.stats.peak_lanes_busy = max(
+                self.stats.peak_lanes_busy, len(self._lane_tasks)
+            )
+
+    def _take_batch(self, key: str) -> List[_PendingRequest]:
+        """Pop whole requests of one config key up to the size cap (always at
+        least one); everything else keeps its queue position."""
+        batch: List[_PendingRequest] = []
+        taken = 0
+        rest: Deque[_PendingRequest] = deque()
+        while self._pending:
+            request = self._pending.popleft()
+            if request.key == key and (not batch or taken < self.max_batch):
+                batch.append(request)
+                taken += len(request.sequents)
+            else:
+                rest.append(request)
+        self._pending = rest
+        return batch
 
     async def _run(self) -> None:
         loop = asyncio.get_running_loop()
         while True:
-            await self._wakeup.wait()
+            timeout = self._next_due_in(loop.time())
+            if timeout is None:
+                await self._wakeup.wait()
+            else:
+                try:
+                    await asyncio.wait_for(self._wakeup.wait(), timeout=timeout)
+                except asyncio.TimeoutError:
+                    pass
             self._wakeup.clear()
             if self._stopping:
                 # stop() drains first when asked to; anything still queued
-                # here is deliberately abandoned (stop(drain=False)).
+                # here is deliberately abandoned (stop(drain=False)), but
+                # lanes already dispatching run to completion.
+                if self._lane_tasks:
+                    await asyncio.gather(
+                        *list(self._lane_tasks.values()), return_exceptions=True
+                    )
                 return
-            if not self._pending:
-                continue
-            # The accumulation window: let concurrent requests pile into this
-            # batch, dispatching early once it is full.
-            if self.window > 0:
-                window_ends = loop.time() + self.window
-                while self.pending < self.max_batch and not self._stopping:
-                    remaining = window_ends - loop.time()
-                    if remaining <= 0:
-                        break
-                    try:
-                        await asyncio.wait_for(self._wakeup.wait(), timeout=remaining)
-                        self._wakeup.clear()
-                    except asyncio.TimeoutError:
-                        break
-            # Take whole requests up to the size cap; the remainder forms the
-            # seed of the next window.
-            batch: List[_PendingRequest] = []
-            taken = 0
-            while self._pending and (not batch or taken < self.max_batch):
-                request = self._pending.pop(0)
-                batch.append(request)
-                taken += len(request.sequents)
-            if self._pending:
-                self._wakeup.set()
-            self._processing = True
-            try:
-                await self._process(batch)
-            finally:
-                self._processing = False
+            self._launch_due_lanes(loop.time())
+
+    async def _lane(self, lane_id: int, batch: List[_PendingRequest]) -> None:
+        try:
+            await self._process(batch)
+        except Exception as exc:  # noqa: BLE001 - fail the batch, not the loop
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+        finally:
+            self._lane_tasks.pop(lane_id, None)
+            self._wakeup.set()
+
+    # -- batch processing -----------------------------------------------------
 
     async def _process(self, batch: List[_PendingRequest]) -> None:
         # Requests whose *request-level* Deadline expired while queued are
         # answered budget_exhausted without consuming any prover time.
-        live: Dict[str, List[_PendingRequest]] = {}
+        live: List[_PendingRequest] = []
         for request in batch:
             if request.deadline is not None and request.deadline.expired():
                 self.stats.requests_expired += 1
                 request.future.set_result(_expired_result(request.sequents))
                 continue
-            live.setdefault(request.key, []).append(request)
+            live.append(request)
+        if not live:
+            return
+        # Deadlined requests dispatch alone under their own deadline —
+        # earliest expiry first — so a short budget never clips co-batched
+        # unbudgeted work and the deadline threaded into dispatch is exactly
+        # the request's own.  Unbudgeted requests merge as one batch.
+        deadlined = sorted(
+            (r for r in live if r.deadline is not None),
+            key=lambda r: r.deadline.expires_at,
+        )
+        plain = [r for r in live if r.deadline is None]
+        for request in deadlined:
+            await self._process_group([request], request.deadline)
+        if plain:
+            await self._process_group(plain, None)
 
+    async def _process_group(
+        self, requests: List[_PendingRequest], deadline: Optional[Deadline]
+    ) -> None:
+        """Dispatch one merged same-config group under the single-flight
+        registry, then slice the merged result back per request."""
         loop = asyncio.get_running_loop()
-        for requests in live.values():
-            merged: List[Sequent] = []
-            slices: List[Tuple[_PendingRequest, int, int]] = []
-            for request in requests:
-                start = len(merged)
-                merged.extend(request.sequents)
-                slices.append((request, start, len(merged)))
-            first = requests[0]
-            try:
-                rep, result = await loop.run_in_executor(
-                    self._executor,
-                    self._dispatch,
-                    first.names,
-                    first.options,
-                    first.sequent_budget,
-                    merged,
-                )
-            except Exception as exc:  # noqa: BLE001 - fail the batch, not the loop
-                for request, _, _ in slices:
-                    if not request.future.done():
-                        request.future.set_exception(exc)
-                continue
-            self._account(result)
-            for request, start, stop in slices:
-                request.future.set_result(_slice_result(result, rep, start, stop))
-
-    def _dispatch(
-        self,
-        names: Tuple[str, ...],
-        options: Dict[str, dict],
-        sequent_budget: Optional[float],
-        merged: List[Sequent],
-    ) -> Tuple[List[int], DispatchResult]:
-        """Prove one merged batch (dispatch-executor thread).  Returns the
-        dedup representative map alongside the result so per-request slices
-        can attribute their fan-outs."""
+        first = requests[0]
+        key = first.key
+        merged: List[Sequent] = []
+        slices: List[Tuple[_PendingRequest, int, int]] = []
+        for request in requests:
+            start = len(merged)
+            merged.extend(request.sequents)
+            slices.append((request, start, len(merged)))
+        digests = [sequent.digest() for sequent in merged]
         rep = _dedup_representatives(merged)
-        if self.workers > 1:
-            dispatcher = ParallelDispatcher.from_names(
-                names,
-                workers=self.workers,
-                backend=self.backend,
-                cache=self.store,
-                sequent_budget=sequent_budget,
-                dedup=True,
-                race=self.race,
-                ordering=self.ordering,
-                **options,
-            )
-        else:
-            dispatcher = Dispatcher(
-                make_provers(names, **options),
-                cache=self.store,
-                sequent_budget=sequent_budget,
-                dedup=True,
-                race=self.race,
-                ordering=self.ordering,
-            )
-        return rep, dispatcher.prove_all(merged)
+        outcomes: List[Optional[SequentOutcome]] = [None] * len(merged)
+        deferred: Set[str] = set()
+        group_started = loop.time()
 
-    def _account(self, result: DispatchResult) -> None:
+        pending = list(range(len(merged)))
+        while pending:
+            if deadline is not None and deadline.expired():
+                for index in pending:
+                    outcomes[index] = SequentOutcome(
+                        sequent=merged[index], proved=False, budget_exhausted=True
+                    )
+                break
+            # Partition the open sequents: claim every digest nobody is
+            # proving (duplicates ride with their representative's claim),
+            # defer digests in flight on another lane under this config.
+            claimed: Dict[str, asyncio.Event] = {}
+            waiting: Dict[str, asyncio.Event] = {}
+            mine: List[int] = []
+            for index in pending:
+                digest = digests[index]
+                if digest in claimed:
+                    mine.append(index)
+                    continue
+                if digest in waiting:
+                    continue
+                event = self._inflight.get((digest, key))
+                if event is not None:
+                    waiting[digest] = event
+                    if digest not in deferred:
+                        deferred.add(digest)
+                        self.stats.deferred_sequents += 1
+                    continue
+                event = asyncio.Event()
+                self._inflight[(digest, key)] = event
+                claimed[digest] = event
+                mine.append(index)
+            if mine:
+                dispatcher = self._dispatcher_for(key, first)
+                self._dispatching[key] = self._dispatching.get(key, 0) + 1
+                try:
+                    result = await loop.run_in_executor(
+                        self._executor,
+                        functools.partial(
+                            dispatcher.prove_all,
+                            [merged[index] for index in mine],
+                            deadline=deadline,
+                        ),
+                    )
+                finally:
+                    count = self._dispatching.get(key, 1) - 1
+                    if count:
+                        self._dispatching[key] = count
+                    else:
+                        self._dispatching.pop(key, None)
+                    # Verdicts are in the store (prove_all stores before
+                    # returning), so deferring lanes may now replay them.
+                    for digest, event in claimed.items():
+                        self._inflight.pop((digest, key), None)
+                        event.set()
+                self._account(result, key)
+                for index, outcome in zip(mine, result.outcomes):
+                    outcomes[index] = outcome
+                pending = [index for index in pending if outcomes[index] is None]
+                continue  # re-partition: deferred digests may have landed
+            # Nothing claimable: every open digest is being proved elsewhere.
+            waiters = asyncio.gather(*(event.wait() for event in waiting.values()))
+            if deadline is not None:
+                try:
+                    await asyncio.wait_for(
+                        waiters, timeout=max(0.0, deadline.remaining())
+                    )
+                except asyncio.TimeoutError:
+                    pass  # the loop re-checks the deadline
+            else:
+                await waiters
+
+        merged_result = DispatchResult()
+        merged_result.outcomes = [outcome for outcome in outcomes]
+        merged_result.total_time = loop.time() - group_started
+        for request, start, stop in slices:
+            if not request.future.done():
+                request.future.set_result(
+                    _slice_result(merged_result, rep, start, stop, deadline)
+                )
+
+    def _dispatcher_for(self, key: str, request: _PendingRequest) -> ParallelDispatcher:
+        """The cached dispatcher of one configuration (built on first use).
+
+        Process backend: every dispatcher borrows the shared farm.  Thread
+        backend: each dispatcher owns a persistent thread pool, so worker
+        threads — and their thread-local portfolios — survive across
+        batches.  Only called from the event loop, so no lock is needed.
+        """
+        entry = self._dispatchers.get(key)
+        if entry is not None:
+            self._dispatchers.move_to_end(key)
+            return entry[0]
+        pool: Optional[ThreadPoolExecutor] = None
+        if self.backend == "process":
+            executor = self._farm
+        else:
+            pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="prover-worker"
+            )
+            executor = pool
+        dispatcher = ParallelDispatcher.from_names(
+            request.names,
+            workers=self.workers,
+            backend=self.backend,
+            cache=self.store,
+            sequent_budget=request.sequent_budget,
+            dedup=True,
+            race=self.race,
+            ordering=self.ordering,
+            executor=executor,
+            **request.options,
+        )
+        self._dispatchers[key] = (dispatcher, pool)
+        while len(self._dispatchers) > _MAX_CACHED_DISPATCHERS:
+            for old_key in self._dispatchers:
+                if not self._dispatching.get(old_key):
+                    _, old_pool = self._dispatchers.pop(old_key)
+                    if old_pool is not None:
+                        old_pool.shutdown(wait=False)
+                    break
+            else:
+                break  # every cached dispatcher is mid-dispatch; grow past the cap
+        return dispatcher
+
+    def _account(self, result: DispatchResult, key: str) -> None:
+        """Fold one dispatch into the service counters (event-loop only).
+
+        Reproof tracking is per (digest, configuration): the same digest
+        proved under two different prover configurations is two legitimate
+        live proofs (their verdicts key the store differently), never a
+        reproof.  ``distinct_live_digests`` stays digest-only.
+        """
         self.stats.batches += 1
         self.stats.sequents += result.total
         self.stats.replayed += result.replayed
         for outcome in result.outcomes:
             if outcome.proved and not outcome.from_cache:
                 digest = outcome.sequent.digest()
-                if digest in self._live_digests:
+                if (digest, key) in self._live_proofs:
                     self.stats.live_reproofs += 1
                 else:
-                    self._live_digests.add(digest)
+                    self._live_proofs.add((digest, key))
+                self._live_digests.add(digest)
                 self.stats.live_proved += 1
         self.stats.distinct_live_digests = len(self._live_digests)
 
@@ -394,14 +669,28 @@ def _expired_result(sequents: Sequence[Sequent]) -> DispatchResult:
 
 
 def _slice_result(
-    merged: DispatchResult, rep: List[int], start: int, stop: int
+    merged: DispatchResult,
+    rep: List[int],
+    start: int,
+    stop: int,
+    deadline: Optional[Deadline] = None,
 ) -> DispatchResult:
     """One request's view of a merged batch: its outcome slice re-accounted
     exactly as a standalone dispatch would have been (stats recorded answer
     by answer, cache hits/misses per answer), so reports built from it match
-    local runs."""
+    local runs.  Slices keep the default ``workers=1`` whatever the farm
+    width: per-request reports carry per-request latency, and stamping the
+    farm size here would both misattribute shared capacity and break the
+    byte-identical-report guarantee against local runs — daemon occupancy
+    lives in the ``stats`` op instead."""
+    if deadline is not None and deadline.expired():
+        # The request's own deadline lapsed mid-dispatch: whatever its chain
+        # did not settle in time is a budget casualty, marked as such (the
+        # module contract: post-deadline outcomes are ``budget_exhausted``).
+        for outcome in merged.outcomes[start:stop]:
+            if not outcome.proved:
+                outcome.budget_exhausted = True
     result = DispatchResult()
-    result.workers = merged.workers
     _merge_outcomes(
         result, merged.outcomes[start:stop], stop_on_failure=False, cache_enabled=True
     )
@@ -427,9 +716,12 @@ class VerifyServer:
     """A TCP daemon exposing the batching service (newline-delimited JSON).
 
     ``port=0`` binds an ephemeral port (read :attr:`port` after
-    :meth:`start`).  The server runs its asyncio loop on a background thread,
-    so tests and benchmarks can start it in-process; ``python -m
-    repro.server`` runs it in the foreground instead.
+    :meth:`start`, or pass ``on_ready`` — called with the server once it is
+    actually listening, which is what ``python -m repro.server`` uses to
+    print the *bound* port instead of the requested one).  The server runs
+    its asyncio loop on a background thread, so tests and benchmarks can
+    start it in-process; ``python -m repro.server`` runs it in the
+    foreground instead.
     """
 
     def __init__(
@@ -441,23 +733,36 @@ class VerifyServer:
         shards: int = 16,
         window: float = 0.05,
         max_batch: int = 512,
-        workers: int = 1,
-        backend: str = "thread",
+        lanes: int = DEFAULT_LANES,
+        workers: Optional[int] = None,
+        backend: Optional[str] = None,
         request_workers: int = 8,
         drain_timeout: float = 30.0,
         race: int = 1,
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+        store_max_entries: Optional[int] = None,
+        store_max_age: Optional[float] = None,
+        compact_interval: float = DEFAULT_COMPACT_INTERVAL,
+        on_ready: Optional[Callable[["VerifyServer"], None]] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.store = store if store is not None else ShardedVerdictStore(
-            store_dir, shards=shards
+            store_dir,
+            shards=shards,
+            max_disk_entries=store_max_entries,
+            max_disk_age=store_max_age,
         )
         self.window = window
         self.max_batch = max_batch
+        self.lanes = lanes
         self.workers = workers
         self.backend = backend
         self.race = max(1, int(race))
+        self.max_request_bytes = max(1024, int(max_request_bytes))
+        self.compact_interval = compact_interval
         self.drain_timeout = drain_timeout
+        self.on_ready = on_ready
         self.service: Optional[VerifyService] = None
         self.started_at: Optional[float] = None
         self._request_pool = ThreadPoolExecutor(
@@ -525,20 +830,42 @@ class VerifyServer:
             self.store,
             window=self.window,
             max_batch=self.max_batch,
+            lanes=self.lanes,
             workers=self.workers,
             backend=self.backend,
             race=self.race,
         )
         await self.service.start()
-        server = await asyncio.start_server(self._handle_connection, self.host, self.port)
+        server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=self.max_request_bytes,
+        )
         self.port = server.sockets[0].getsockname()[1]
         self.started_at = time.time()
+        compactor: Optional[asyncio.Task] = None
+        if (
+            self.store.max_disk_entries is not None
+            or self.store.max_disk_age is not None
+        ):
+            # Startup compaction bounds a store inherited from a previous
+            # (possibly differently-capped) deployment; then keep it bounded.
+            await self._loop.run_in_executor(self._request_pool, self.store.compact)
+            if self.compact_interval and self.compact_interval > 0:
+                compactor = asyncio.create_task(
+                    self._compact_periodically(), name="store-compactor"
+                )
+        if self.on_ready is not None:
+            self.on_ready(self)
         self._ready.set()
         try:
             await self._stop_requested.wait()
         finally:
             server.close()
             await server.wait_closed()
+            if compactor is not None:
+                compactor.cancel()
             if self._drain_on_stop:
                 deadline = Deadline.after(self.drain_timeout)
                 while (self._inflight or self.service.busy) and not deadline.expired():
@@ -546,7 +873,48 @@ class VerifyServer:
             await self.service.stop(drain=self._drain_on_stop)
             self._request_pool.shutdown(wait=False, cancel_futures=True)
 
+    async def _compact_periodically(self) -> None:
+        while True:
+            await asyncio.sleep(self.compact_interval)
+            try:
+                await self._loop.run_in_executor(
+                    self._request_pool, self.store.compact
+                )
+            except Exception:  # noqa: BLE001 - maintenance must not kill the daemon
+                pass
+
     # -- connection handling --------------------------------------------------
+
+    async def _read_frame(self, reader: asyncio.StreamReader) -> Optional[bytes]:
+        """One newline-terminated request frame.
+
+        Returns the frame, ``b""`` on a clean EOF, or ``None`` for a frame
+        longer than ``max_request_bytes`` — the oversized frame is drained
+        through its terminator first, so the connection stays usable and the
+        caller answers a structured error.  (The old ``readline()`` path
+        raised ``ValueError`` at asyncio's default 64 KiB limit and killed
+        the connection, leaving the client blocked on a reply that never
+        came.)
+        """
+        try:
+            return await reader.readuntil(b"\n")
+        except asyncio.IncompleteReadError as exc:
+            return exc.partial  # EOF: b"" when clean, the unterminated tail otherwise
+        except asyncio.LimitOverrunError as exc:
+            # Drain without ever consuming past the terminator: ``consumed``
+            # bytes are known separator-free, so discarding exactly that many
+            # and rescanning converges on the newline and leaves any
+            # pipelined follow-up frame intact in the buffer.
+            skip = exc.consumed
+            while True:
+                try:
+                    await reader.readexactly(skip)
+                    await reader.readuntil(b"\n")
+                    return None
+                except asyncio.LimitOverrunError as overrun:
+                    skip = overrun.consumed
+                except asyncio.IncompleteReadError:
+                    return b""  # the peer vanished mid-drain
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -554,11 +922,32 @@ class VerifyServer:
         try:
             while not self._stop_requested.is_set():
                 try:
-                    line = await reader.readline()
+                    line = await self._read_frame(reader)
                 except (ConnectionResetError, asyncio.IncompleteReadError):
                     break
-                if not line:
+                except asyncio.CancelledError:
+                    # Loop teardown cancelled this connection mid-read (the
+                    # peer never said goodbye); exit cleanly so the stream
+                    # machinery does not log the cancellation as an error.
                     break
+                if line == b"":
+                    break
+                if line is None:
+                    self._requests_failed += 1
+                    response = {
+                        "ok": False,
+                        "error": (
+                            "request frame exceeds max_request_bytes="
+                            f"{self.max_request_bytes}; raise --max-request-bytes "
+                            "or split the batch"
+                        ),
+                    }
+                    writer.write(json.dumps(response).encode() + b"\n")
+                    try:
+                        await writer.drain()
+                    except (ConnectionResetError, BrokenPipeError):
+                        break
+                    continue
                 request_id = None
                 self._inflight += 1
                 try:
@@ -603,6 +992,20 @@ class VerifyServer:
             return await self._op_verify(request, class_wide=False)
         if op == "verify_class":
             return await self._op_verify(request, class_wide=True)
+        if op == "compact":
+            evicted = await self._loop.run_in_executor(
+                self._request_pool,
+                functools.partial(
+                    self.store.compact,
+                    request.get("max_entries"),
+                    request.get("max_age"),
+                ),
+            )
+            return {
+                "ok": True,
+                "evicted": evicted,
+                "disk_entries": self.store.disk_entries(),
+            }
         if op == "shutdown":
             drain = bool(request.get("drain", True))
             self._drain_on_stop = drain
@@ -720,13 +1123,27 @@ class VerifyServer:
     def snapshot_stats(self) -> Dict[str, Any]:
         store_stats = self.store.stats
         service = self.service.stats.as_dict() if self.service is not None else {}
+        lanes = (
+            {
+                "configured": self.service.lanes,
+                "busy": self.service.lanes_busy,
+                "peak_busy": self.service.stats.peak_lanes_busy,
+                "queue_depth": self.service.pending,
+                "workers": self.service.workers,
+                "backend": self.service.backend,
+            }
+            if self.service is not None
+            else {}
+        )
         return {
             "uptime": time.time() - self.started_at if self.started_at else 0.0,
             "requests_served": self._requests_served,
             "requests_failed": self._requests_failed,
             "inflight": self._inflight,
             "pending_sequents": self.service.pending if self.service else 0,
+            "max_request_bytes": self.max_request_bytes,
             "service": service,
+            "lanes": lanes,
             "store": {
                 "entries": len(self.store),
                 "shards": self.store.shards,
@@ -734,5 +1151,9 @@ class VerifyServer:
                 "misses": store_stats.misses,
                 "stores": store_stats.stores,
                 "disk_hits": store_stats.disk_hits,
+                "compactions": self.store.compactions,
+                "evicted_entries": self.store.evicted_entries,
+                "max_disk_entries": self.store.max_disk_entries,
+                "max_disk_age": self.store.max_disk_age,
             },
         }

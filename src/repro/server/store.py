@@ -22,6 +22,15 @@ atomic ``os.replace`` (see :meth:`SequentCache._disk_write`), and a reader
 that ever does catch a torn entry treats it as a miss.  Several daemon
 processes may therefore share one store root.
 
+Long-lived deployments bound the disk tier with ``max_disk_entries`` /
+``max_disk_age``: :meth:`ShardedVerdictStore.compact` evicts oldest-first
+per shard (the entry cap is split evenly across shards) and sweeps stale
+staging files, and the daemon runs it at startup and periodically (see
+``python -m repro.server --store-max-entries/--store-max-age``).  Eviction
+is unlink-of-published-entries, so it is safe while other daemons are
+reading/writing the same root — an evicted verdict re-proves, it never
+tears.
+
 The store quacks like a :class:`SequentCache` (``lookup`` / ``store`` /
 ``stats`` / ``clear`` / ``len``), so it can be passed anywhere a cache is
 accepted — in particular as the ``cache=`` of the dispatchers the daemon's
@@ -51,10 +60,20 @@ class ShardedVerdictStore:
         shards: int = DEFAULT_SHARDS,
         max_entries: int = 65536,
         cache_timeouts: bool = True,
+        max_disk_entries: Optional[int] = None,
+        max_disk_age: Optional[float] = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.root_dir = Path(root_dir) if root_dir is not None else None
+        #: Disk-tier lifecycle caps enforced by :meth:`compact` (None = never
+        #: evict): total published entries across shards, and max entry age
+        #: in seconds.
+        self.max_disk_entries = max_disk_entries
+        self.max_disk_age = max_disk_age
+        #: Cumulative compaction counters (surfaced by the daemon's stats op).
+        self.compactions = 0
+        self.evicted_entries = 0
         per_shard = max(1, max_entries // shards)
         self._shards = tuple(
             SequentCache(
@@ -114,6 +133,38 @@ class ShardedVerdictStore:
     def clear(self, disk: bool = False) -> None:
         for shard in self._shards:
             shard.clear(disk=disk)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def compact(
+        self,
+        max_entries: Optional[int] = None,
+        max_age: Optional[float] = None,
+    ) -> int:
+        """Evict disk entries beyond the caps; returns how many were evicted.
+
+        The entry cap (the call's, falling back to ``max_disk_entries``) is
+        split evenly across shards — digests hash uniformly, so a per-shard
+        cap keeps the global bound within one shard's worth of slack while
+        every shard compacts independently (no cross-shard lock).  A no-op
+        (returning 0 without counting a compaction) when the store is
+        memory-only or no cap applies.
+        """
+        max_entries = max_entries if max_entries is not None else self.max_disk_entries
+        max_age = max_age if max_age is not None else self.max_disk_age
+        if self.root_dir is None or (max_entries is None and max_age is None):
+            return 0
+        per_shard = (
+            max(1, max_entries // len(self._shards)) if max_entries is not None else None
+        )
+        evicted = sum(shard.compact(per_shard, max_age) for shard in self._shards)
+        self.compactions += 1
+        self.evicted_entries += evicted
+        return evicted
+
+    def disk_entries(self) -> int:
+        """Published disk entries across all shards (0 when memory-only)."""
+        return sum(shard.disk_entries() for shard in self._shards)
 
     def __len__(self) -> int:
         return sum(len(shard) for shard in self._shards)

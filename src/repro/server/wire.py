@@ -32,6 +32,14 @@ from ..form.printer import to_str
 from ..provers.base import ProverAnswer, ProverStats, Verdict
 from ..vcgen.sequent import Labeled, Sequent
 
+#: Default cap on one request frame (one newline-terminated JSON line).
+#: asyncio's stock 64 KiB StreamReader limit is far too small for a
+#: ``verify_class`` source or a large ``prove_sequents`` batch; 16 MiB
+#: comfortably fits the whole benchmark suite in one frame while still
+#: bounding a misbehaving client.  Overridable per server
+#: (``max_request_bytes=`` / ``--max-request-bytes``).
+DEFAULT_MAX_REQUEST_BYTES = 16 * 1024 * 1024
+
 # -- sequents -----------------------------------------------------------------
 
 

@@ -1,0 +1,240 @@
+"""Lane-concurrency tests of the multi-lane batching service.
+
+The contract pinned here:
+
+* batches for *different* prover configurations dispatch concurrently —
+  a fast config's request returns while a slow config's batch is still in
+  flight, and ``peak_lanes_busy`` records the overlap;
+* the in-flight digest registry preserves single-flight per (digest,
+  configuration) *across* lanes: a second lane assembling a batch over
+  digests another lane is proving defers them and replays their verdicts
+  from the store, keeping ``live_reproofs == 0``;
+* a request-level deadline cuts a dispatch off *mid-flight* (the chains
+  enforce the threaded ``Deadline`` cooperatively) and post-deadline
+  outcomes come back ``budget_exhausted`` — the request never waits for the
+  slow prover to finish on its own schedule.
+
+All tests drive :class:`VerifyService` directly under asyncio with a
+registered in-process test prover, so they run on the thread backend (the
+process farm cannot see a prover registered only in the test process).
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.form.parser import parse_formula as parse
+from repro.provers.base import Deadline, Prover, ProverAnswer, Verdict, registry
+from repro.provers.dispatcher import make_provers  # ensures default registration
+from repro.server import ShardedVerdictStore, VerifyService
+from repro.vcgen.sequent import sequent
+
+
+class SleepyProver(Prover):
+    """Proves everything after ``delay`` seconds, polling its deadline —
+    a stand-in for a slow decision procedure that honors cooperative
+    cancellation (``DeadlineExpired`` from checkpoint → TIMEOUT answer)."""
+
+    name = "sleepy"
+
+    def __init__(self, timeout: float = 30.0, delay: float = 0.3) -> None:
+        super().__init__(timeout=timeout)
+        self.delay = delay
+
+    def attempt(self, sequent, deadline=None):
+        end = time.monotonic() + self.delay
+        while time.monotonic() < end:
+            if deadline is not None:
+                deadline.checkpoint(detail="sleeping")
+            time.sleep(0.01)
+        return ProverAnswer(Verdict.PROVED, self.name, detail="slept it off")
+
+
+@pytest.fixture(autouse=True)
+def _register_sleepy():
+    make_provers(["syntactic"])  # populate the default registry first
+    registry.register("sleepy", SleepyProver)
+    yield
+
+
+def _service(**kwargs):
+    kwargs.setdefault("window", 0.01)
+    kwargs.setdefault("lanes", 2)
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault("backend", "thread")
+    return VerifyService(ShardedVerdictStore(), **kwargs)
+
+
+def _syntactic_seq(k=0):
+    return sequent([parse(f"P (x + {k})")], parse(f"P (x + {k})"))
+
+
+async def _wait_for(predicate, timeout=5.0):
+    deadline = Deadline.after(timeout)
+    while not predicate():
+        assert not deadline.expired(), "condition never became true"
+        await asyncio.sleep(0.005)
+
+
+# -- lane overlap --------------------------------------------------------------
+
+
+def test_distinct_configs_dispatch_concurrently():
+    """A fast config's batch must not queue behind a slow config's: the
+    syntactic request returns while the sleepy dispatch is still in flight
+    (the pre-lane daemon serialized them: ~0.6s for the fast client)."""
+
+    async def run():
+        service = await _service().start()
+        try:
+            slow = asyncio.ensure_future(
+                service.prove(
+                    [_syntactic_seq(0)],
+                    provers=["sleepy"],
+                    prover_options={"sleepy": {"delay": 0.6}},
+                )
+            )
+            # Wait until the slow lane has *claimed* its digest (not merely
+            # launched), so the fast request below provably overlaps it.
+            await _wait_for(lambda: service._inflight)
+            fast = await service.prove([_syntactic_seq(1)], provers=["syntactic"])
+            assert fast.proved == 1
+            assert not slow.done(), "fast lane should finish first"
+            assert service.lanes_busy >= 1
+            result = await slow
+            assert result.proved == 1
+        finally:
+            await service.stop()
+        assert service.stats.peak_lanes_busy == 2
+        assert service.stats.live_reproofs == 0
+        assert service.stats.batches == 2
+
+    asyncio.run(run())
+
+
+def test_inflight_registry_blocks_cross_lane_reproofs():
+    """Two lanes of the *same* configuration over the same digest: the
+    second lane must defer to the first's in-flight proof and replay the
+    verdict from the store — never prove it live a second time."""
+
+    async def run():
+        service = await _service().start()
+        options = {"sleepy": {"delay": 0.4}}
+        try:
+            first = asyncio.ensure_future(
+                service.prove(
+                    [_syntactic_seq(0)], provers=["sleepy"], prover_options=options
+                )
+            )
+            await _wait_for(lambda: service._inflight)
+            second = asyncio.ensure_future(
+                service.prove(
+                    [_syntactic_seq(0)], provers=["sleepy"], prover_options=options
+                )
+            )
+            # The second batch gets its own lane while the first is in flight.
+            await _wait_for(lambda: service.stats.peak_lanes_busy >= 2)
+            a, b = await asyncio.gather(first, second)
+        finally:
+            await service.stop()
+        assert a.proved == 1 and b.proved == 1
+        assert a.replayed + b.replayed == 1  # the deferred copy replays
+        assert service.stats.live_proved == 1
+        assert service.stats.live_reproofs == 0
+        assert service.stats.deferred_sequents >= 1
+        assert service.stats.peak_lanes_busy == 2
+
+    asyncio.run(run())
+
+
+def test_all_lanes_busy_queues_the_next_batch():
+    """With every lane occupied, a new config's batch waits — and dispatches
+    as soon as a lane frees up (the scheduler's wakeup on lane completion)."""
+
+    async def run():
+        service = await _service(lanes=1).start()
+        try:
+            slow = asyncio.ensure_future(
+                service.prove(
+                    [_syntactic_seq(0)],
+                    provers=["sleepy"],
+                    prover_options={"sleepy": {"delay": 0.3}},
+                )
+            )
+            await _wait_for(lambda: service._inflight)
+            fast = await service.prove([_syntactic_seq(1)], provers=["syntactic"])
+            assert fast.proved == 1
+            assert slow.done(), "one lane: the fast batch had to wait its turn"
+            await slow
+        finally:
+            await service.stop()
+        assert service.stats.peak_lanes_busy == 1
+
+    asyncio.run(run())
+
+
+# -- deadlines mid-dispatch ----------------------------------------------------
+
+
+def test_deadline_expires_mid_dispatch():
+    """Regression (the deadline bugfix): a request whose budget runs out
+    *during* dispatch must come back ``budget_exhausted`` promptly — the old
+    daemon only checked deadlines before the batch started, so this request
+    used to block for the sleepy prover's full 10 seconds."""
+
+    async def run():
+        service = await _service(lanes=1).start()
+        loop = asyncio.get_running_loop()
+        try:
+            started = loop.time()
+            result = await service.prove(
+                [_syntactic_seq(0)],
+                provers=["sleepy"],
+                prover_options={"sleepy": {"delay": 10.0}},
+                deadline=Deadline.after(0.3),
+            )
+            elapsed = loop.time() - started
+        finally:
+            await service.stop()
+        assert elapsed < 3.0, f"deadline ignored mid-dispatch ({elapsed:.1f}s)"
+        assert result.proved == 0
+        (outcome,) = result.outcomes
+        assert outcome.budget_exhausted
+        # The request made it into dispatch — it did not expire while queued.
+        assert service.stats.requests_expired == 0
+        assert service.stats.batches == 1
+
+    asyncio.run(run())
+
+
+def test_deadlined_request_never_clips_cobatched_work():
+    """A short-budget request sharing a window with an unbudgeted one must
+    not drag the latter under its deadline: deadlined requests dispatch
+    solo, the plain batch runs to completion."""
+
+    async def run():
+        service = await _service(lanes=1, window=0.05).start()
+        options = {"sleepy": {"delay": 0.4}}
+        try:
+            budgeted = asyncio.ensure_future(
+                service.prove(
+                    [_syntactic_seq(0)],
+                    provers=["sleepy"],
+                    prover_options=options,
+                    deadline=Deadline.after(0.1),
+                )
+            )
+            plain = asyncio.ensure_future(
+                service.prove(
+                    [_syntactic_seq(1)], provers=["sleepy"], prover_options=options
+                )
+            )
+            a, b = await asyncio.gather(budgeted, plain)
+        finally:
+            await service.stop()
+        assert a.proved == 0 and a.outcomes[0].budget_exhausted
+        assert b.proved == 1, "the unbudgeted co-batched request must complete"
+        assert service.stats.live_reproofs == 0
+
+    asyncio.run(run())

@@ -377,3 +377,119 @@ def test_stop_without_drain_abandons_nothing_inflight(tmp_path):
         assert c.ping()
     server.stop(drain=False)
     assert server._thread is None
+
+
+# -- protocol framing ---------------------------------------------------------
+
+
+def test_large_request_over_64k_is_served(tmp_path):
+    """Regression (the framing bugfix): a request frame over asyncio's stock
+    64 KiB StreamReader limit must be served normally — the old server
+    started without ``limit=`` and dropped the connection on the first big
+    ``prove_sequents`` batch, leaving the client blocked on a reply."""
+    server = VerifyServer(port=0, window=0.01).start()
+    try:
+        batch = [_arith(0)] * 3000  # ~240 KiB on the wire
+        with VerifyClient(port=server.port) as c:
+            response = c.prove_sequents(batch, provers=PROVERS, prover_options=OPTIONS)
+        assert response["total"] == 3000
+        assert response["proved"] == 3000
+        assert response["dedup_replayed"] == 2999
+    finally:
+        server.stop()
+
+
+def test_oversized_frame_gets_structured_error_not_a_dropped_connection():
+    """A frame beyond ``max_request_bytes`` is drained and answered with a
+    structured error, and the *same* connection keeps working."""
+    import json as _json
+    import socket as _socket
+
+    server = VerifyServer(port=0, window=0.01, max_request_bytes=4096).start()
+    try:
+        with _socket.create_connection(("127.0.0.1", server.port), timeout=10) as sock:
+            f = sock.makefile("rwb")
+            # An oversized (but otherwise valid) request frame...
+            huge = _json.dumps({"op": "ping", "pad": "x" * 20000}).encode() + b"\n"
+            f.write(huge)
+            f.flush()
+            answer = _json.loads(f.readline())
+            assert answer["ok"] is False
+            assert "max_request_bytes" in answer["error"]
+            # ... does not poison the connection for the next request.
+            f.write(_json.dumps({"op": "ping"}).encode() + b"\n")
+            f.flush()
+            answer = _json.loads(f.readline())
+            assert answer == {"ok": True, "pong": True}
+        stats_client = VerifyClient(port=server.port)
+        stats = stats_client.stats()
+        assert stats["max_request_bytes"] == 4096
+        assert stats["requests_failed"] >= 1
+        stats_client.close()
+    finally:
+        server.stop()
+
+
+# -- two daemon processes on one store root -----------------------------------
+
+
+def test_two_daemon_processes_share_one_store_root(tmp_path):
+    """Two real daemon *processes* (``python -m repro.server``) on one
+    ``--store-dir`` root: the second daemon answers the first's corpus
+    entirely from the shared disk tier, with both daemons alive and
+    serving concurrently.  Also pins the CLI bugfix: ``--port 0`` prints
+    the actually-bound port (parsed from the banner here), not ``:0``."""
+    import os as _os
+    import re as _re
+    import subprocess as _subprocess
+    import sys as _sys
+
+    import repro
+
+    store_dir = str(tmp_path / "shared-store")
+    env = dict(_os.environ)
+    env["PYTHONPATH"] = str(_os.path.dirname(_os.path.dirname(repro.__file__)))
+
+    def spawn():
+        proc = _subprocess.Popen(
+            [
+                _sys.executable, "-m", "repro.server", "--port", "0",
+                "--store-dir", store_dir, "--shards", "4", "--window", "0.01",
+                "--lanes", "2", "--workers", "1",
+            ],
+            stdout=_subprocess.PIPE, stderr=_subprocess.STDOUT, text=True, env=env,
+        )
+        banner = proc.stdout.readline()
+        match = _re.search(r"verify daemon on 127\.0\.0\.1:(\d+)", banner)
+        assert match, f"unparseable daemon banner: {banner!r}"
+        port = int(match.group(1))
+        assert port != 0, "--port 0 must print the bound port, not the requested one"
+        return proc, port
+
+    batch = _corpus(6)
+    first_proc, first_port = spawn()
+    second_proc, second_port = spawn()
+    try:
+        with VerifyClient(port=first_port) as a:
+            cold = a.prove_sequents(batch, provers=PROVERS, prover_options=OPTIONS)
+            assert cold["proved"] == 6
+        with VerifyClient(port=second_port) as b:
+            warm = b.prove_sequents(batch, provers=PROVERS, prover_options=OPTIONS)
+            assert warm["proved"] == 6
+            assert warm["replayed"] == 6  # all from the shared disk tier
+            stats = b.stats()
+            assert stats["service"]["live_proved"] == 0
+            assert stats["store"]["disk_hits"] > 0
+            # Cross-process compaction is safe while the other daemon serves.
+            compacted = b.compact(max_entries=2)
+            assert compacted["disk_entries"] <= 6
+        with VerifyClient(port=first_port) as a:
+            again = a.prove_sequents(batch, provers=PROVERS, prover_options=OPTIONS)
+            assert again["proved"] == 6  # evicted entries re-prove, never tear
+    finally:
+        for proc, port in ((first_proc, first_port), (second_proc, second_port)):
+            try:
+                VerifyClient(port=port, connect_retries=2).shutdown()
+            except VerifyServiceError:
+                pass
+            proc.wait(timeout=20)

@@ -145,3 +145,109 @@ def test_method_report_wire_roundtrip_is_exact():
     back = method_report_from_wire(method_report_to_wire(report))
     assert back == report
     assert back.format() == report.format()
+
+
+# -- disk-tier lifecycle (compaction) -----------------------------------------
+
+
+def test_cache_compact_enforces_entry_cap_oldest_first(tmp_path):
+    import os
+    import time as _time
+
+    from repro.provers.cache import SequentCache
+
+    cache = SequentCache(cache_dir=tmp_path)
+    seqs = _seqs(6)
+    for k, seq in enumerate(seqs):
+        cache.store(seq, "smt", _proof(f"v{k}"))
+        path = cache._disk_path(SequentCache.key(seq, "smt"))
+        os.utime(path, (100.0 + k, 100.0 + k))  # deterministic age order
+    assert cache.disk_entries() == 6
+
+    evicted = cache.compact(max_entries=2)
+    assert evicted == 4
+    assert cache.disk_entries() == 2
+    # The two *newest* entries survive; a fresh cache (empty memory tier)
+    # still reads them, and the evicted ones are plain misses.
+    fresh = SequentCache(cache_dir=tmp_path)
+    assert fresh.lookup(seqs[5], "smt") is not None
+    assert fresh.lookup(seqs[4], "smt") is not None
+    assert fresh.lookup(seqs[0], "smt") is None
+
+
+def test_cache_compact_enforces_age_cap_and_sweeps_stale_tmp(tmp_path):
+    import os
+    import time as _time
+
+    from repro.provers.cache import SequentCache
+
+    cache = SequentCache(cache_dir=tmp_path)
+    old, new = _seqs(2)
+    cache.store(old, "smt", _proof())
+    path = cache._disk_path(SequentCache.key(old, "smt"))
+    ancient = _time.time() - 1000.0
+    os.utime(path, (ancient, ancient))
+    cache.store(new, "smt", _proof())
+    stale_tmp = tmp_path / "deadbeef.123.0.tmp"
+    stale_tmp.write_text("{}")
+    os.utime(stale_tmp, (ancient, ancient))
+
+    evicted = cache.compact(max_age=500.0)
+    assert evicted == 1
+    assert cache.disk_entries() == 1
+    assert not stale_tmp.exists()
+    fresh = SequentCache(cache_dir=tmp_path)
+    assert fresh.lookup(new, "smt") is not None
+    assert fresh.lookup(old, "smt") is None
+
+
+def test_memory_only_compact_is_a_noop():
+    from repro.provers.cache import SequentCache
+
+    cache = SequentCache()
+    cache.store(_seqs(1)[0], "smt", _proof())
+    assert cache.compact(max_entries=0) == 0
+    assert cache.disk_entries() == 0
+
+    store = ShardedVerdictStore(shards=4)  # memory-only sharded store
+    assert store.compact(max_entries=0) == 0
+    assert store.compactions == 0
+
+
+def test_sharded_store_compacts_to_instance_caps(tmp_path):
+    store = ShardedVerdictStore(
+        tmp_path, shards=1, max_disk_entries=3
+    )  # one shard: the per-shard split leaves the cap exact
+    for seq in _seqs(10):
+        store.store(seq, "smt", _proof())
+    assert store.disk_entries() == 10
+
+    evicted = store.compact()  # no arguments: the instance caps apply
+    assert evicted == 7
+    assert store.disk_entries() == 3
+    assert store.compactions == 1
+    assert store.evicted_entries == 7
+
+    # An uncapped store compacts only when the call provides caps.
+    uncapped = ShardedVerdictStore(tmp_path, shards=1)
+    assert uncapped.compact() == 0
+    assert uncapped.compact(max_entries=1) == 2
+    assert uncapped.disk_entries() == 1
+
+
+def test_evicted_entries_reprove_instead_of_tearing(tmp_path):
+    store = ShardedVerdictStore(tmp_path, shards=2)
+    seqs = _seqs(4)
+    for seq in seqs:
+        store.store(seq, "smt", _proof("original"))
+    # max_age=0 evicts everything already written (the entry cap keeps a
+    # per-shard floor of one, so the age cap is the evict-it-all lever).
+    store.compact(max_age=0.0)
+    assert store.disk_entries() == 0
+
+    # A fresh instance (cold memory tiers) misses cleanly and re-stores.
+    fresh = ShardedVerdictStore(tmp_path, shards=2)
+    assert fresh.lookup(seqs[0], "smt") is None
+    fresh.store(seqs[0], "smt", _proof("reproved"))
+    hit = fresh.lookup(seqs[0], "smt")
+    assert hit is not None and hit.detail == "reproved"
